@@ -1,0 +1,99 @@
+// Command dego-bench regenerates the micro-benchmark figures of the paper
+// (§6.2): Figure 6 (high contention), Figure 7 (update-ratio sweep) and
+// Figure 8 (working-set sweep), plus the Pearson throughput/stall analysis.
+//
+// Usage:
+//
+//	dego-bench -fig 6 [-threads 1,5,10,20,40,80] [-duration 1s] [-pearson]
+//	dego-bench -fig 7 [-ratios 25,50,75,100]
+//	dego-bench -fig 8
+//	dego-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/adjusted-objects/dego/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dego-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dego-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, all or none (with -ablation)")
+	threadsFlag := fs.String("threads", "1,5,10,20,40,80", "comma-separated thread counts")
+	ratiosFlag := fs.String("ratios", "25,50,75,100", "update ratios for figure 7")
+	duration := fs.Duration("duration", 500*time.Millisecond, "measured duration per point")
+	warmup := fs.Duration("warmup", 100*time.Millisecond, "warm-up before each point")
+	items := fs.Int("items", 16<<10, "initial items (paper: 16384)")
+	keyRange := fs.Int("range", 32<<10, "key range (paper: 32768)")
+	pearson := fs.Bool("pearson", false, "print Pearson(throughput, stalls) per object")
+	ablation := fs.Bool("ablation", false, "also run the segmentation/padding/guard ablations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
+	}
+	ratios, err := parseInts(*ratiosFlag)
+	if err != nil {
+		return fmt.Errorf("bad -ratios: %w", err)
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Duration = *duration
+	cfg.Warmup = *warmup
+	cfg.InitialItems = *items
+	cfg.KeyRange = *keyRange
+
+	switch *fig {
+	case "none":
+	case "6":
+		bench.Figure6(os.Stdout, cfg, threads, *pearson)
+	case "7":
+		bench.Figure7(os.Stdout, cfg, threads, ratios)
+	case "8":
+		bench.Figure8(os.Stdout, cfg, threads)
+	case "all":
+		bench.Figure6(os.Stdout, cfg, threads, *pearson)
+		bench.Figure7(os.Stdout, cfg, threads, ratios)
+		bench.Figure8(os.Stdout, cfg, threads)
+	default:
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8 or all)", *fig)
+	}
+	if *ablation {
+		bench.Ablations(os.Stdout, cfg, threads)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

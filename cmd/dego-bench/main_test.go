@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 5,10")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 10 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "0", "-3", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "42"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run([]string{"-threads", "x"}); err == nil {
+		t.Fatal("bad threads accepted")
+	}
+}

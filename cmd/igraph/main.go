@@ -1,0 +1,174 @@
+// Command igraph exposes the theory toolkit of §3-§4: it renders the
+// indistinguishability graphs of Figure 2 (text or Graphviz DOT), the Table 1
+// catalog of adjusted data types, the Figure 3 adjustment lattice (verified
+// against Definition 1), and the scalability analyses (consensus number via
+// Theorem 1, the Corollary 1 permissive check, the Proposition 1/2
+// conflict-freedom predicates).
+//
+// Usage:
+//
+//	igraph -fig 2 [-dot]
+//	igraph -fig 3
+//	igraph -table 1
+//	igraph -analyze C3   (any of C1..C3, S1..S3, Q1, R1, R2, M1, M2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/adjusted-objects/dego/internal/igraph"
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "igraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("igraph", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure to render: 2 or 3")
+	table := fs.String("table", "", "table to render: 1")
+	analyze := fs.String("analyze", "", "data type to analyze (C1..C3, S1..S3, Q1, R1, R2, M1, M2)")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of text (figure 2)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	did := false
+	if *fig == "2" {
+		figure2(*dot)
+		did = true
+	}
+	if *fig == "3" {
+		if err := figure3(); err != nil {
+			return err
+		}
+		did = true
+	}
+	if *table == "1" {
+		table1()
+		did = true
+	}
+	if *analyze != "" {
+		if err := analyzeType(*analyze); err != nil {
+			return err
+		}
+		did = true
+	}
+	if !did {
+		figure2(false)
+		if err := figure3(); err != nil {
+			return err
+		}
+		table1()
+	}
+	return nil
+}
+
+// figure2 renders the three panels of Figure 2.
+func figure2(dot bool) {
+	r := spec.Ref(spec.R1)
+	s := spec.Set(spec.S1)
+	c := spec.Counter(spec.C1)
+	panels := []struct {
+		name string
+		g    *igraph.Graph
+	}{
+		{"Reference", igraph.New([]*spec.Op{r.Op("set", 1), r.Op("set", 2), r.Op("get")}, r.Init)},
+		{"Set", igraph.New([]*spec.Op{s.Op("add", 1), s.Op("add", 1), s.Op("contains", 1)}, s.Init)},
+		{"Counter", igraph.New([]*spec.Op{c.Op("rmw", 1), c.Op("rmw", 3), c.Op("rmw", 5)}, c.Init)},
+	}
+	fmt.Println("=== Figure 2: indistinguishability graphs G({a,b,c}) ===")
+	fmt.Println()
+	for _, p := range panels {
+		if dot {
+			fmt.Println(p.g.DOT(p.name))
+		} else {
+			fmt.Println(p.g.Summary(p.name))
+		}
+	}
+}
+
+// figure3 renders and verifies the adjustment lattice.
+func figure3() error {
+	l := spec.Figure3()
+	fmt.Println("=== Figure 3: adjustments (subtyping p/r, deletion d, access c/m) ===")
+	fmt.Println()
+	for _, e := range l.Edges {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Printf("\nverifying Definition 1 on every edge and path... ")
+	if err := l.Verify(spec.DefaultCheckConfig()); err != nil {
+		return err
+	}
+	fmt.Println("OK")
+	fmt.Println()
+	return nil
+}
+
+// table1 renders the catalog in the paper's Hoare-logic layout, then the
+// computed per-type analyses.
+func table1() {
+	fmt.Println("=== Table 1: adjusted data types ===")
+	fmt.Println()
+	fmt.Print(spec.FormatTable1())
+	fmt.Println()
+	fmt.Println("Computed properties:")
+	opts := igraph.DefaultSearchOpts()
+	for _, dt := range spec.AllCatalogTypes() {
+		cn := igraph.ConsensusNumber(dt, opts)
+		cnStr := fmt.Sprintf("%d", cn.CN)
+		if !cn.Exact {
+			cnStr = fmt.Sprintf("≥%d", cn.CN)
+		}
+		fmt.Printf("%-4s ops=%v readable=%v permissive=%v CN=%s\n",
+			dt.Name, dt.OpNames(), dt.Readable, igraph.Permissive(dt, opts), cnStr)
+	}
+	fmt.Println()
+}
+
+// analyzeType prints the full analysis of one catalog type.
+func analyzeType(name string) error {
+	var dt *spec.DataType
+	for _, t := range spec.AllCatalogTypes() {
+		if t.Name == name {
+			dt = t
+			break
+		}
+	}
+	if dt == nil {
+		return fmt.Errorf("unknown data type %q", name)
+	}
+	opts := igraph.DefaultSearchOpts()
+	fmt.Printf("=== Analysis of %s ===\n\n", dt.Name)
+	fmt.Printf("operations:        %v\n", dt.OpNames())
+	fmt.Printf("readable:          %v\n", dt.Readable)
+	cn := igraph.ConsensusNumber(dt, opts)
+	fmt.Printf("consensus number:  %d (exact=%v)", cn.CN, cn.Exact)
+	if cn.Witness != "" {
+		fmt.Printf("  witness: %s", cn.Witness)
+	}
+	fmt.Println()
+	fmt.Printf("permissive (Cor.1): %v\n", igraph.Permissive(dt, opts))
+	fmt.Printf("D(2,l):            l=%d\n", igraph.Distinguish(dt, 2, opts))
+	fmt.Printf("D(3,l):            l=%d\n", igraph.Distinguish(dt, 3, opts))
+	fmt.Printf("conflict-free (Prop.2, |B|=2): %v\n", igraph.ConflictFreeLongLived(dt, opts))
+	oneShot := opts
+	oneShot.OneShot = true
+	fmt.Printf("conflict-free one-shot (Prop.1, |B|=2): %v\n", igraph.ConflictFreeOneShot(dt, 2, oneShot))
+	for _, opName := range dt.OpNames() {
+		var gen *spec.Op
+		switch {
+		case dt.HasOp(opName):
+			gen = dt.Op(opName, 1, 1)
+		}
+		fmt.Printf("  %-10s left-mover=%-5v right-mover=%v\n",
+			opName, igraph.LeftMover(dt, gen, opts), igraph.RightMover(dt, gen, opts))
+	}
+	return nil
+}

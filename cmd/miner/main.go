@@ -1,0 +1,86 @@
+// Command miner regenerates the usage-mining study of §6.1 (Figures 1, 4
+// and 5) over Go corpora. Each -dir argument is one "project"; with no -dir,
+// it mines the current directory. The Go standard library's source tree
+// (GOROOT/src) makes a good large corpus:
+//
+//	miner -fig all -dir $(go env GOROOT)/src/net/http -dir .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/adjusted-objects/dego/internal/miner"
+)
+
+type dirList []string
+
+func (d *dirList) String() string     { return fmt.Sprint(*d) }
+func (d *dirList) Set(s string) error { *d = append(*d, s); return nil }
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "miner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("miner", flag.ContinueOnError)
+	var dirs dirList
+	fs.Var(&dirs, "dir", "project directory to mine (repeatable)")
+	fig := fs.String("fig", "all", "figure to regenerate: 1, 4, 5 or all")
+	trend := fs.Bool("trend", false, "treat each -dir as a chronological snapshot for the Figure 4 time axis")
+	threshold := fs.Float64("threshold", 10, "percentage below which methods group as 'others' (figure 5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(dirs) == 0 {
+		dirs = dirList{"."}
+	}
+
+	var projects []*miner.ProjectStats
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		if abs, err := filepath.Abs(dir); err == nil {
+			name = filepath.Base(abs)
+		}
+		stats, err := miner.MineDir(dir, name)
+		if err != nil {
+			return err
+		}
+		projects = append(projects, stats)
+	}
+
+	if *trend {
+		labels := make([]string, len(projects))
+		snapshots := make([][]*miner.ProjectStats, len(projects))
+		for i, p := range projects {
+			labels[i] = p.Name
+			snapshots[i] = []*miner.ProjectStats{p}
+		}
+		return miner.Figure4Trend(os.Stdout, labels, snapshots)
+	}
+
+	switch *fig {
+	case "1":
+		for _, p := range projects {
+			miner.Figure1(os.Stdout, p)
+		}
+	case "4":
+		miner.Figure4(os.Stdout, projects)
+	case "5":
+		miner.Figure5(os.Stdout, projects, *threshold)
+	case "all":
+		for _, p := range projects {
+			miner.Figure1(os.Stdout, p)
+		}
+		miner.Figure4(os.Stdout, projects)
+		miner.Figure5(os.Stdout, projects, *threshold)
+	default:
+		return fmt.Errorf("unknown figure %q (want 1, 4, 5 or all)", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestDirListFlag(t *testing.T) {
+	var d dirList
+	if err := d.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d.String() == "" {
+		t.Fatalf("dirList = %v", d)
+	}
+}

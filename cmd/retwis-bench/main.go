@@ -1,0 +1,114 @@
+// Command retwis-bench regenerates the social-network evaluation of §6.3:
+// Figure 9 (speedup over JUC across user counts and thread counts, with the
+// DAP upper bound) and Figure 10 (throughput across the user-access
+// distribution parameter alpha). The operation mix is Table 2.
+//
+// Usage:
+//
+//	retwis-bench -fig 9 [-users 100000,500000,1000000] [-threads 1,5,10,20,40,80]
+//	retwis-bench -fig 10 [-alphas 0,0.25,0.5,0.75,1,2]
+//	retwis-bench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/adjusted-objects/dego/internal/retwis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "retwis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("retwis-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 9, 10 or all")
+	usersFlag := fs.String("users", "100000,500000,1000000", "user counts for figure 9")
+	threadsFlag := fs.String("threads", "1,5,10,20,40,80", "thread counts")
+	alphasFlag := fs.String("alphas", "0,0.25,0.5,0.75,1,2", "alpha sweep for figure 10")
+	users10 := fs.Int("users10", 100000, "user count for figure 10")
+	threads10 := fs.Int("threads10", 0, "thread count for figure 10 (default: max of -threads)")
+	duration := fs.Duration("duration", 500*time.Millisecond, "measured duration per point")
+	alpha := fs.Float64("alpha", 1, "user-selection bias for figure 9")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	users, err := parseInts(*usersFlag)
+	if err != nil {
+		return fmt.Errorf("bad -users: %w", err)
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
+	}
+	alphas, err := parseFloats(*alphasFlag)
+	if err != nil {
+		return fmt.Errorf("bad -alphas: %w", err)
+	}
+
+	base := retwis.DefaultParams()
+	base.Duration = *duration
+	base.Alpha = *alpha
+
+	fmt.Printf("Table 2 operation mix: %+v\n\n", retwis.DefaultMix())
+
+	switch *fig {
+	case "9":
+		return retwis.Figure9(os.Stdout, base, users, threads)
+	case "10":
+		return runFigure10(base, alphas, *users10, *threads10, threads)
+	case "all":
+		if err := retwis.Figure9(os.Stdout, base, users, threads); err != nil {
+			return err
+		}
+		return runFigure10(base, alphas, *users10, *threads10, threads)
+	default:
+		return fmt.Errorf("unknown figure %q (want 9, 10 or all)", *fig)
+	}
+}
+
+func runFigure10(base retwis.Params, alphas []float64, users, threads10 int, threads []int) error {
+	p := base
+	p.Users = users
+	if threads10 > 0 {
+		p.Threads = threads10
+	} else {
+		p.Threads = threads[len(threads)-1]
+	}
+	return retwis.Figure10(os.Stdout, p, alphas)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := parseInts("100,200")
+	if err != nil || len(ints) != 2 || ints[1] != 200 {
+		t.Fatalf("parseInts = %v, %v", ints, err)
+	}
+	if _, err := parseInts("x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	floats, err := parseFloats("0, 0.5 ,1")
+	if err != nil || len(floats) != 3 || floats[1] != 0.5 {
+		t.Fatalf("parseFloats = %v, %v", floats, err)
+	}
+	if _, err := parseFloats("y"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "3"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package dego is the public API of the library: adjusted objects for Go,
+// after "Adjusted Objects: An Efficient and Principled Approach to Scalable
+// Programming" (Middleware '25).
+//
+// An adjusted object is a shared object tailored to how a program actually
+// uses it: the interface is narrowed (blind writes, write-once, no reset)
+// and access is restricted (single writer, single reader, commuting
+// writers). Both adjustments densify the object's indistinguishability
+// graph, which is the paper's predictor of scalability; the objects here are
+// drop-in replacements for the mutex/CAS equivalents with the same
+// consistency on the operations they keep.
+//
+// # Thread identity
+//
+// Go has no goroutine-local storage, so ownership is explicit: goroutines
+// register once and pass their *Handle to owner-routed operations. A handle
+// must come from the same Registry the object was created on (the default
+// registry unless a ...On constructor was used); mixing registries corrupts
+// segment routing.
+//
+//	h := dego.MustRegister()
+//	defer h.Release()
+//	counter := dego.NewCounter()
+//	counter.Inc(h)
+//
+// # Objects
+//
+//   - Counter — increment-only counter (C3, CWSR): per-thread cells, no CAS.
+//   - Adder — LongAdder-style striped adder (CAS cells).
+//   - WriteOnce — write-once reference (R2), the Listing 1 pattern.
+//   - RCUBox — read-copy-update box for rarely-written structures.
+//   - MPSCQueue — multi-producer single-consumer queue (Q1, MWSR).
+//   - MSQueue — Michael–Scott queue (the unadjusted baseline).
+//   - SWMRMap / SWMRSkipList — single-writer multi-reader maps.
+//   - SegmentedMap / SegmentedSkipList / SegmentedSet — commuting-writers
+//     collections over extended segmentations (CWMR).
+//   - StripedMap / StripedSet — lock-striped baselines.
+//
+// The theory toolkit (sequential specifications, indistinguishability
+// graphs, consensus-number analysis) lives in internal packages and is
+// exposed through the igraph command.
+package dego
+
+import (
+	"cmp"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/counter"
+	"github.com/adjusted-objects/dego/internal/hashmap"
+	"github.com/adjusted-objects/dego/internal/queue"
+	"github.com/adjusted-objects/dego/internal/ref"
+	"github.com/adjusted-objects/dego/internal/set"
+	"github.com/adjusted-objects/dego/internal/skiplist"
+	"github.com/adjusted-objects/dego/internal/stats"
+)
+
+// Handle is a registered thread identity; see Register.
+type Handle = core.Handle
+
+// Registry hands out thread identities; most programs use the default one.
+type Registry = core.Registry
+
+// Mode is an access-permission mode (ALL, SWMR, MWSR, CWMR, CWSR).
+type Mode = core.Mode
+
+// Access-permission modes (§4.2 of the paper).
+const (
+	ModeAll  = core.ModeAll
+	ModeSWMR = core.ModeSWMR
+	ModeMWSR = core.ModeMWSR
+	ModeCWMR = core.ModeCWMR
+	ModeCWSR = core.ModeCWSR
+)
+
+// Probe collects contention events (CAS failures, lock waits) — the
+// library's stall proxy. Pass nil anywhere a probe is accepted to disable.
+type Probe = contention.Probe
+
+// NewProbe returns an empty contention probe.
+func NewProbe() *Probe { return contention.NewProbe() }
+
+// NewRegistry creates a registry for the given maximum number of
+// simultaneously live threads.
+func NewRegistry(capacity int) *Registry { return core.NewRegistry(capacity) }
+
+// DefaultRegistry returns the process-wide registry.
+func DefaultRegistry() *Registry { return core.Default }
+
+// Register allocates a thread handle from the default registry.
+func Register() (*Handle, error) { return core.Register() }
+
+// MustRegister is Register, panicking on registry exhaustion.
+func MustRegister() *Handle { return core.MustRegister() }
+
+// ---------------------------------------------------------------------------
+// Counters
+
+// Counter is the adjusted increment-only counter (C3, CWSR).
+type Counter = counter.IncrementOnly
+
+// NewCounter creates an increment-only counter on the default registry.
+func NewCounter() *Counter { return counter.NewIncrementOnly(core.Default, false) }
+
+// NewCounterOn creates an increment-only counter on a specific registry;
+// checked enables the CWSR runtime guard.
+func NewCounterOn(r *Registry, checked bool) *Counter {
+	return counter.NewIncrementOnly(r, checked)
+}
+
+// Adder is the LongAdder-style striped adder.
+type Adder = counter.Adder
+
+// NewAdder creates an adder with the given number of cells.
+func NewAdder(cells int) *Adder { return counter.NewAdder(cells, nil) }
+
+// AtomicCounter is the unadjusted baseline (AtomicLong-style shared cell).
+type AtomicCounter = counter.Atomic
+
+// NewAtomicCounter creates the baseline counter.
+func NewAtomicCounter() *AtomicCounter { return counter.NewAtomic(nil) }
+
+// ---------------------------------------------------------------------------
+// References
+
+// WriteOnce is the write-once reference (R2): the Listing 1
+// AtomicWriteOnceReference, with per-thread read caching.
+type WriteOnce[T any] = ref.WriteOnce[T]
+
+// NewWriteOnce creates a write-once reference on the default registry.
+func NewWriteOnce[T any]() *WriteOnce[T] { return ref.NewWriteOnce[T](core.Default) }
+
+// NewWriteOnceOn creates a write-once reference on a specific registry.
+func NewWriteOnceOn[T any](r *Registry) *WriteOnce[T] { return ref.NewWriteOnce[T](r) }
+
+// ErrAlreadySet is returned by WriteOnce.Set on a second initialization.
+var ErrAlreadySet = ref.ErrAlreadySet
+
+// AtomicRef is the unadjusted atomic reference.
+type AtomicRef[T any] = ref.Atomic[T]
+
+// NewAtomicRef creates an atomic reference holding v (nil allowed).
+func NewAtomicRef[T any](v *T) *AtomicRef[T] { return ref.NewAtomic(v) }
+
+// RCUBox holds an immutable snapshot replaced wholesale by a single writer.
+type RCUBox[T any] = ref.RCUBox[T]
+
+// NewRCUBox creates an RCU box holding v; checked enables the SWMR guard.
+func NewRCUBox[T any](v *T, checked bool) *RCUBox[T] { return ref.NewRCUBox(v, checked) }
+
+// ---------------------------------------------------------------------------
+// Queues
+
+// MPSCQueue is the adjusted queue (Q1, MWSR): many producers, one consumer,
+// no CAS on the consumer side (the paper's QueueMASP).
+type MPSCQueue[T any] = queue.MPSC[T]
+
+// NewMPSCQueue creates an MPSC queue; checked enables the MWSR guard.
+func NewMPSCQueue[T any](checked bool) *MPSCQueue[T] { return queue.NewMPSC[T](nil, checked) }
+
+// MSQueue is the Michael–Scott queue, the unadjusted baseline.
+type MSQueue[T any] = queue.MS[T]
+
+// NewMSQueue creates a Michael–Scott queue.
+func NewMSQueue[T any]() *MSQueue[T] { return queue.NewMS[T](nil) }
+
+// ---------------------------------------------------------------------------
+// Maps and sets
+
+// SWMRMap is a single-writer multi-reader hash map.
+type SWMRMap[K comparable, V any] = hashmap.SWMR[K, V]
+
+// NewSWMRMap creates an SWMR hash map; checked enables the SWMR guard.
+func NewSWMRMap[K comparable, V any](capacity int, hash func(K) uint64, checked bool) *SWMRMap[K, V] {
+	return hashmap.NewSWMR[K, V](capacity, hash, checked)
+}
+
+// SegmentedMap is the ExtendedSegmentedHashMap (M2, CWMR).
+type SegmentedMap[K comparable, V any] = hashmap.Segmented[K, V]
+
+// NewSegmentedMap creates a segmented map on the default registry.
+func NewSegmentedMap[K comparable, V any](capacity int, hash func(K) uint64) *SegmentedMap[K, V] {
+	return hashmap.NewSegmented[K, V](core.Default, capacity, capacity*2, hash, false)
+}
+
+// NewSegmentedMapOn creates a segmented map on a specific registry.
+func NewSegmentedMapOn[K comparable, V any](r *Registry, capacity, dirBuckets int,
+	hash func(K) uint64, checked bool) *SegmentedMap[K, V] {
+	return hashmap.NewSegmented[K, V](r, capacity, dirBuckets, hash, checked)
+}
+
+// StripedMap is the lock-striped baseline map.
+type StripedMap[K comparable, V any] = hashmap.Striped[K, V]
+
+// NewStripedMap creates a striped map.
+func NewStripedMap[K comparable, V any](stripes, capacity int, hash func(K) uint64) *StripedMap[K, V] {
+	return hashmap.NewStriped[K, V](stripes, capacity, hash, nil)
+}
+
+// SWMRSkipList is a single-writer multi-reader ordered map.
+type SWMRSkipList[K cmp.Ordered, V any] = skiplist.SWMR[K, V]
+
+// NewSWMRSkipList creates an SWMR skip list; checked enables the guard.
+func NewSWMRSkipList[K cmp.Ordered, V any](checked bool) *SWMRSkipList[K, V] {
+	return skiplist.NewSWMR[K, V](checked)
+}
+
+// SegmentedSkipList is the ExtendedSegmentedSkipListMap.
+type SegmentedSkipList[K cmp.Ordered, V any] = skiplist.Segmented[K, V]
+
+// NewSegmentedSkipList creates a segmented skip list on the default registry.
+func NewSegmentedSkipList[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64) *SegmentedSkipList[K, V] {
+	return skiplist.NewSegmented[K, V](core.Default, dirBuckets, hash, false)
+}
+
+// NewSegmentedSkipListOn creates a segmented skip list on a specific
+// registry.
+func NewSegmentedSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
+	hash func(K) uint64, checked bool) *SegmentedSkipList[K, V] {
+	return skiplist.NewSegmented[K, V](r, dirBuckets, hash, checked)
+}
+
+// ConcurrentSkipList is the lock-free CAS baseline ordered map.
+type ConcurrentSkipList[K cmp.Ordered, V any] = skiplist.Concurrent[K, V]
+
+// NewConcurrentSkipList creates a lock-free skip list.
+func NewConcurrentSkipList[K cmp.Ordered, V any]() *ConcurrentSkipList[K, V] {
+	return skiplist.NewConcurrent[K, V](nil)
+}
+
+// SegmentedSet is the adjusted set (S3-style, CWMR).
+type SegmentedSet[K comparable] = set.Segmented[K]
+
+// NewSegmentedSet creates a segmented set on the default registry.
+func NewSegmentedSet[K comparable](capacity int, hash func(K) uint64) *SegmentedSet[K] {
+	return set.NewSegmented[K](core.Default, capacity, capacity*2, hash, false)
+}
+
+// NewSegmentedSetOn creates a segmented set on a specific registry.
+func NewSegmentedSetOn[K comparable](r *Registry, capacity int, hash func(K) uint64, checked bool) *SegmentedSet[K] {
+	return set.NewSegmented[K](r, capacity, capacity*2, hash, checked)
+}
+
+// StripedSet is the lock-striped baseline set.
+type StripedSet[K comparable] = set.Striped[K]
+
+// NewStripedSet creates a striped set.
+func NewStripedSet[K comparable](stripes, capacity int, hash func(K) uint64) *StripedSet[K] {
+	return set.NewStriped[K](stripes, capacity, hash, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Hashing helpers
+
+// Hash64 mixes an integer key (splitmix64); suitable for the hash parameter
+// of the maps above.
+func Hash64(x uint64) uint64 { return stats.Hash64(x) }
+
+// HashString hashes a string key (FNV-1a + mixing).
+func HashString(s string) uint64 { return stats.HashString(s) }
+
+// HashInt adapts Hash64 to int keys.
+func HashInt(k int) uint64 { return stats.Hash64(uint64(k)) }

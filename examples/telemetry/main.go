@@ -1,0 +1,111 @@
+// Telemetry: a metrics pipeline shaped like a real agent — producers emit
+// samples, one aggregator drains them — showing three adjustments working
+// together and the contention probe that the paper's §6.2 stall analysis is
+// built on:
+//
+//   - samples flow through an MPSC queue (producers never contend with the
+//     consumer's head updates);
+//   - per-metric totals land in an increment-only counter per metric (CWSR:
+//     the aggregator is the single reader);
+//   - the agent configuration lives in an RCU box: readers take an immutable
+//     snapshot; the control goroutine replaces it wholesale.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	dego "github.com/adjusted-objects/dego"
+)
+
+type sample struct {
+	Metric int
+	Value  int64
+}
+
+type agentConfig struct {
+	SampleEvery int
+	Tags        []string
+}
+
+const (
+	producers = 6
+	metrics   = 4
+	perProd   = 50_000
+)
+
+func main() {
+	reg := dego.NewRegistry(producers + 4)
+	pipe := dego.NewMPSCQueue[sample](true) // MWSR guard ON: misuse panics
+	cfg := dego.NewRCUBox(&agentConfig{SampleEvery: 10, Tags: []string{"host:a"}}, true)
+
+	counters := make([]*dego.Counter, metrics)
+	for i := range counters {
+		counters[i] = dego.NewCounterOn(reg, false)
+	}
+	dropped := dego.NewCounterOn(reg, false)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := reg.MustRegister()
+			defer h.Release()
+			for i := 0; i < perProd; i++ {
+				c := cfg.Read() // immutable snapshot, one atomic load
+				if i%c.SampleEvery != 0 {
+					dropped.Inc(h)
+					continue
+				}
+				pipe.Offer(h, sample{Metric: (p + i) % metrics, Value: int64(i)})
+				counters[(p+i)%metrics].Inc(h)
+			}
+		}(p)
+	}
+
+	// Control plane: retune the config mid-flight (single RCU writer).
+	control := reg.MustRegister()
+	cfg.Update(control, func(old *agentConfig) *agentConfig {
+		next := *old
+		next.SampleEvery = 5
+		next.Tags = append(append([]string(nil), old.Tags...), "tuned:yes")
+		return &next
+	})
+
+	// Aggregator: the unique consumer.
+	aggDone := make(chan int64)
+	go func() {
+		h := reg.MustRegister()
+		defer h.Release()
+		var drained, idle int64
+		buf := make([]sample, 256)
+		for idle < 10_000 {
+			n := pipe.Drain(h, buf, len(buf))
+			if n == 0 {
+				idle++
+				runtime.Gosched()
+				continue
+			}
+			idle = 0
+			drained += int64(n)
+		}
+		aggDone <- drained
+	}()
+
+	wg.Wait()
+	drained := <-aggDone
+
+	var produced int64
+	for _, c := range counters {
+		produced += c.Get(control)
+	}
+	fmt.Printf("samples produced: %d, drained: %d, dropped (rate limit): %d\n",
+		produced, drained, dropped.Get(control))
+	fmt.Printf("final config: every=%d tags=%v\n",
+		cfg.Read().SampleEvery, cfg.Read().Tags)
+	if produced != drained {
+		fmt.Println("WARNING: pipeline lost samples")
+	}
+}

@@ -1,0 +1,108 @@
+// Wordcount: a parallel map-reduce-style word count built entirely on
+// adjusted objects. Each worker owns the words that hash to it (the
+// commuting-writes pattern of §5.2): an MPSC queue fans lines out to
+// workers, a segmented map accumulates per-word counts without a single
+// contended lock, and an increment-only counter tracks progress.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	dego "github.com/adjusted-objects/dego"
+)
+
+const workers = 4
+
+var corpus = strings.Repeat(`the quick brown fox jumps over the lazy dog
+pack my box with five dozen liquor jugs
+how vexingly quick daft zebras jump
+the five boxing wizards jump quickly
+`, 500)
+
+func main() {
+	reg := dego.NewRegistry(workers + 2)
+	counts := dego.NewSegmentedMapOn[string, int](reg, 4096, 8192, dego.HashString, false)
+	linesDone := dego.NewCounterOn(reg, false)
+
+	// One MPSC work queue per worker: each worker is the single consumer of
+	// its own queue (Q1, MWSR), the producer is the dispatcher.
+	queues := make([]*dego.MPSCQueue[string], workers)
+	for i := range queues {
+		queues[i] = dego.NewMPSCQueue[string](false)
+	}
+
+	dispatcher := reg.MustRegister()
+	lines := strings.Split(strings.TrimSpace(corpus), "\n")
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			h := reg.MustRegister()
+			defer h.Release()
+			defer func() { done <- struct{}{} }()
+			for {
+				line, ok := queues[w].Poll(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if line == "\x00EOF" {
+					return
+				}
+				for _, word := range strings.Fields(line) {
+					// This worker owns every word routed to it, so the
+					// count update commutes with every other worker's.
+					if n, ok := counts.Get(word); ok {
+						counts.Put(h, word, n+1)
+					} else {
+						counts.Put(h, word, 1)
+					}
+				}
+				linesDone.Inc(h)
+			}
+		}(w)
+	}
+
+	// Route each line... lines contain mixed words; split per worker by
+	// word hash so ownership is consistent.
+	for _, line := range lines {
+		buckets := make([][]string, workers)
+		for _, word := range strings.Fields(line) {
+			w := int(dego.HashString(word) % uint64(workers))
+			buckets[w] = append(buckets[w], word)
+		}
+		for w, words := range buckets {
+			if len(words) > 0 {
+				queues[w].Offer(dispatcher, strings.Join(words, " "))
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		queues[w].Offer(dispatcher, "\x00EOF")
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+
+	type wc struct {
+		word string
+		n    int
+	}
+	var all []wc
+	counts.Range(func(word string, n int) bool {
+		all = append(all, wc{word, n})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].word < all[j].word
+	})
+	fmt.Printf("distinct words: %d\n", len(all))
+	for _, e := range all[:5] {
+		fmt.Printf("%8d  %s\n", e.n, e.word)
+	}
+}

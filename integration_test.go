@@ -1,0 +1,259 @@
+package dego
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Integration tests exercise the public facade end to end: every constructor
+// is used the way the README shows, across goroutines, under -race in CI.
+
+func TestFacadeCounterFamily(t *testing.T) {
+	reg := NewRegistry(16)
+	c := NewCounterOn(reg, false)
+	ad := NewAdder(8)
+	at := NewAtomicCounter()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := reg.MustRegister()
+			defer h.Release()
+			for j := 0; j < 10_000; j++ {
+				c.Inc(h)
+				ad.Inc(h)
+				at.IncrementAndGet()
+			}
+		}()
+	}
+	wg.Wait()
+	reader := reg.MustRegister()
+	defer reader.Release()
+	const want = 80_000
+	if got := c.Get(reader); got != want {
+		t.Errorf("Counter = %d, want %d", got, want)
+	}
+	if got := ad.Sum(); got != want {
+		t.Errorf("Adder = %d, want %d", got, want)
+	}
+	if got := at.Get(); got != want {
+		t.Errorf("AtomicCounter = %d, want %d", got, want)
+	}
+}
+
+func TestFacadeWriteOnceAndRCU(t *testing.T) {
+	reg := NewRegistry(8)
+	h := reg.MustRegister()
+	w := NewWriteOnceOn[string](reg)
+	v1, v2 := "a", "b"
+	if err := w.Set(h, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(h, &v2); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("err = %v, want ErrAlreadySet", err)
+	}
+	if got := w.Get(h); got != &v1 {
+		t.Fatal("write-once value lost")
+	}
+
+	box := NewRCUBox(&[]string{"x"}, false)
+	box.Update(h, func(old *[]string) *[]string {
+		next := append(append([]string(nil), *old...), "y")
+		return &next
+	})
+	if got := *box.Read(); len(got) != 2 || got[1] != "y" {
+		t.Fatalf("RCU snapshot = %v", got)
+	}
+
+	r := NewAtomicRef[int](nil)
+	one := 1
+	if !r.CompareAndSet(nil, &one) || r.Get() != &one {
+		t.Fatal("AtomicRef CAS broken")
+	}
+}
+
+func TestFacadeQueuesPipeline(t *testing.T) {
+	reg := NewRegistry(8)
+	mpsc := NewMPSCQueue[int](false)
+	ms := NewMSQueue[int]()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := reg.MustRegister()
+			defer h.Release()
+			for i := 0; i < 5_000; i++ {
+				mpsc.Offer(h, p*5_000+i)
+				ms.Offer(p*5_000 + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	consumer := reg.MustRegister()
+	defer consumer.Release()
+	got := 0
+	for {
+		if _, ok := mpsc.Poll(consumer); !ok {
+			break
+		}
+		got++
+	}
+	if got != 20_000 {
+		t.Errorf("MPSC drained %d, want 20000", got)
+	}
+	if ms.Len() != 20_000 {
+		t.Errorf("MS len = %d, want 20000", ms.Len())
+	}
+}
+
+func TestFacadeMapsAgree(t *testing.T) {
+	reg := NewRegistry(8)
+	h := reg.MustRegister()
+	seg := NewSegmentedMapOn[string, int](reg, 128, 256, HashString, false)
+	swmr := NewSWMRMap[string, int](128, HashString, false)
+	striped := NewStripedMap[string, int](16, 128, HashString)
+	oracle := map[string]int{}
+
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i%97)
+		seg.Put(h, k, i)
+		swmr.Put(h, k, i)
+		striped.Put(k, i)
+		oracle[k] = i
+		if i%5 == 0 {
+			seg.Remove(h, k)
+			swmr.Remove(h, k)
+			striped.Remove(k)
+			delete(oracle, k)
+		}
+	}
+	for k, want := range oracle {
+		for name, get := range map[string]func(string) (int, bool){
+			"segmented": seg.Get,
+			"swmr":      swmr.Get,
+			"striped":   striped.Get,
+		} {
+			if got, ok := get(k); !ok || got != want {
+				t.Fatalf("%s.Get(%s) = (%d,%v), want %d", name, k, got, ok, want)
+			}
+		}
+	}
+	if seg.Len() != len(oracle) || swmr.Len() != len(oracle) || striped.Len() != len(oracle) {
+		t.Fatalf("lens: seg=%d swmr=%d striped=%d oracle=%d",
+			seg.Len(), swmr.Len(), striped.Len(), len(oracle))
+	}
+}
+
+func TestFacadeSkipListsOrdered(t *testing.T) {
+	reg := NewRegistry(8)
+	h := reg.MustRegister()
+	seg := skipListViaFacade(reg)
+	swmr := NewSWMRSkipList[int, string](false)
+	conc := NewConcurrentSkipList[int, string]()
+
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		v := fmt.Sprintf("v%d", k)
+		seg.Put(h, k, v)
+		swmr.Put(h, k, v)
+		conc.Put(k, v)
+	}
+	wantOrder := []int{1, 3, 5, 7, 9}
+	check := func(name string, rng func(func(int, string) bool)) {
+		var got []int
+		rng(func(k int, v string) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(wantOrder) {
+			t.Fatalf("%s: %v", name, got)
+		}
+		for i := range wantOrder {
+			if got[i] != wantOrder[i] {
+				t.Fatalf("%s order = %v", name, got)
+			}
+		}
+	}
+	check("segmented", seg.Range)
+	check("swmr", swmr.Range)
+	check("concurrent", conc.Range)
+}
+
+func skipListViaFacade(r *Registry) *SegmentedSkipList[int, string] {
+	return NewSegmentedSkipListOn[int, string](r, 256, HashInt, false)
+}
+
+func TestFacadeSetsAndGuards(t *testing.T) {
+	reg := NewRegistry(8)
+	h := reg.MustRegister()
+	seg := NewSegmentedSetOn[int](reg, 64, HashInt, false)
+	striped := NewStripedSet[int](8, 64, HashInt)
+	for i := 0; i < 50; i++ {
+		seg.Add(h, i)
+		striped.Add(i)
+	}
+	if seg.Len() != 50 || striped.Len() != 50 {
+		t.Fatal("set lens wrong")
+	}
+
+	// Guards on: a second consumer on a checked MPSC queue must panic.
+	q := NewMPSCQueue[int](true)
+	c1, c2 := reg.MustRegister(), reg.MustRegister()
+	q.Offer(c1, 1)
+	q.Offer(c2, 2)
+	if _, ok := q.Poll(c1); !ok {
+		t.Fatal("consumer poll failed")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second consumer did not trip the guard")
+			}
+		}()
+		q.Poll(c2)
+	}()
+}
+
+func TestModesExported(t *testing.T) {
+	for _, m := range []Mode{ModeAll, ModeSWMR, ModeMWSR, ModeCWMR, ModeCWSR} {
+		if !m.Valid() {
+			t.Errorf("mode %v invalid through facade", m)
+		}
+	}
+}
+
+func TestFacadeScalesWithGOMAXPROCS(t *testing.T) {
+	// Sanity: the adjusted counter completes a parallel workload without
+	// degrading by orders of magnitude versus sequential — a cheap guard
+	// against accidental serialization (full scalability claims live in the
+	// benchmarks).
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skip("single-proc environment")
+	}
+	reg := NewRegistry(procs + 1)
+	c := NewCounterOn(reg, false)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := reg.MustRegister()
+			defer h.Release()
+			for j := 0; j < 200_000; j++ {
+				c.Inc(h)
+			}
+		}()
+	}
+	wg.Wait()
+	r := reg.MustRegister()
+	if got := c.Get(r); got != int64(procs)*200_000 {
+		t.Fatalf("count = %d", got)
+	}
+}

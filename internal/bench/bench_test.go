@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The harness tests run every workload briefly in op-count mode, verifying
+// the machinery (not performance).
+
+func tinyConfig(threads int) Config {
+	cfg := DefaultConfig()
+	cfg.Threads = threads
+	cfg.OpsPerThread = 2000
+	cfg.InitialItems = 512
+	cfg.KeyRange = 1024
+	return cfg
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	var all []Workload
+	for _, family := range Figure6Families() {
+		all = append(all, family...)
+	}
+	for _, wl := range all {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, threads := range []int{1, 4} {
+				res := Run(wl, tinyConfig(threads))
+				if res.Ops != int64(threads*2000) {
+					t.Fatalf("threads=%d: ops = %d, want %d", threads, res.Ops, threads*2000)
+				}
+				if res.Elapsed <= 0 {
+					t.Fatal("non-positive elapsed time")
+				}
+				if res.KopsPerThread() <= 0 || res.Kops() <= 0 {
+					t.Fatal("non-positive throughput")
+				}
+			}
+		})
+	}
+}
+
+func TestTimeModeStops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 2
+	cfg.Duration = 30 * time.Millisecond
+	cfg.Warmup = 0
+	start := time.Now()
+	res := Run(CounterIncrementOnly(), cfg)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("time mode did not stop promptly")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	threads := []int{1, 2, 4}
+	results := Sweep(CounterJUC(), tinyConfig(1), threads)
+	if len(results) != len(threads) {
+		t.Fatalf("sweep returned %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Threads != threads[i] {
+			t.Fatalf("result %d has threads=%d", i, r.Threads)
+		}
+	}
+}
+
+func TestPearsonThroughputStalls(t *testing.T) {
+	// Synthesize the paper's shape: throughput falls while stalls rise.
+	results := []Result{
+		{Ops: 1000000, Elapsed: time.Second, Threads: 1, Stalls: 10},
+		{Ops: 1500000, Elapsed: time.Second, Threads: 2, Stalls: 4000},
+		{Ops: 1700000, Elapsed: time.Second, Threads: 4, Stalls: 30000},
+		{Ops: 1800000, Elapsed: time.Second, Threads: 8, Stalls: 220000},
+	}
+	r, err := PearsonThroughputStalls(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.5 {
+		t.Fatalf("pearson = %v, want strongly negative", r)
+	}
+}
+
+func TestThreadKeysPartition(t *testing.T) {
+	cfg := tinyConfig(4)
+	keys := threadKeys(cfg)
+	seen := map[int]bool{}
+	total := 0
+	for _, part := range keys {
+		for _, k := range part {
+			if seen[k] {
+				t.Fatalf("key %d in two partitions", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != cfg.KeyRange {
+		t.Fatalf("partitioned %d keys, want %d", total, cfg.KeyRange)
+	}
+}
+
+func TestFigurePrinters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	cfg := DefaultConfig()
+	cfg.OpsPerThread = 300
+	cfg.InitialItems = 256
+	cfg.KeyRange = 512
+	threads := []int{1, 2}
+
+	var sb strings.Builder
+	Figure6(&sb, cfg, threads, true)
+	out := sb.String()
+	for _, want := range []string{"Figure 6", "CounterIncrementOnly", "QueueMASP",
+		"AtomicWriteOnceReference", "ExtendedSegmentedHashMap", "ConcurrentSkipListMap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure6 output missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	Figure7(&sb, cfg, threads, []int{25, 100})
+	out = sb.String()
+	if !strings.Contains(out, "25% updates") || !strings.Contains(out, "100% updates") {
+		t.Error("Figure7 output missing ratio tables")
+	}
+
+	sb.Reset()
+	Figure8(&sb, cfg, threads)
+	out = sb.String()
+	if !strings.Contains(out, "16K initial items") || !strings.Contains(out, "64K initial items") {
+		t.Error("Figure8 output missing working-set tables")
+	}
+}
+
+func TestFormatTableAlignsSeries(t *testing.T) {
+	series := map[string][]Result{
+		"b-obj": {{Ops: 100, Elapsed: time.Second, Threads: 1}},
+		"a-obj": {{Ops: 200, Elapsed: time.Second, Threads: 1}},
+	}
+	out := FormatTable("T", series, []int{1})
+	ai, bi := strings.Index(out, "a-obj"), strings.Index(out, "b-obj")
+	if ai == -1 || bi == -1 || ai > bi {
+		t.Fatalf("table rows unordered:\n%s", out)
+	}
+}
+
+func TestAblationWorkloadsRun(t *testing.T) {
+	for _, wl := range []Workload{
+		SegBase(), SegHash(), SegExtended(), CounterUnpadded(), CounterGuarded(),
+	} {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			res := Run(wl, tinyConfig(4))
+			if res.Ops != 4*2000 {
+				t.Fatalf("ops = %d", res.Ops)
+			}
+		})
+	}
+}
+
+func TestAblationsPrinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation smoke test")
+	}
+	cfg := DefaultConfig()
+	cfg.OpsPerThread = 200
+	cfg.InitialItems = 256
+	cfg.KeyRange = 512
+	var sb strings.Builder
+	Ablations(&sb, cfg, []int{1, 2})
+	out := sb.String()
+	for _, want := range []string{"Ablation 1", "BaseSegmentation", "HashSegmentation",
+		"ExtendedSegmentation", "CounterUnpadded", "CounterGuarded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+// TestPearsonNegativeOnContendedCounter validates the §6.2 methodology end
+// to end on live hardware: sweeping the CAS-based counter across thread
+// counts must produce throughput that anti-correlates with the recorded
+// stall proxy. The threshold is loose (the paper reports −0.93; any clearly
+// negative correlation validates the instrument), and the test skips on
+// machines where no contention arises at all.
+func TestPearsonNegativeOnContendedCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	cfg := DefaultConfig()
+	cfg.Duration = 60 * time.Millisecond
+	cfg.Warmup = 10 * time.Millisecond
+	results := Sweep(CounterJUC(), cfg, []int{1, 2, 4, 8})
+	anyStalls := false
+	for _, r := range results {
+		if r.Stalls > 0 {
+			anyStalls = true
+		}
+	}
+	if !anyStalls {
+		t.Skip("no CAS failures observed; machine too serial for this check")
+	}
+	r, err := PearsonThroughputStalls(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > -0.3 {
+		t.Errorf("pearson = %+.2f, want clearly negative (paper: -0.93)", r)
+	}
+}

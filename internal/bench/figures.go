@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file regenerates the data behind Figures 6, 7 and 8 of the paper.
+
+// Figure6 runs the five object families under high contention (100%
+// updates for the data structures) across the thread sweep and prints one
+// table per family. With pearson set, it also prints the correlation
+// between throughput and the stall proxy for the probed (JUC) objects.
+func Figure6(w io.Writer, base Config, threads []int, pearson bool) {
+	base.UpdateRatio = 100
+	fmt.Fprintf(w, "=== Figure 6: DEGO vs JUC under high contention ===\n")
+	fmt.Fprintf(w, "(initial=%d items, range=%d, duration=%v/point)\n\n",
+		base.InitialItems, base.KeyRange, base.Duration)
+	for _, family := range []string{"Counter", "HashMap", "SkipListMap", "Reference", "Queue"} {
+		series := map[string][]Result{}
+		for _, wl := range Figure6Families()[family] {
+			series[wl.Name] = Sweep(wl, base, threads)
+		}
+		fmt.Fprint(w, FormatTable(family, series, threads))
+		if pearson {
+			for name, results := range series {
+				if r, err := PearsonThroughputStalls(results); err == nil {
+					fmt.Fprintf(w, "  pearson(throughput, stalls) %s = %+.2f\n", name, r)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure7 varies the update ratio for the hash table (Unordered) and the
+// skip list (Ordered), printing one table per ratio.
+func Figure7(w io.Writer, base Config, threads []int, ratios []int) {
+	fmt.Fprintf(w, "=== Figure 7: varying the update ratio ===\n\n")
+	for _, ratio := range ratios {
+		cfg := base
+		cfg.UpdateRatio = ratio
+		series := map[string][]Result{}
+		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO(), SkipListJUC(), SkipListDEGO()} {
+			series[wl.Name] = Sweep(wl, cfg, threads)
+		}
+		fmt.Fprint(w, FormatTable(fmt.Sprintf("%d%% updates", ratio), series, threads))
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure8 varies the working set of the hash tables at 75% updates:
+// 16K/32K, 32K/64K and 64K/128K initial items / key range.
+func Figure8(w io.Writer, base Config, threads []int) {
+	fmt.Fprintf(w, "=== Figure 8: varying the working set (75%% updates) ===\n\n")
+	for _, scale := range []int{1, 2, 4} {
+		cfg := base
+		cfg.UpdateRatio = 75
+		cfg.InitialItems = (16 << 10) * scale
+		cfg.KeyRange = (32 << 10) * scale
+		series := map[string][]Result{}
+		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO()} {
+			series[wl.Name] = Sweep(wl, cfg, threads)
+		}
+		fmt.Fprint(w, FormatTable(fmt.Sprintf("%dK initial items", cfg.InitialItems>>10), series, threads))
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"math/rand"
+	"runtime"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/counter"
+	"github.com/adjusted-objects/dego/internal/hashmap"
+	"github.com/adjusted-objects/dego/internal/queue"
+	"github.com/adjusted-objects/dego/internal/ref"
+	"github.com/adjusted-objects/dego/internal/skiplist"
+	"github.com/adjusted-objects/dego/internal/stats"
+)
+
+// This file defines the object workloads of Figures 6-8. Naming follows the
+// figure legends. Update operations are commuting, as in §6.2: "each request
+// is routed to a particular thread (using, e.g., the hash of the data
+// item)" — thread t works on the keys k with Hash64(k) mod Threads == t.
+
+func intHash(k int) uint64 { return stats.Hash64(uint64(k)) }
+
+// threadKeys partitions the key range among threads by hash routing.
+func threadKeys(cfg Config) [][]int {
+	keys := make([][]int, cfg.Threads)
+	for k := 0; k < cfg.KeyRange; k++ {
+		t := int(intHash(k) % uint64(cfg.Threads))
+		keys[t] = append(keys[t], k)
+	}
+	return keys
+}
+
+// --- Counters (Figure 6: threads repeatedly call incrementAndGet) ---------
+
+// CounterJUC is the AtomicLong baseline.
+func CounterJUC() Workload {
+	return Workload{Name: "CounterJUC", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		c := counter.NewAtomic(probe)
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			c.IncrementAndGet()
+		}, probe
+	}}
+}
+
+// LongAdder is the striped-CAS adder.
+func LongAdder() Workload {
+	return Workload{Name: "LongAdder", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		// LongAdder grows its cell array up to the number of CPUs
+		// (Striped64); beyond that, threads share cells and CAS-retry.
+		c := counter.NewAdder(runtime.GOMAXPROCS(0), probe)
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			c.Inc(h)
+		}, probe
+	}}
+}
+
+// CounterIncrementOnly is the adjusted counter (C3, CWSR).
+func CounterIncrementOnly() Workload {
+	return Workload{Name: "CounterIncrementOnly", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		c := counter.NewIncrementOnly(reg, false)
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			c.Inc(h)
+		}, nil
+	}}
+}
+
+// --- Hash maps (Figures 6, 7, 8) -------------------------------------------
+
+// mapOps builds the §6.2 mixed workload over a put/remove/get interface:
+// updates split evenly between adds and removes on the caller's own keys;
+// reads look up a random key. Values are pre-boxed (valueBoxes), so neither
+// side of the DEGO/JUC comparison allocates per operation — matching Java,
+// where both maps store references the caller created.
+func mapOps(cfg Config, put func(h *core.Handle, k int), remove func(h *core.Handle, k int),
+	get func(k int)) OpFunc {
+	keys := threadKeys(cfg)
+	return func(tid int, h *core.Handle, rng *rand.Rand) {
+		mine := keys[tid]
+		if len(mine) == 0 {
+			return
+		}
+		if int(rng.Int31n(100)) < cfg.UpdateRatio {
+			k := mine[rng.Intn(len(mine))]
+			if rng.Intn(2) == 0 {
+				put(h, k)
+			} else {
+				remove(h, k)
+			}
+		} else {
+			get(rng.Intn(cfg.KeyRange))
+		}
+	}
+}
+
+// valueBoxes pre-allocates one value box per key.
+func valueBoxes(cfg Config) []*int {
+	boxes := make([]*int, cfg.KeyRange)
+	for i := range boxes {
+		v := i
+		boxes[i] = &v
+	}
+	return boxes
+}
+
+// populate inserts the initial items (uniformly drawn, as in §6.2) through
+// the provided put.
+func populate(cfg Config, put func(k int)) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.InitialItems; i++ {
+		put(rng.Intn(cfg.KeyRange))
+	}
+}
+
+// HashMapJUC is the ConcurrentHashMap stand-in (lock-striped buckets).
+func HashMapJUC() Workload {
+	return Workload{Name: "ConcurrentHashMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		m := hashmap.NewStriped[int, *int](256, cfg.InitialItems, intHash, probe)
+		boxes := valueBoxes(cfg)
+		populate(cfg, func(k int) { m.Put(k, boxes[k]) })
+		return mapOps(cfg,
+			func(_ *core.Handle, k int) { m.Put(k, boxes[k]) },
+			func(_ *core.Handle, k int) { m.Remove(k) },
+			func(k int) { m.Get(k) },
+		), probe
+	}}
+}
+
+// HashMapDEGO is the ExtendedSegmentedHashMap (M2, CWMR).
+func HashMapDEGO() Workload {
+	return Workload{Name: "ExtendedSegmentedHashMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		m := hashmap.NewSegmented[int, int](reg, cfg.InitialItems, cfg.KeyRange*2, intHash, false)
+		boxes := valueBoxes(cfg)
+		// Populate respecting the CWMR routing: one priming handle per
+		// thread partition, so each initial key binds to the segment that
+		// partition's worker (and only that worker) will keep writing. The
+		// priming handles stay registered for the run: releasing them would
+		// let a worker reuse an id and alias another partition's segment.
+		handles := make([]*core.Handle, cfg.Threads)
+		for t := range handles {
+			handles[t] = reg.MustRegister()
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.InitialItems; i++ {
+			k := rng.Intn(cfg.KeyRange)
+			t := int(intHash(k) % uint64(cfg.Threads))
+			m.PutRef(handles[t], k, boxes[k])
+		}
+		return mapOps(cfg,
+			func(h *core.Handle, k int) { m.PutRef(h, k, boxes[k]) },
+			func(h *core.Handle, k int) { m.Remove(h, k) },
+			func(k int) { m.GetRef(k) },
+		), nil
+	}}
+}
+
+// --- Skip lists (Figures 6, 7) ---------------------------------------------
+
+// SkipListJUC is the ConcurrentSkipListMap stand-in (lock-free CAS list).
+func SkipListJUC() Workload {
+	return Workload{Name: "ConcurrentSkipListMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		m := skiplist.NewConcurrent[int, int](probe)
+		boxes := valueBoxes(cfg)
+		populate(cfg, func(k int) { m.PutRef(k, boxes[k]) })
+		return mapOps(cfg,
+			func(_ *core.Handle, k int) { m.PutRef(k, boxes[k]) },
+			func(_ *core.Handle, k int) { m.Remove(k) },
+			func(k int) { m.Get(k) },
+		), probe
+	}}
+}
+
+// SkipListDEGO is the ExtendedSegmentedSkipListMap.
+func SkipListDEGO() Workload {
+	return Workload{Name: "ExtendedSegmentedSkipListMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		m := skiplist.NewSegmented[int, int](reg, cfg.KeyRange*2, intHash, false)
+		boxes := valueBoxes(cfg)
+		handles := make([]*core.Handle, cfg.Threads)
+		for t := range handles {
+			handles[t] = reg.MustRegister()
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.InitialItems; i++ {
+			k := rng.Intn(cfg.KeyRange)
+			t := int(intHash(k) % uint64(cfg.Threads))
+			m.PutRef(handles[t], k, boxes[k])
+		}
+		return mapOps(cfg,
+			func(h *core.Handle, k int) { m.PutRef(h, k, boxes[k]) },
+			func(h *core.Handle, k int) { m.Remove(h, k) },
+			func(k int) { m.Get(k) },
+		), nil
+	}}
+}
+
+// --- References (Figure 6: continuous gets once initialized) ---------------
+
+// ReferenceJUC is the AtomicReference baseline.
+func ReferenceJUC() Workload {
+	return Workload{Name: "AtomicReference", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		v := 42
+		r := ref.NewAtomic(&v)
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			if r.Get() == nil {
+				panic("bench: reference lost")
+			}
+		}, nil
+	}}
+}
+
+// ReferenceDEGO is the AtomicWriteOnceReference of Listing 1.
+func ReferenceDEGO() Workload {
+	return Workload{Name: "AtomicWriteOnceReference", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		w := ref.NewWriteOnce[int](reg)
+		init := reg.MustRegister()
+		v := 42
+		if !w.TrySet(init, &v) {
+			panic("bench: init failed")
+		}
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			if w.Get(h) == nil {
+				panic("bench: reference lost")
+			}
+		}, nil
+	}}
+}
+
+// --- Queues (Figure 6: all threads offer, one polls) -----------------------
+
+// QueueJUC is the Michael–Scott baseline (ConcurrentLinkedQueue).
+func QueueJUC() Workload {
+	return Workload{Name: "ConcurrentLinkedQueue", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		q := queue.NewMS[int](probe)
+		for i := 0; i < 1024; i++ {
+			q.Offer(i)
+		}
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			if tid == 0 && cfg.Threads > 1 {
+				q.Poll()
+			} else {
+				q.Offer(tid)
+			}
+		}, probe
+	}}
+}
+
+// QueueDEGO is QueueMASP (Q1, MWSR): multi-producer single-consumer.
+func QueueDEGO() Workload {
+	return Workload{Name: "QueueMASP", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		probe := contention.NewProbe()
+		q := queue.NewMPSC[int](probe, false)
+		seed := reg.MustRegister()
+		for i := 0; i < 1024; i++ {
+			q.Offer(seed, i)
+		}
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			if tid == 0 && cfg.Threads > 1 {
+				q.Poll(h)
+			} else {
+				q.Offer(h, tid)
+			}
+		}, probe
+	}}
+}
+
+// Figure6Families lists the five object families of Figure 6, DEGO last.
+func Figure6Families() map[string][]Workload {
+	return map[string][]Workload{
+		"Counter":     {CounterJUC(), LongAdder(), CounterIncrementOnly()},
+		"HashMap":     {HashMapJUC(), HashMapDEGO()},
+		"SkipListMap": {SkipListJUC(), SkipListDEGO()},
+		"Reference":   {ReferenceJUC(), ReferenceDEGO()},
+		"Queue":       {QueueJUC(), QueueDEGO()},
+	}
+}

@@ -1,0 +1,90 @@
+package contention
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestProbeCountsAndReset(t *testing.T) {
+	p := NewProbe()
+	p.RecordCASFailure()
+	p.RecordCASFailure()
+	p.RecordSpin()
+	p.RecordLockWait()
+	s := p.Snapshot()
+	if s.CASFailures != 2 || s.SpinWaits != 1 || s.LockWaits != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", s.Total())
+	}
+	p.Reset()
+	if p.Snapshot().Total() != 0 {
+		t.Fatal("Reset did not zero the probe")
+	}
+}
+
+func TestNilProbeIsFreeAndSafe(t *testing.T) {
+	var p *Probe
+	p.RecordCASFailure()
+	p.RecordSpin()
+	p.RecordLockWait()
+	p.Reset()
+	if p.Snapshot().Total() != 0 {
+		t.Fatal("nil probe must read zero")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := Snapshot{CASFailures: 10, SpinWaits: 5, LockWaits: 3}
+	b := Snapshot{CASFailures: 4, SpinWaits: 1, LockWaits: 3}
+	d := a.Sub(b)
+	if d.CASFailures != 6 || d.SpinWaits != 4 || d.LockWaits != 0 || d.Total() != 10 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestProbeConcurrent(t *testing.T) {
+	p := NewProbe()
+	const goroutines, each = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				p.RecordCASFailure()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Snapshot().CASFailures; got != goroutines*each {
+		t.Fatalf("CASFailures = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestMutexWaitSecondsMonotone(t *testing.T) {
+	before := MutexWaitSeconds()
+	if before < 0 {
+		t.Fatalf("negative wait time %v", before)
+	}
+	// Force some mutex contention.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 2000; j++ {
+				mu.Lock()
+				//nolint:staticcheck // intentional critical section
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	after := MutexWaitSeconds()
+	if after < before {
+		t.Fatalf("mutex wait went backwards: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeAll:  "ALL",
+		ModeSWMR: "SWMR",
+		ModeMWSR: "MWSR",
+		ModeCWMR: "CWMR",
+		ModeCWSR: "CWSR",
+		Mode(42): "Mode(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	tests := []struct {
+		mode                         Mode
+		singleW, singleR, commutingW bool
+	}{
+		{ModeAll, false, false, false},
+		{ModeSWMR, true, false, false},
+		{ModeMWSR, false, true, false},
+		{ModeCWMR, false, false, true},
+		{ModeCWSR, false, true, true},
+	}
+	for _, tt := range tests {
+		if got := tt.mode.SingleWriter(); got != tt.singleW {
+			t.Errorf("%v.SingleWriter() = %v, want %v", tt.mode, got, tt.singleW)
+		}
+		if got := tt.mode.SingleReader(); got != tt.singleR {
+			t.Errorf("%v.SingleReader() = %v, want %v", tt.mode, got, tt.singleR)
+		}
+		if got := tt.mode.CommutingWrites(); got != tt.commutingW {
+			t.Errorf("%v.CommutingWrites() = %v, want %v", tt.mode, got, tt.commutingW)
+		}
+		if !tt.mode.Valid() {
+			t.Errorf("%v.Valid() = false, want true", tt.mode)
+		}
+	}
+	if Mode(0).Valid() || Mode(99).Valid() {
+		t.Error("invalid modes reported valid")
+	}
+}
+
+func TestModeRestrictsIsPartialOrder(t *testing.T) {
+	modes := []Mode{ModeAll, ModeSWMR, ModeMWSR, ModeCWMR, ModeCWSR}
+	// Reflexivity.
+	for _, m := range modes {
+		if !m.Restricts(m) {
+			t.Errorf("%v.Restricts(%v) = false, want true (reflexivity)", m, m)
+		}
+	}
+	// Everything restricts ALL.
+	for _, m := range modes {
+		if !m.Restricts(ModeAll) {
+			t.Errorf("%v.Restricts(ALL) = false, want true", m)
+		}
+	}
+	// Transitivity over the whole (small) domain.
+	for _, a := range modes {
+		for _, b := range modes {
+			for _, c := range modes {
+				if a.Restricts(b) && b.Restricts(c) && !a.Restricts(c) {
+					t.Errorf("transitivity violated: %v ⊑ %v ⊑ %v but not %v ⊑ %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+	// Antisymmetry.
+	for _, a := range modes {
+		for _, b := range modes {
+			if a != b && a.Restricts(b) && b.Restricts(a) {
+				t.Errorf("antisymmetry violated between %v and %v", a, b)
+			}
+		}
+	}
+	// Spot checks from Figure 3.
+	if !ModeCWSR.Restricts(ModeCWMR) {
+		t.Error("CWSR should restrict CWMR")
+	}
+	if !ModeSWMR.Restricts(ModeCWMR) {
+		t.Error("SWMR should restrict CWMR (a single writer trivially commutes)")
+	}
+	if ModeCWMR.Restricts(ModeSWMR) {
+		t.Error("CWMR must not restrict SWMR")
+	}
+}
+
+func TestRegistryHandsOutDenseUniqueIDs(t *testing.T) {
+	r := NewRegistry(8)
+	seen := make(map[int]bool)
+	var handles []*Handle
+	for i := 0; i < 8; i++ {
+		h := r.MustRegister()
+		if h.ID() < 0 || h.ID() >= 8 {
+			t.Fatalf("id %d out of range", h.ID())
+		}
+		if seen[h.ID()] {
+			t.Fatalf("duplicate id %d", h.ID())
+		}
+		seen[h.ID()] = true
+		handles = append(handles, h)
+	}
+	if _, err := r.Register(); !errors.Is(err, ErrRegistryFull) {
+		t.Fatalf("Register on full registry: err = %v, want ErrRegistryFull", err)
+	}
+	if r.Live() != 8 {
+		t.Fatalf("Live() = %d, want 8", r.Live())
+	}
+	handles[3].Release()
+	if r.Live() != 7 {
+		t.Fatalf("Live() after release = %d, want 7", r.Live())
+	}
+	h := r.MustRegister()
+	if h.ID() != 3 {
+		t.Fatalf("expected freed id 3 to be reused, got %d", h.ID())
+	}
+}
+
+func TestRegistryReleaseIdempotent(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.MustRegister()
+	h.Release()
+	h.Release() // must not double-free the slot
+	a, b := r.MustRegister(), r.MustRegister()
+	if a.ID() == b.ID() {
+		t.Fatalf("double release corrupted the free list: ids %d and %d", a.ID(), b.ID())
+	}
+}
+
+func TestRegistryConcurrentRegister(t *testing.T) {
+	const n = 64
+	r := NewRegistry(n)
+	var wg sync.WaitGroup
+	ids := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.MustRegister()
+			ids <- h.ID()
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[int]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d under concurrency", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d unique ids, want %d", len(seen), n)
+	}
+	if hw := r.HighWater(); hw != n {
+		t.Fatalf("HighWater() = %d, want %d", hw, n)
+	}
+}
+
+func TestRegistryIsLive(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.MustRegister()
+	if !r.IsLive(h.ID()) {
+		t.Error("freshly registered id not live")
+	}
+	h.Release()
+	if r.IsLive(h.ID()) {
+		t.Error("released id still live")
+	}
+	if r.IsLive(-1) || r.IsLive(99) {
+		t.Error("out-of-range ids reported live")
+	}
+}
+
+func TestGuardSWMRDetectsSecondWriter(t *testing.T) {
+	r := NewRegistry(4)
+	w, rd := r.MustRegister(), r.MustRegister()
+	g := NewGuard(ModeSWMR)
+
+	if err := g.Check(w, Write); err != nil {
+		t.Fatalf("first writer rejected: %v", err)
+	}
+	if err := g.Check(w, Write); err != nil {
+		t.Fatalf("same writer rejected on second write: %v", err)
+	}
+	if err := g.Check(rd, Read); err != nil {
+		t.Fatalf("reader rejected under SWMR: %v", err)
+	}
+	err := g.Check(rd, Write)
+	if err == nil {
+		t.Fatal("second writer accepted under SWMR")
+	}
+	var perr *PermissionError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error type = %T, want *PermissionError", err)
+	}
+	if perr.Thread != rd.ID() || perr.Owner != w.ID() {
+		t.Fatalf("error detail = %+v", perr)
+	}
+}
+
+func TestGuardCWSRDetectsSecondReader(t *testing.T) {
+	r := NewRegistry(4)
+	a, b := r.MustRegister(), r.MustRegister()
+	g := NewGuard(ModeCWSR)
+
+	if err := g.Check(a, Write); err != nil {
+		t.Fatalf("writer a rejected: %v", err)
+	}
+	if err := g.Check(b, Write); err != nil {
+		t.Fatalf("writer b rejected (CWSR allows many writers): %v", err)
+	}
+	if err := g.Check(a, Read); err != nil {
+		t.Fatalf("first reader rejected: %v", err)
+	}
+	if err := g.Check(b, Read); err == nil {
+		t.Fatal("second reader accepted under CWSR")
+	}
+	g.ResetOwner()
+	if err := g.Check(b, Read); err != nil {
+		t.Fatalf("reader rejected after ResetOwner: %v", err)
+	}
+}
+
+func TestGuardDisabledAcceptsEverything(t *testing.T) {
+	r := NewRegistry(4)
+	a, b := r.MustRegister(), r.MustRegister()
+	var g Guard // zero value: disabled
+	for _, h := range []*Handle{a, b} {
+		if err := g.Check(h, Write); err != nil {
+			t.Fatalf("disabled guard rejected: %v", err)
+		}
+	}
+	var nilGuard *Guard
+	if err := nilGuard.Check(a, Write); err != nil {
+		t.Fatalf("nil guard rejected: %v", err)
+	}
+	if nilGuard.Enabled() {
+		t.Error("nil guard reports enabled")
+	}
+}
+
+func TestGuardConcurrentClaimSingleWinner(t *testing.T) {
+	r := NewRegistry(32)
+	g := NewGuard(ModeSWMR)
+	var wg sync.WaitGroup
+	okCh := make(chan int, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.MustRegister()
+			if err := g.Check(h, Write); err == nil {
+				okCh <- h.ID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(okCh)
+	winners := 0
+	for range okCh {
+		winners++
+	}
+	if winners != 1 {
+		t.Fatalf("%d goroutines claimed the single-writer role, want exactly 1", winners)
+	}
+}
+
+func TestPaddedInt64Isolation(t *testing.T) {
+	// Structural check: consecutive PaddedInt64 values must not share a line.
+	cells := make([]PaddedInt64, 4)
+	for i := range cells {
+		cells[i].V.Store(int64(i * 11))
+	}
+	for i := range cells {
+		if got := cells[i].V.Load(); got != int64(i*11) {
+			t.Fatalf("cell %d = %d, want %d", i, got, i*11)
+		}
+	}
+	if quick.CheckEqual(
+		func(a, b int64) int64 { var p PaddedInt64; p.V.Store(a); p.V.Add(b); return p.V.Load() },
+		func(a, b int64) int64 { return a + b },
+		nil,
+	) != nil {
+		t.Fatal("PaddedInt64 arithmetic mismatch")
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("AccessKind strings wrong")
+	}
+	if AccessKind(9).String() != "AccessKind(9)" {
+		t.Error("unknown AccessKind string wrong")
+	}
+}

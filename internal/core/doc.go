@@ -1,0 +1,13 @@
+// Package core provides the runtime substrate shared by all adjusted
+// objects: thread (goroutine) identity, access-permission modes and maps,
+// optional runtime permission guards, and cache-line padding utilities.
+//
+// The paper models a shared object O as a pair (O.T, O.m) where O.T is a
+// sequential data type and O.m an access-permission map restricting which
+// thread may invoke which operation. Java DEGO realizes O.m implicitly with
+// ThreadLocal state; Go has no goroutine-local storage, so this package makes
+// the permission map explicit: goroutines register with a Registry and
+// receive a *Handle carrying a dense thread id. Owner-routed operations take
+// the handle as their first argument — the handle is the capability that
+// witnesses membership in O.m.
+package core

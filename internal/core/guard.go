@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// AccessKind distinguishes reads from writes for permission checking.
+type AccessKind int
+
+const (
+	// Read is a query operation (no state change).
+	Read AccessKind = iota + 1
+	// Write is an update operation.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+// PermissionError reports a violation of an object's access-permission map:
+// a thread invoked an operation outside O.m[p].
+type PermissionError struct {
+	Mode   Mode
+	Kind   AccessKind
+	Thread int // offending thread id
+	Owner  int // established owner id for the single-X role, -1 if none
+}
+
+// Error implements the error interface.
+func (e *PermissionError) Error() string {
+	return fmt.Sprintf("core: %s mode violated: thread#%d attempted %s, role owned by thread#%d",
+		e.Mode, e.Thread, e.Kind, e.Owner)
+}
+
+// Guard is an optional runtime checker for an object's access-permission map.
+// Adjusted objects embed a guard and call Check on every operation when
+// checking is enabled; the guard learns the single-writer or single-reader
+// owner on first use and flags any other thread that later assumes the role.
+//
+// Guards are how the library keeps the paper's promise honest: an adjusted
+// object is only linearizable if the program respects O.m, and a violated
+// guard converts a silent consistency bug into a loud error.
+//
+// The zero value is a disabled guard (Check always returns nil).
+type Guard struct {
+	mode    Mode
+	enabled bool
+	writer  atomic.Int64 // 1 + owner id of the single-writer role, 0 = unset
+	reader  atomic.Int64 // 1 + owner id of the single-reader role, 0 = unset
+}
+
+// NewGuard returns an enabled guard for the given mode.
+func NewGuard(mode Mode) *Guard {
+	return &Guard{mode: mode, enabled: true}
+}
+
+// Mode returns the mode this guard enforces (0 for a disabled zero guard).
+func (g *Guard) Mode() Mode { return g.mode }
+
+// Enabled reports whether Check performs any verification.
+func (g *Guard) Enabled() bool { return g != nil && g.enabled }
+
+// Check verifies that thread h may perform an access of the given kind.
+// It returns a *PermissionError on violation and nil otherwise. A nil or
+// zero guard accepts everything.
+func (g *Guard) Check(h *Handle, kind AccessKind) error {
+	if g == nil || !g.enabled {
+		return nil
+	}
+	switch kind {
+	case Write:
+		if g.mode.SingleWriter() {
+			return g.claim(&g.writer, h, kind)
+		}
+	case Read:
+		if g.mode.SingleReader() {
+			return g.claim(&g.reader, h, kind)
+		}
+	}
+	return nil
+}
+
+// MustCheck is Check, panicking on violation. Operations without an error
+// return use it.
+func (g *Guard) MustCheck(h *Handle, kind AccessKind) {
+	if err := g.Check(h, kind); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Guard) claim(slot *atomic.Int64, h *Handle, kind AccessKind) error {
+	want := int64(h.ID()) + 1
+	for {
+		cur := slot.Load()
+		if cur == want {
+			return nil
+		}
+		if cur == 0 {
+			if slot.CompareAndSwap(0, want) {
+				return nil
+			}
+			continue
+		}
+		return &PermissionError{Mode: g.mode, Kind: kind, Thread: h.ID(), Owner: int(cur - 1)}
+	}
+}
+
+// ResetOwner forgets learned role owners, allowing a new thread to assume a
+// single-writer/reader role (e.g. after a hand-off). Not safe to call
+// concurrently with operations on the guarded object.
+func (g *Guard) ResetOwner() {
+	if g == nil {
+		return
+	}
+	g.writer.Store(0)
+	g.reader.Store(0)
+}

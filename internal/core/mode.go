@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// Mode is an access-permission mode for a shared object, mirroring §4.2 and
+// §5.1 of the paper. A mode summarizes the access-permission map O.m: which
+// threads may write, whether writes must commute, and which threads may read.
+type Mode int
+
+const (
+	// ModeAll is the default permission map: every thread may invoke the
+	// full interface.
+	ModeAll Mode = iota + 1
+	// ModeSWMR is single-writer multiple-readers: one designated thread may
+	// invoke write operations, every thread may read.
+	ModeSWMR
+	// ModeMWSR is multiple-writers single-reader: every thread may write,
+	// one designated thread may invoke read(-destructive) operations. The
+	// paper's QueueMASP (multi-producer single-consumer queue) is (Q1, MWSR).
+	ModeMWSR
+	// ModeCWMR is commuting-writers multiple-readers: every thread may
+	// write, but concurrent writes by distinct threads must commute (e.g.
+	// they target distinct keys); every thread may read.
+	ModeCWMR
+	// ModeCWSR is commuting-writers single-reader: writes commute and only
+	// one thread reads. The paper's increment-only counter is (C3, CWSR).
+	ModeCWSR
+)
+
+var modeNames = map[Mode]string{
+	ModeAll:  "ALL",
+	ModeSWMR: "SWMR",
+	ModeMWSR: "MWSR",
+	ModeCWMR: "CWMR",
+	ModeCWSR: "CWSR",
+}
+
+// String returns the paper's name for the mode (ALL, SWMR, MWSR, CWMR, CWSR).
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Valid reports whether m is one of the five defined modes.
+func (m Mode) Valid() bool {
+	_, ok := modeNames[m]
+	return ok
+}
+
+// SingleWriter reports whether the mode permits at most one writing thread.
+func (m Mode) SingleWriter() bool { return m == ModeSWMR }
+
+// SingleReader reports whether the mode permits at most one reading thread.
+func (m Mode) SingleReader() bool { return m == ModeMWSR || m == ModeCWSR }
+
+// CommutingWrites reports whether the mode requires writes of distinct
+// threads to commute.
+func (m Mode) CommutingWrites() bool { return m == ModeCWMR || m == ModeCWSR }
+
+// Restricts reports whether mode m is at least as restrictive as n for every
+// role: any program valid under m is valid under n. It induces the partial
+// order used by the adjustment arrows of Figure 3 (m-arrow edges move up
+// this order).
+func (m Mode) Restricts(n Mode) bool {
+	if m == n || n == ModeAll {
+		return true
+	}
+	switch n {
+	case ModeSWMR:
+		return m == ModeSWMR
+	case ModeMWSR:
+		return m == ModeMWSR || m == ModeCWSR
+	case ModeCWMR:
+		return m == ModeCWMR || m == ModeCWSR || m == ModeSWMR
+	case ModeCWSR:
+		return m == ModeCWSR
+	}
+	return false
+}

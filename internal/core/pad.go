@@ -1,0 +1,31 @@
+package core
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size of an L1 data-cache line. 64 bytes is
+// correct for every mainstream x86-64 and most arm64 parts; on CPUs with
+// 128-byte lines the padding is merely half as effective, never incorrect.
+const CacheLineSize = 64
+
+// Pad is embedded between fields written by different threads to prevent
+// false sharing (two hot variables landing in the same cache line, which
+// would re-introduce the very hardware contention adjusted objects remove).
+type Pad [CacheLineSize]byte
+
+// PaddedInt64 is an atomic int64 alone on its cache line. It is the building
+// block of segmented counters: one PaddedInt64 per owner thread. The owner
+// writes it with plain stores (Store, not CompareAndSwap) — this is the
+// paper's "exclusively relies on longs" property of CounterIncrementOnly.
+type PaddedInt64 struct {
+	_ Pad
+	V atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// PaddedPointer is an atomic pointer slot alone on its cache line, used for
+// per-thread segment roots.
+type PaddedPointer[T any] struct {
+	_ Pad
+	P atomic.Pointer[T]
+	_ [CacheLineSize - 8]byte
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads is the default capacity of a Registry: the maximum number of
+// concurrently registered threads. It bounds the size of segmentations so
+// segments can live in a fixed, never-reallocated array (reallocation would
+// race with lock-free readers). 256 covers the paper's 80-thread sweeps with
+// ample headroom.
+const MaxThreads = 256
+
+// ErrRegistryFull is returned by Register when every slot is taken.
+var ErrRegistryFull = errors.New("core: thread registry is full")
+
+// Handle is the identity of a registered thread (goroutine). It is the
+// capability passed to owner-routed operations: a structure in CWSR mode, for
+// example, uses the handle's dense ID to select the caller's private segment.
+//
+// A Handle must only be used by the goroutine that registered it (or by a
+// strict hand-off: its owner may change, but it must never be used by two
+// goroutines concurrently). This mirrors the Java library's ThreadLocal
+// segment binding.
+type Handle struct {
+	id       int
+	registry *Registry
+	released atomic.Bool
+}
+
+// ID returns the dense thread id in [0, Capacity). IDs are reused after
+// Release, never while the handle is live.
+func (h *Handle) ID() int { return h.id }
+
+// Release returns the handle's slot to the registry. The handle must not be
+// used afterwards. Release is idempotent.
+func (h *Handle) Release() {
+	if h == nil || h.released.Swap(true) {
+		return
+	}
+	h.registry.release(h.id)
+}
+
+// String implements fmt.Stringer.
+func (h *Handle) String() string { return fmt.Sprintf("thread#%d", h.id) }
+
+// Registry hands out dense thread ids. All structures sharing a registry
+// agree on the id space, so one handle works across every adjusted object of
+// a program.
+//
+// The zero value is not usable; create registries with NewRegistry. Most
+// programs use the package-level Default registry via Register.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int
+	free     []int // stack of free ids
+	liveBits []atomic.Bool
+	liveN    atomic.Int64
+	highID   atomic.Int64 // 1 + max id ever handed out
+}
+
+// NewRegistry creates a registry with the given capacity (maximum number of
+// simultaneously live handles). Capacity must be positive; values above
+// MaxThreads are allowed but segmentations sized off the registry will use
+// more memory.
+func NewRegistry(capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = MaxThreads
+	}
+	r := &Registry{
+		capacity: capacity,
+		free:     make([]int, 0, capacity),
+		liveBits: make([]atomic.Bool, capacity),
+	}
+	for id := capacity - 1; id >= 0; id-- {
+		r.free = append(r.free, id)
+	}
+	return r
+}
+
+// Capacity returns the maximum number of simultaneously live handles.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Live returns the number of currently registered handles.
+func (r *Registry) Live() int { return int(r.liveN.Load()) }
+
+// HighWater returns one plus the largest id ever handed out. Readers that
+// scan all segments may stop at HighWater instead of Capacity.
+func (r *Registry) HighWater() int { return int(r.highID.Load()) }
+
+// Register allocates a handle for the calling goroutine.
+func (r *Registry) Register() (*Handle, error) {
+	r.mu.Lock()
+	if len(r.free) == 0 {
+		r.mu.Unlock()
+		return nil, ErrRegistryFull
+	}
+	id := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	r.liveBits[id].Store(true)
+	r.mu.Unlock()
+
+	r.liveN.Add(1)
+	for {
+		hw := r.highID.Load()
+		if int64(id) < hw || r.highID.CompareAndSwap(hw, int64(id)+1) {
+			break
+		}
+	}
+	return &Handle{id: id, registry: r}, nil
+}
+
+// MustRegister is Register, panicking on exhaustion. Intended for program
+// initialization and tests.
+func (r *Registry) MustRegister() *Handle {
+	h, err := r.Register()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// IsLive reports whether id currently belongs to a registered handle.
+func (r *Registry) IsLive(id int) bool {
+	if id < 0 || id >= r.capacity {
+		return false
+	}
+	return r.liveBits[id].Load()
+}
+
+func (r *Registry) release(id int) {
+	r.mu.Lock()
+	r.liveBits[id].Store(false)
+	r.free = append(r.free, id)
+	r.mu.Unlock()
+	r.liveN.Add(-1)
+}
+
+// Default is the process-wide registry used by the package-level helpers and
+// by the public dego facade.
+var Default = NewRegistry(MaxThreads)
+
+// Register allocates a handle from the Default registry.
+func Register() (*Handle, error) { return Default.Register() }
+
+// MustRegister allocates a handle from the Default registry, panicking on
+// exhaustion.
+func MustRegister() *Handle { return Default.MustRegister() }

@@ -1,0 +1,171 @@
+// Package counter provides the counter objects of the evaluation (§6.2):
+//
+//   - Atomic — the java.util.concurrent AtomicLong analogue (one shared
+//     cell, CAS retry loop), the JUC baseline of Figure 6.
+//   - Adder — the LongAdder analogue (striped cells updated with CAS), the
+//     state of the art the paper compares against.
+//   - IncrementOnly — the adjusted object (C3, CWSR): per-thread SWMR cells
+//     written with plain stores; a single reader sums them. Its data type is
+//     spec.Counter(spec.C3) with a CWSR permission map.
+package counter
+
+import (
+	"sync/atomic"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Atomic mirrors AtomicLong: every thread updates one shared cell. The
+// read-modify-write methods use an explicit CAS loop (as AtomicLong's
+// updateAndGet/getAndUpdate family does), so hardware contention surfaces as
+// observable CAS failures, which feed the stall proxy of §6.2.
+type Atomic struct {
+	v     atomic.Int64
+	probe *contention.Probe
+}
+
+// NewAtomic creates a baseline counter; probe may be nil.
+func NewAtomic(probe *contention.Probe) *Atomic {
+	return &Atomic{probe: probe}
+}
+
+// IncrementAndGet adds one and returns the new value.
+func (a *Atomic) IncrementAndGet() int64 { return a.AddAndGet(1) }
+
+// AddAndGet adds delta and returns the new value.
+func (a *Atomic) AddAndGet(delta int64) int64 {
+	for {
+		cur := a.v.Load()
+		next := cur + delta
+		if a.v.CompareAndSwap(cur, next) {
+			return next
+		}
+		a.probe.RecordCASFailure()
+	}
+}
+
+// Get returns the current value.
+func (a *Atomic) Get() int64 { return a.v.Load() }
+
+// Set stores v.
+func (a *Atomic) Set(v int64) { a.v.Store(v) }
+
+// CompareAndSet performs a CAS, recording failures.
+func (a *Atomic) CompareAndSet(old, new int64) bool {
+	if a.v.CompareAndSwap(old, new) {
+		return true
+	}
+	a.probe.RecordCASFailure()
+	return false
+}
+
+// Reset zeroes the counter (the C1 reset — present on the baseline, deleted
+// on the adjusted object).
+func (a *Atomic) Reset() { a.v.Store(0) }
+
+// ---------------------------------------------------------------------------
+
+// Adder mirrors LongAdder/Striped64: updates land on a cell selected by the
+// thread id, using CAS (the weakCompareAndSet of Striped64). Unlike
+// IncrementOnly, a cell may be shared by several threads, which is why cells
+// still need CAS — the difference the paper measures.
+type Adder struct {
+	cells []core.PaddedInt64
+	mask  int
+	probe *contention.Probe
+}
+
+// NewAdder creates an adder with cells rounded up to a power of two; probe
+// may be nil.
+func NewAdder(cells int, probe *contention.Probe) *Adder {
+	size := 1
+	for size < cells {
+		size <<= 1
+	}
+	return &Adder{cells: make([]core.PaddedInt64, size), mask: size - 1, probe: probe}
+}
+
+// Add adds delta to the caller's cell.
+func (a *Adder) Add(h *core.Handle, delta int64) {
+	cell := &a.cells[h.ID()&a.mask].V
+	for {
+		cur := cell.Load()
+		if cell.CompareAndSwap(cur, cur+delta) {
+			return
+		}
+		a.probe.RecordCASFailure()
+	}
+}
+
+// Inc adds one to the caller's cell.
+func (a *Adder) Inc(h *core.Handle) { a.Add(h, 1) }
+
+// Sum returns the sum of all cells. Like LongAdder.sum, it is not an atomic
+// snapshot under concurrent updates.
+func (a *Adder) Sum() int64 {
+	var total int64
+	for i := range a.cells {
+		total += a.cells[i].V.Load()
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+
+// IncrementOnly is the adjusted counter (C3, CWSR) — the paper's
+// CounterIncrementOnly. Each thread owns one SWMR cell (a base segmentation
+// collapsed to a flat padded array, since counter segments need no lazy
+// construction) and bumps it with a plain load/store pair: no CAS, no
+// LOCK-prefixed read-modify-write, no shared cache line — "exclusively
+// relies on longs". A read sums the cells; with unitary increments the sum
+// is a linearizable read. The interface is narrowed per Table 1: no reset,
+// no read-modify-write, and Inc returns nothing.
+type IncrementOnly struct {
+	cells    []core.PaddedInt64
+	registry *core.Registry
+	guard    *core.Guard
+}
+
+// NewIncrementOnly creates the adjusted counter over a registry. When
+// checked is true, a CWSR guard verifies the single-reader role at runtime.
+func NewIncrementOnly(r *core.Registry, checked bool) *IncrementOnly {
+	c := &IncrementOnly{
+		cells:    make([]core.PaddedInt64, r.Capacity()),
+		registry: r,
+	}
+	if checked {
+		c.guard = core.NewGuard(core.ModeCWSR)
+	}
+	return c
+}
+
+// Inc adds one to the caller's cell. Blind (C3): no return value.
+func (c *IncrementOnly) Inc(h *core.Handle) {
+	c.guard.MustCheck(h, core.Write)
+	cell := &c.cells[h.ID()].V
+	cell.Store(cell.Load() + 1)
+}
+
+// Add adds delta (≥ 0) to the caller's cell. Increment-only: negative
+// deltas panic, as they would violate the adjusted specification.
+func (c *IncrementOnly) Add(h *core.Handle, delta int64) {
+	if delta < 0 {
+		panic("counter: IncrementOnly cannot decrement")
+	}
+	c.guard.MustCheck(h, core.Write)
+	cell := &c.cells[h.ID()].V
+	cell.Store(cell.Load() + delta)
+}
+
+// Get sums all cells. Under CWSR a single designated thread reads; the
+// guard (when enabled) learns and enforces that role.
+func (c *IncrementOnly) Get(h *core.Handle) int64 {
+	c.guard.MustCheck(h, core.Read)
+	var total int64
+	hw := c.registry.HighWater()
+	for i := 0; i < hw && i < len(c.cells); i++ {
+		total += c.cells[i].V.Load()
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+package hashmap
+
+import (
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/segment"
+)
+
+// This file completes the §5.2 segmentation trio for maps. Segmented (in
+// segmented.go) uses the extended segmentation; the two variants here trade
+// differently:
+//
+//   - BaseSegmented: static thread→segment mapping, writes touch only the
+//     writer's own segment, but a lookup must traverse all segments —
+//     "interesting in workloads where the object is predominantly accessed
+//     through writing".
+//   - HashSegmented: an item is stored in the segment matching its hash
+//     code, so lookups touch one segment; the program must route writes so
+//     the segment owner performs them (the request-routing pattern).
+
+// BaseSegmented is the BaseSegmentation-backed map.
+type BaseSegmented[K comparable, V any] struct {
+	segs *segment.Base[SWMR[K, V]]
+}
+
+// NewBaseSegmented creates a base-segmented map over a registry.
+func NewBaseSegmented[K comparable, V any](r *core.Registry, perSegCapacity int,
+	hash func(K) uint64, checked bool) *BaseSegmented[K, V] {
+	return &BaseSegmented[K, V]{
+		segs: segment.NewBase(r, func(int) *SWMR[K, V] {
+			return NewSWMR[K, V](perSegCapacity, hash, checked)
+		}),
+	}
+}
+
+// Put inserts or updates key in the caller's own segment. The caller must
+// own key (CWMR: distinct threads write distinct keys); a key written by two
+// threads would shadow itself across segments.
+func (m *BaseSegmented[K, V]) Put(h *core.Handle, key K, val V) {
+	m.segs.Mine(h).Put(h, key, val)
+}
+
+// Remove deletes key from the caller's own segment.
+func (m *BaseSegmented[K, V]) Remove(h *core.Handle, key K) bool {
+	return m.segs.Mine(h).Remove(h, key)
+}
+
+// Get traverses all segments (the read cost of the base segmentation).
+func (m *BaseSegmented[K, V]) Get(key K) (V, bool) {
+	var out V
+	found := false
+	m.segs.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		if v, ok := seg.Get(key); ok {
+			out, found = v, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// Contains reports whether key is present in any segment.
+func (m *BaseSegmented[K, V]) Contains(key K) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Len sums segment sizes.
+func (m *BaseSegmented[K, V]) Len() int {
+	n := 0
+	m.segs.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		n += seg.Len()
+		return true
+	})
+	return n
+}
+
+// Range calls f for every entry until it returns false.
+func (m *BaseSegmented[K, V]) Range(f func(key K, val V) bool) {
+	stop := false
+	m.segs.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		seg.Range(func(k K, v V) bool {
+			if !f(k, v) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}
+
+// ---------------------------------------------------------------------------
+
+// HashSegmented is the HashSegmentation-backed map.
+type HashSegmented[K comparable, V any] struct {
+	segs *segment.Hash[SWMR[K, V]]
+	hash func(K) uint64
+}
+
+// NewHashSegmented creates a hash-segmented map with n segments.
+func NewHashSegmented[K comparable, V any](n, perSegCapacity int,
+	hash func(K) uint64, checked bool) *HashSegmented[K, V] {
+	return &HashSegmented[K, V]{
+		segs: segment.NewHash(n, func(int) *SWMR[K, V] {
+			return NewSWMR[K, V](perSegCapacity, hash, checked)
+		}),
+		hash: hash,
+	}
+}
+
+// SegmentOf returns the segment index key routes to; the program must ensure
+// the thread owning that index performs the write.
+func (m *HashSegmented[K, V]) SegmentOf(key K) int { return m.segs.Index(m.hash(key)) }
+
+// Put inserts or updates key in its hash segment. h is the writing thread —
+// it must be the designated owner of key's segment.
+func (m *HashSegmented[K, V]) Put(h *core.Handle, key K, val V) {
+	m.segs.For(m.hash(key)).Put(h, key, val)
+}
+
+// Remove deletes key from its hash segment.
+func (m *HashSegmented[K, V]) Remove(h *core.Handle, key K) bool {
+	return m.segs.For(m.hash(key)).Remove(h, key)
+}
+
+// Get looks key up in exactly one segment.
+func (m *HashSegmented[K, V]) Get(key K) (V, bool) {
+	return m.segs.For(m.hash(key)).Get(key)
+}
+
+// Contains reports whether key is present.
+func (m *HashSegmented[K, V]) Contains(key K) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Len sums segment sizes.
+func (m *HashSegmented[K, V]) Len() int {
+	n := 0
+	m.segs.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		n += seg.Len()
+		return true
+	})
+	return n
+}
+
+// Range calls f for every entry until it returns false.
+func (m *HashSegmented[K, V]) Range(f func(key K, val V) bool) {
+	stop := false
+	m.segs.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		seg.Range(func(k K, v V) bool {
+			if !f(k, v) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}

@@ -1,0 +1,105 @@
+package hashmap
+
+import (
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/segment"
+)
+
+// Segmented is the paper's ExtendedSegmentedHashMap — the adjusted object
+// (M2, CWMR). It composes an extended segmentation with SWMR hash-map
+// segments: each key is bound, on first insert, to the segment of the thread
+// that inserted it; the binding survives removal (the item "retains the
+// segment where it was stored"), so lookups touch exactly one segment and
+// writes never contend as long as distinct threads write distinct keys — the
+// commuting-writes contract of CWMR.
+type Segmented[K comparable, V any] struct {
+	ext *segment.Extended[K, SWMR[K, V]]
+}
+
+// NewSegmented creates a segmented map over a registry. capacity sizes each
+// thread's segment; dirBuckets sizes the key directory. When checked is
+// true, each SWMR segment verifies its single-writer role — a violated CWMR
+// contract (two threads writing the same key) trips the owning segment's
+// guard.
+func NewSegmented[K comparable, V any](r *core.Registry, capacity, dirBuckets int,
+	hash func(K) uint64, checked bool) *Segmented[K, V] {
+	perSeg := capacity/max(1, r.Capacity()) + minBins
+	return &Segmented[K, V]{
+		ext: segment.NewExtended[K, SWMR[K, V]](r, dirBuckets, hash,
+			func(int) *SWMR[K, V] {
+				return NewSWMR[K, V](perSeg, hash, checked)
+			}),
+	}
+}
+
+// Put inserts or updates key in the segment bound to it (binding it to the
+// caller's segment on first insert). Blind, per M2.
+func (m *Segmented[K, V]) Put(h *core.Handle, key K, val V) {
+	m.ext.Acquire(h, key).PutRef(h, key, &val)
+}
+
+// PutRef is Put with a caller-provided value box (no allocation on the
+// update path); see SWMR.PutRef.
+func (m *Segmented[K, V]) PutRef(h *core.Handle, key K, val *V) {
+	m.ext.Acquire(h, key).PutRef(h, key, val)
+}
+
+// Remove deletes key, reporting whether it was present. The key's segment
+// binding is retained.
+func (m *Segmented[K, V]) Remove(h *core.Handle, key K) bool {
+	seg, ok := m.ext.Find(key)
+	if !ok {
+		return false
+	}
+	return seg.Remove(h, key)
+}
+
+// Get returns the value for key, touching exactly one segment.
+func (m *Segmented[K, V]) Get(key K) (V, bool) {
+	seg, ok := m.ext.Find(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return seg.Get(key)
+}
+
+// GetRef returns the stored value box for key; see SWMR.GetRef.
+func (m *Segmented[K, V]) GetRef(key K) (*V, bool) {
+	seg, ok := m.ext.Find(key)
+	if !ok {
+		return nil, false
+	}
+	return seg.GetRef(key)
+}
+
+// Contains reports whether key is present.
+func (m *Segmented[K, V]) Contains(key K) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Len sums the segment sizes.
+func (m *Segmented[K, V]) Len() int {
+	n := 0
+	m.ext.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		n += seg.Len()
+		return true
+	})
+	return n
+}
+
+// Range calls f for every entry until it returns false; weakly consistent,
+// segment by segment.
+func (m *Segmented[K, V]) Range(f func(key K, val V) bool) {
+	stop := false
+	m.ext.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		seg.Range(func(k K, v V) bool {
+			if !f(k, v) {
+				stop = true
+			}
+			return !stop
+		})
+		return !stop
+	})
+}

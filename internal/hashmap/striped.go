@@ -1,0 +1,115 @@
+package hashmap
+
+import (
+	"sync"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Striped is the java.util.concurrent.ConcurrentHashMap stand-in: buckets
+// guarded by striped locks (CHM locks a bin head per update; a fixed stripe
+// array reproduces the same contention signature — threads updating keys
+// that collide on a stripe serialize on its lock).
+type Striped[K comparable, V any] struct {
+	stripes []stripe[K, V]
+	mask    uint64
+	hash    func(K) uint64
+	probe   *contention.Probe
+}
+
+type stripe[K comparable, V any] struct {
+	_  core.Pad
+	mu sync.Mutex
+	m  map[K]V
+	_  core.Pad
+}
+
+// NewStriped creates a striped map with the given stripe count (rounded up
+// to a power of two); probe may be nil.
+func NewStriped[K comparable, V any](stripes, capacity int, hash func(K) uint64,
+	probe *contention.Probe) *Striped[K, V] {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	s := &Striped[K, V]{
+		stripes: make([]stripe[K, V], n),
+		mask:    uint64(n - 1),
+		hash:    hash,
+		probe:   probe,
+	}
+	per := capacity/n + 1
+	for i := range s.stripes {
+		s.stripes[i].m = make(map[K]V, per)
+	}
+	return s
+}
+
+func (s *Striped[K, V]) lock(st *stripe[K, V]) {
+	if !st.mu.TryLock() {
+		s.probe.RecordLockWait()
+		st.mu.Lock()
+	}
+}
+
+// Get returns the value for key.
+func (s *Striped[K, V]) Get(key K) (V, bool) {
+	st := &s.stripes[s.hash(key)&s.mask]
+	s.lock(st)
+	v, ok := st.m[key]
+	st.mu.Unlock()
+	return v, ok
+}
+
+// Contains reports whether key is present.
+func (s *Striped[K, V]) Contains(key K) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Put inserts or updates key.
+func (s *Striped[K, V]) Put(key K, val V) {
+	st := &s.stripes[s.hash(key)&s.mask]
+	s.lock(st)
+	st.m[key] = val
+	st.mu.Unlock()
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Striped[K, V]) Remove(key K) bool {
+	st := &s.stripes[s.hash(key)&s.mask]
+	s.lock(st)
+	_, ok := st.m[key]
+	delete(st.m, key)
+	st.mu.Unlock()
+	return ok
+}
+
+// Len sums the stripe sizes (not a linearizable snapshot, as in CHM).
+func (s *Striped[K, V]) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		s.lock(st)
+		n += len(st.m)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until it returns false; weakly consistent
+// across stripes.
+func (s *Striped[K, V]) Range(f func(key K, val V) bool) {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		s.lock(st)
+		for k, v := range st.m {
+			if !f(k, v) {
+				st.mu.Unlock()
+				return
+			}
+		}
+		st.mu.Unlock()
+	}
+}

@@ -1,0 +1,268 @@
+package igraph
+
+import (
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// SearchOpts bounds the (bag, state) family Γ_O explored by the analyses.
+// The searches are exhaustive within the bounds, which suffices for every
+// catalog type: their distinguishing behaviours appear at small bag sizes
+// and shallow states.
+type SearchOpts struct {
+	// Vals is the argument domain for operation instantiation.
+	Vals []int
+	// MaxK is the largest bag size searched.
+	MaxK int
+	// Depth and MaxStates bound the reachable-state enumeration.
+	Depth     int
+	MaxStates int
+	// Gens overrides the operation space when non-nil, restricting the
+	// search to specific operation instances (e.g. blind adds only, to model
+	// an access-permission map).
+	Gens []*spec.Op
+	// OneShot selects the one-shot indistinguishability relation for
+	// objects called at most once per thread (and for non-readable types,
+	// where the long-lived relation's read-back step is unavailable).
+	OneShot bool
+}
+
+// DefaultSearchOpts works for the whole Table 1 catalog.
+func DefaultSearchOpts() SearchOpts {
+	return SearchOpts{Vals: []int{1, 2}, MaxK: 3, Depth: 3, MaxStates: 24}
+}
+
+// gensAndStates instantiates the operation space and reachable states of t.
+func gensAndStates(t *spec.DataType, o SearchOpts) ([]*spec.Op, []spec.State) {
+	gens := o.Gens
+	if gens == nil {
+		gens = t.OpSpace(o.Vals)
+	}
+	states := t.Reachable(gens, o.Depth, o.MaxStates)
+	return gens, states
+}
+
+// newGraph builds the graph variant selected by the options.
+func (o SearchOpts) newGraph(bag []*spec.Op, s spec.State) *Graph {
+	if o.OneShot {
+		return NewOneShot(bag, s)
+	}
+	return New(bag, s)
+}
+
+// multisets enumerates the k-multisets over n generators as sorted index
+// slices.
+func multisets(n, k int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			rec(i)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Distinguish computes l such that T ∈ D(k, l): the maximum number of
+// indistinguishability classes over every bag of size k (drawn from the
+// bounded operation space) and every reachable state.
+func Distinguish(t *spec.DataType, k int, o SearchOpts) int {
+	gens, states := gensAndStates(t, o)
+	maxClasses := 1
+	for _, ms := range multisets(len(gens), k) {
+		bag := make([]*spec.Op, k)
+		for i, gi := range ms {
+			bag[i] = gens[gi]
+		}
+		for _, s := range states {
+			if c := o.newGraph(bag, s).NumClasses(); c > maxClasses {
+				maxClasses = c
+			}
+		}
+	}
+	return maxClasses
+}
+
+// ConsensusResult is the outcome of the Theorem 1 search.
+type ConsensusResult struct {
+	// CN is the computed consensus number: max{k : ∃l ≥ 2, T ∈ D(k,l)} ∪ {1}.
+	CN int
+	// Exact is false when the search hit MaxK with two classes still
+	// present, in which case CN is only a lower bound (CN ≥ MaxK).
+	Exact bool
+	// Witness describes a (bag, state) pair with ≥ 2 classes at k = CN,
+	// empty for CN = 1.
+	Witness string
+}
+
+// ConsensusNumber applies Theorem 1: for a readable data type, the consensus
+// number is the largest k at which some indistinguishability graph has at
+// least two classes (and 1 when no such k exists). The search is exhaustive
+// within the bounds of o.
+func ConsensusNumber(t *spec.DataType, o SearchOpts) ConsensusResult {
+	gens, states := gensAndStates(t, o)
+	res := ConsensusResult{CN: 1, Exact: true}
+	for k := 2; k <= o.MaxK; k++ {
+		found := false
+		for _, ms := range multisets(len(gens), k) {
+			bag := make([]*spec.Op, k)
+			for i, gi := range ms {
+				bag[i] = gens[gi]
+			}
+			for _, s := range states {
+				g := o.newGraph(bag, s)
+				if g.NumClasses() >= 2 {
+					found = true
+					res.CN = k
+					res.Witness = "B={" + bagString(bag) + "} from " + s.Key()
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// No bag of size k distinguishes; larger bags cannot either in
+			// the catalog types (distinguishing power only shrinks), but we
+			// keep scanning upward for safety within the bound.
+			continue
+		}
+	}
+	res.Exact = res.CN < o.MaxK
+	return res
+}
+
+// Permissive implements the characterization of Corollary 1: every pair of
+// write operations is either overwriting or weakly-commuting, in every
+// reachable state. For readable types, Permissive ⇔ CN = 1.
+func Permissive(t *spec.DataType, o SearchOpts) bool {
+	gens, states := gensAndStates(t, o)
+	var writes []*spec.Op
+	for _, g := range gens {
+		if g.Writer {
+			writes = append(writes, g)
+		}
+	}
+	for _, s := range states {
+		for _, c := range writes {
+			for _, d := range writes {
+				if !overwritingOrWeaklyCommuting(s, c, d) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// overwritingOrWeaklyCommuting checks the disjunction from the proof of
+// Corollary 1 at state s:
+//
+//	τ(s,c) = τ(s.d, c)                       (c overwrites d)
+//	∨ τ(s,d) = τ(s.c, d)                     (d overwrites c)
+//	∨ ( τ(s.c, d).st = τ(s.d, c).st          (same final state)
+//	    ∧ ( τ(s,c).val = τ(s.d, c).val       (c does not notice d)
+//	      ∨ τ(s,d).val = τ(s.c, d).val ) )   (d does not notice c)
+func overwritingOrWeaklyCommuting(s spec.State, c, d *spec.Op) bool {
+	sc, vc := c.Exec(s)    // τ(s,c)
+	sd, vd := d.Exec(s)    // τ(s,d)
+	sdc, vdc := c.Exec(sd) // τ(s.d, c)
+	scd, vcd := d.Exec(sc) // τ(s.c, d)
+	if spec.StateEq(sc, sdc) && spec.ValueEq(vc, vdc) {
+		return true
+	}
+	if spec.StateEq(sd, scd) && spec.ValueEq(vd, vcd) {
+		return true
+	}
+	return spec.StateEq(scd, sdc) &&
+		(spec.ValueEq(vc, vdc) || spec.ValueEq(vd, vcd))
+}
+
+// ConflictFreeOneShot implements the criterion of Proposition 1: a one-shot
+// object has a conflict-free implementation iff B is labeling in every
+// G(B, s). The check runs over every bag of size k (one operation per
+// thread) and every reachable state.
+func ConflictFreeOneShot(t *spec.DataType, k int, o SearchOpts) bool {
+	gens, states := gensAndStates(t, o)
+	for _, ms := range multisets(len(gens), k) {
+		bag := make([]*spec.Op, k)
+		for i, gi := range ms {
+			bag[i] = gens[gi]
+		}
+		for _, s := range states {
+			if !o.newGraph(bag, s).AllLabeling() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConflictFreeLongLived implements the criterion of Proposition 2: a
+// conflict-free implementation exists iff B is strongly labeling in every
+// G(B, s) with |B| = 2.
+func ConflictFreeLongLived(t *spec.DataType, o SearchOpts) bool {
+	gens, states := gensAndStates(t, o)
+	for _, ms := range multisets(len(gens), 2) {
+		bag := []*spec.Op{gens[ms[0]], gens[ms[1]]}
+		for _, s := range states {
+			if !o.newGraph(bag, s).AllStronglyLabeling() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LeftMover reports whether instances of gen left-move in every graph of the
+// bounded family Γ_O (bags of size ≤ maxK containing gen, every reachable
+// state). By Proposition 3 such an operation is implementable without update
+// conflicts.
+func LeftMover(t *spec.DataType, gen *spec.Op, o SearchOpts) bool {
+	return moverSearch(t, gen, o, (*Graph).LeftMoves)
+}
+
+// RightMover reports whether instances of gen right-move in every graph of
+// the bounded family. By Proposition 4 such an operation is implementable
+// invisibly.
+func RightMover(t *spec.DataType, gen *spec.Op, o SearchOpts) bool {
+	return moverSearch(t, gen, o, (*Graph).RightMoves)
+}
+
+func moverSearch(t *spec.DataType, gen *spec.Op, o SearchOpts, moves func(*Graph, int) bool) bool {
+	gens, states := gensAndStates(t, o)
+	for k := 2; k <= o.MaxK; k++ {
+		for _, ms := range multisets(len(gens), k-1) {
+			bag := make([]*spec.Op, 0, k)
+			bag = append(bag, gen)
+			for _, gi := range ms {
+				bag = append(bag, gens[gi])
+			}
+			for _, s := range states {
+				if !moves(o.newGraph(bag, s), 0) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func bagString(bag []*spec.Op) string {
+	out := ""
+	for i, op := range bag {
+		if i > 0 {
+			out += ", "
+		}
+		out += op.String()
+	}
+	return out
+}

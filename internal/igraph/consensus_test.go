@@ -1,0 +1,146 @@
+package igraph
+
+import (
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// Theorem 1 and Corollary 1, checked against the known consensus numbers of
+// the catalog types.
+
+func TestTheorem1RegisterHasConsensusNumberOne(t *testing.T) {
+	res := ConsensusNumber(spec.Ref(spec.R1), DefaultSearchOpts())
+	if res.CN != 1 || !res.Exact {
+		t.Fatalf("CN(R1) = %+v, want exactly 1 (registers cannot solve consensus)", res)
+	}
+}
+
+func TestTheorem1WriteOnceRegisterIsSticky(t *testing.T) {
+	// The write-once register R2 is a sticky register: the first set wins
+	// and every reader observes it, which solves consensus for any number
+	// of threads. The search must find ≥ 2 classes at every k it explores.
+	opts := DefaultSearchOpts()
+	res := ConsensusNumber(spec.Ref(spec.R2), opts)
+	if res.CN != opts.MaxK || res.Exact {
+		t.Fatalf("CN(R2) = %+v, want lower bound at MaxK=%d (sticky register, CN = ∞)",
+			res, opts.MaxK)
+	}
+	if res.Witness == "" {
+		t.Error("expected a witness bag for R2")
+	}
+}
+
+func TestTheorem1IncrementCounterHasConsensusNumberTwo(t *testing.T) {
+	// C1's inc returns the new value (fetch-and-increment): CN = 2.
+	// D(2,2) via two increments, D(3,1) as the third operation cannot
+	// recover the order of the first two.
+	res := ConsensusNumber(spec.Counter(spec.C1), DefaultSearchOpts())
+	if res.CN != 2 || !res.Exact {
+		t.Fatalf("CN(C1) = %+v, want exactly 2", res)
+	}
+	if res.Witness == "" {
+		t.Error("expected a witness bag for C1")
+	}
+}
+
+func TestTheorem1BlindCounterHasConsensusNumberOne(t *testing.T) {
+	// C3's inc is blind and reset is deleted: the adjusted counter drops to
+	// CN 1 — the theoretical basis for CounterIncrementOnly's scalability.
+	res := ConsensusNumber(spec.Counter(spec.C3), DefaultSearchOpts())
+	if res.CN != 1 || !res.Exact {
+		t.Fatalf("CN(C3) = %+v, want exactly 1", res)
+	}
+}
+
+func TestDistinguishMatchesPaperExamples(t *testing.T) {
+	opts := DefaultSearchOpts()
+	// "an increment-only counter is D(2,2) but only D(3,1)" — with inc
+	// returning the new value (the C1/C2 inc).
+	c2 := spec.Counter(spec.C2)
+	incOnly := SearchOpts{
+		Vals: opts.Vals, MaxK: 3, Depth: opts.Depth, MaxStates: opts.MaxStates,
+		Gens: []*spec.Op{c2.Op("inc"), c2.Op("inc")},
+	}
+	if l := Distinguish(c2, 2, incOnly); l != 2 {
+		t.Errorf("increment counter D(2,l): l = %d, want 2", l)
+	}
+	incOnly3 := incOnly
+	incOnly3.Gens = []*spec.Op{c2.Op("inc"), c2.Op("inc"), c2.Op("inc")}
+	if l := Distinguish(c2, 3, incOnly3); l != 1 {
+		t.Errorf("increment counter D(3,l): l = %d, want 1", l)
+	}
+}
+
+func TestOneShotQueueConsensusNumberTwo(t *testing.T) {
+	// The classic result: a one-shot queue (each thread calls it at most
+	// once) solves consensus for exactly 2 threads — two dequeuers race for
+	// the head of a non-empty queue; a third thread cannot be accommodated.
+	opts := DefaultSearchOpts()
+	opts.OneShot = true
+	res := ConsensusNumber(spec.Queue(), opts)
+	if res.CN != 2 || !res.Exact {
+		t.Fatalf("one-shot CN(queue) = %+v, want exactly 2", res)
+	}
+}
+
+func TestQueueOfferOfferDisconnects(t *testing.T) {
+	// §3.2-style sanity check: two blind offers from the empty queue are
+	// already distinguishable in the long-lived relation (the queue orders
+	// them), giving the 2 classes that ground CN(queue) ≥ 2.
+	q := spec.Queue()
+	g := New([]*spec.Op{q.Op("offer", 1), q.Op("offer", 2)}, q.Init)
+	if got := g.NumClasses(); got != 2 {
+		t.Fatalf("G({offer(1),offer(2)}, []) has %d classes, want 2", got)
+	}
+	// The same bag under the one-shot relation is indistinguishable: both
+	// responses are ⊥, and no thread ever observes the order.
+	g = NewOneShot([]*spec.Op{q.Op("offer", 1), q.Op("offer", 2)}, q.Init)
+	if got := g.NumClasses(); got != 1 {
+		t.Fatalf("one-shot classes = %d, want 1", got)
+	}
+}
+
+func TestCorollary1PermissiveMatchesConsensusNumberOne(t *testing.T) {
+	opts := DefaultSearchOpts()
+	cases := []struct {
+		t        *spec.DataType
+		want     bool
+		readable bool
+	}{
+		{spec.Ref(spec.R1), true, true},      // overwriting writes
+		{spec.Ref(spec.R2), false, true},     // sticky: neither overwrites nor commutes
+		{spec.Counter(spec.C1), false, true}, // inc notices inc
+		{spec.Counter(spec.C3), true, true},  // blind inc weakly commutes
+		{spec.Set(spec.S1), false, false},    // add reports membership
+		{spec.Set(spec.S2), true, false},     // blind add/remove overwrite
+		{spec.Map(spec.M2), true, false},     // blind put/remove overwrite per key
+		{spec.Map(spec.M1), false, false},    // put returns previous value
+		{spec.Queue(), false, false},         // offer/poll do not commute
+	}
+	for _, tc := range cases {
+		if got := Permissive(tc.t, opts); got != tc.want {
+			t.Errorf("Permissive(%s) = %v, want %v", tc.t.Name, got, tc.want)
+		}
+		// Corollary 1: for readable types, permissive ⇔ CN = 1.
+		if tc.readable {
+			cn := ConsensusNumber(tc.t, opts)
+			if tc.want != (cn.CN == 1) {
+				t.Errorf("%s: permissive=%v but CN=%+v — Corollary 1 violated",
+					tc.t.Name, tc.want, cn)
+			}
+		}
+	}
+}
+
+func TestDistinguishNeverExceedsBagSize(t *testing.T) {
+	// "In general, there are at most |B| indistinguishability classes."
+	opts := DefaultSearchOpts()
+	for _, dt := range spec.AllCatalogTypes() {
+		for k := 2; k <= 3; k++ {
+			if l := Distinguish(dt, k, opts); l > k {
+				t.Errorf("%s: D(%d,%d) exceeds |B| classes", dt.Name, k, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package igraph implements the indistinguishability graph of §3 — the
+// paper's scalability characterization — together with the analyses built on
+// it: indistinguishability classes (connected components), labeling and
+// strongly-labeling operations, left- and right-movers (§3.3), the D(k,l)
+// classification, the consensus-number characterization of Theorem 1, the
+// permissive-type characterization of Corollary 1, and the conflict-freedom
+// predicates of Propositions 1 and 2.
+//
+// A graph G_T(B, s) is built from a bag B of operation instances of a
+// sequential data type T and a start state s. Its nodes are the |B|!
+// permutations of B; an edge links two permutations that some operation
+// cannot distinguish (same response, a common attainable state after it);
+// the denser the graph, the more scalable the object.
+package igraph

@@ -1,0 +1,107 @@
+package igraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format: nodes are permutations, edges
+// carry their label sets, strong edges are drawn solid and weak edges dashed.
+// Operation instances are lettered a, b, c, ... in bag order, matching the
+// presentation of Figure 2.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  layout=circo;\n")
+	for p := range g.Perms {
+		fmt.Fprintf(&b, "  x%d [label=%q];\n", p+1, g.permLetters(p))
+	}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			e := g.EdgeBetween(i, j)
+			if !e.Exists() {
+				continue
+			}
+			letters := make([]string, len(e.Label))
+			for k, el := range e.Label {
+				letters[k] = elementLetter(el)
+			}
+			style := "dashed"
+			if e.Strong {
+				style = "solid"
+			}
+			fmt.Fprintf(&b, "  x%d -- x%d [label=%q, style=%s];\n",
+				i+1, j+1, strings.Join(letters, ","), style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary renders a text description: the legend, each permutation, each
+// edge with its label, and the classes. It is the textual form of a Figure 2
+// panel.
+func (g *Graph) Summary(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: |B|=%d, %d permutations, %d class(es)\n",
+		name, g.K(), g.N(), g.NumClasses())
+	for e, op := range g.Bag {
+		fmt.Fprintf(&b, "  %s = %s\n", elementLetter(e), op)
+	}
+	for p := range g.Perms {
+		fmt.Fprintf(&b, "  x%d = %s\n", p+1, g.permLetters(p))
+	}
+	type edgeLine struct {
+		i, j int
+		s    string
+	}
+	var lines []edgeLine
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			e := g.EdgeBetween(i, j)
+			if !e.Exists() {
+				continue
+			}
+			letters := make([]string, len(e.Label))
+			for k, el := range e.Label {
+				letters[k] = elementLetter(el)
+			}
+			mark := ""
+			if e.Strong {
+				mark = " (strong)"
+			}
+			lines = append(lines, edgeLine{i, j,
+				fmt.Sprintf("  (x%d,x%d) label={%s}%s", i+1, j+1, strings.Join(letters, ","), mark)})
+		}
+	}
+	sort.Slice(lines, func(a, b int) bool {
+		if lines[a].i != lines[b].i {
+			return lines[a].i < lines[b].i
+		}
+		return lines[a].j < lines[b].j
+	})
+	for _, l := range lines {
+		b.WriteString(l.s)
+		b.WriteByte('\n')
+	}
+	for ci, members := range g.Components() {
+		names := make([]string, len(members))
+		for k, m := range members {
+			names[k] = fmt.Sprintf("x%d", m+1)
+		}
+		fmt.Fprintf(&b, "  class %d: {%s}\n", ci+1, strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+func (g *Graph) permLetters(p int) string {
+	var b strings.Builder
+	for _, e := range g.Perms[p] {
+		b.WriteString(elementLetter(e))
+	}
+	return b.String()
+}
+
+func elementLetter(e int) string { return string(rune('a' + e)) }

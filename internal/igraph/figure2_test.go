@@ -1,0 +1,167 @@
+package igraph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// Figure 2 of the paper, reproduced exactly. Permutation numbering follows
+// the figure: with bag order (a, b, c), x1=abc, x2=acb, x3=bac, x4=bca,
+// x5=cab, x6=cba — which is the lexicographic order New generates.
+
+// pairHasLabel reports whether element e labels the edge between 1-indexed
+// permutations xi and xj.
+func pairHasLabel(g *Graph, xi, xj, e int) bool {
+	return g.EdgeBetween(xi-1, xj-1).Labels(e)
+}
+
+func TestFigure2Reference(t *testing.T) {
+	r := spec.Ref(spec.R1)
+	a, b, c := r.Op("set", 1), r.Op("set", 2), r.Op("get")
+	g := New([]*spec.Op{a, b, c}, r.Init)
+
+	if g.N() != 6 {
+		t.Fatalf("nodes = %d, want 3! = 6", g.N())
+	}
+	// "the graph is complete because set does not return anything. Hence all
+	// edges have (at least) the default label l = {a, b}."
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			e := g.EdgeBetween(i, j)
+			if !e.Exists() {
+				t.Errorf("edge (x%d,x%d) missing: graph must be complete", i+1, j+1)
+			}
+			if !e.Labels(0) || !e.Labels(1) {
+				t.Errorf("edge (x%d,x%d) lacks default label {a,b}: %v", i+1, j+1, e.Label)
+			}
+		}
+	}
+	// "c labels the edges (x1,x4), (x2,x3), and (x5,x6)" — and only those.
+	wantC := map[[2]int]bool{{1, 4}: true, {2, 3}: true, {5, 6}: true}
+	for i := 1; i <= 6; i++ {
+		for j := i + 1; j <= 6; j++ {
+			got := pairHasLabel(g, i, j, 2)
+			if got != wantC[[2]int{i, j}] {
+				t.Errorf("c labels (x%d,x%d) = %v, want %v", i, j, got, !got)
+			}
+		}
+	}
+	if g.NumClasses() != 1 {
+		t.Errorf("classes = %d, want 1", g.NumClasses())
+	}
+}
+
+func TestFigure2Set(t *testing.T) {
+	s := spec.Set(spec.S1)
+	a, b, c := s.Op("add", 1), s.Op("add", 1), s.Op("contains", 1)
+	g := New([]*spec.Op{a, b, c}, s.Init)
+
+	// "Whatever the permutation is, the set always ends up in the same final
+	// state. Hence all labels are strong."
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			e := g.EdgeBetween(i, j)
+			if e.Exists() && !e.Strong {
+				t.Errorf("edge (x%d,x%d) is weak; all set edges must be strong", i+1, j+1)
+			}
+		}
+	}
+	// "c = contains(1) is labeling when it is not the first operation": c
+	// labels every pair of permutations in which c is not first on either
+	// side (it returns true in both), plus the pair where c is first in
+	// both (returns false in both).
+	// With x1..x6 as above, c is first in x5, x6.
+	cFirst := map[int]bool{5: true, 6: true}
+	for i := 1; i <= 6; i++ {
+		for j := i + 1; j <= 6; j++ {
+			want := cFirst[i] == cFirst[j] // same response either way
+			if got := pairHasLabel(g, i, j, 2); got != want {
+				t.Errorf("c labels (x%d,x%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// "when the add(1) operations are in the same order, their responses do
+	// not change. In those cases, a and b are labeling."
+	// a before b in x1=abc, x2=acb, x5=cab.
+	aFirst := map[int]bool{1: true, 2: true, 5: true}
+	for i := 1; i <= 6; i++ {
+		for j := i + 1; j <= 6; j++ {
+			want := aFirst[i] == aFirst[j]
+			gotA := pairHasLabel(g, i, j, 0)
+			gotB := pairHasLabel(g, i, j, 1)
+			if gotA != want || gotB != want {
+				t.Errorf("a,b label (x%d,x%d) = (%v,%v), want %v", i, j, gotA, gotB, want)
+			}
+		}
+	}
+	if g.NumClasses() != 1 {
+		t.Errorf("classes = %d, want 1", g.NumClasses())
+	}
+	// Edges absent entirely: pairs disagreeing on both the a/b order and
+	// the c-first status.
+	for _, pair := range [][2]int{{1, 6}, {2, 6}, {3, 5}, {4, 5}} {
+		if g.EdgeBetween(pair[0]-1, pair[1]-1).Exists() {
+			t.Errorf("edge (x%d,x%d) must be absent", pair[0], pair[1])
+		}
+	}
+}
+
+func TestFigure2Counter(t *testing.T) {
+	// "three increments of 1, 3, and 5 applied to a counter. Each increment
+	// returns the state of the counter after it is applied."
+	cnt := spec.Counter(spec.C1)
+	a, b, c := cnt.Op("rmw", 1), cnt.Op("rmw", 3), cnt.Op("rmw", 5)
+	g := New([]*spec.Op{a, b, c}, cnt.Init)
+
+	// "if we permute the first two operations, the last operation will
+	// return the same value": the last element labels each first-two swap.
+	swaps := [][3]int{ // {xi, xj, labeling element}
+		{1, 3, 2}, // abc ~ bac via c
+		{2, 5, 1}, // acb ~ cab via b
+		{4, 6, 0}, // bca ~ cba via a
+	}
+	for _, sw := range swaps {
+		if !pairHasLabel(g, sw[0], sw[1], sw[2]) {
+			t.Errorf("element %s must label (x%d,x%d)",
+				string(rune('a'+sw[2])), sw[0], sw[1])
+		}
+	}
+	// All permutations reach total 9: every edge is strong.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if e := g.EdgeBetween(i, j); e.Exists() && !e.Strong {
+				t.Errorf("edge (x%d,x%d) weak, want strong (final state 9 everywhere)", i+1, j+1)
+			}
+		}
+	}
+	// "all the graphs are connected": single class.
+	if g.NumClasses() != 1 {
+		t.Errorf("classes = %d, want 1", g.NumClasses())
+	}
+	// Permutations that share no common suffix-response structure have no
+	// edge, e.g. x1=abc vs x4=bca (responses 1,4,9 vs 9,3,8 per element).
+	if g.EdgeBetween(0, 3).Exists() {
+		t.Error("edge (x1,x4) must be absent for the counter")
+	}
+}
+
+func TestFigure2SummaryAndDOT(t *testing.T) {
+	r := spec.Ref(spec.R1)
+	g := New([]*spec.Op{r.Op("set", 1), r.Op("set", 2), r.Op("get")}, r.Init)
+
+	sum := g.Summary("Reference")
+	for _, want := range []string{"Reference", "|B|=3", "6 permutations", "1 class",
+		"a = set(1)", "x1 = abc", "class 1:"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	dot := g.DOT("ref")
+	for _, want := range []string{"graph \"ref\"", "x1 --", "style=solid"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

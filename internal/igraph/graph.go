@@ -1,0 +1,290 @@
+package igraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// Graph is the indistinguishability graph G_T(B, s) of a bag B of operation
+// instances from start state s (§3.2). Nodes are the permutations of B,
+// indexed into Perms; bag elements are identified by their index into Bag
+// (two occurrences of the same operation are distinct elements, as B is a
+// multiset).
+type Graph struct {
+	Bag   []*spec.Op
+	Start spec.State
+	// Perms lists every permutation of bag-element indices, in
+	// lexicographic order. Perms[0] is the identity.
+	Perms [][]int
+
+	// oneShot selects the one-shot indistinguishability relation (remark
+	// after the proof of Theorem 1): the state at the end of a permutation
+	// does not matter, so only return values are compared.
+	oneShot bool
+
+	// For each permutation p and bag element e: the response of e in p, the
+	// canonical keys of the states attainable after e in p (suffix of the
+	// trace), and the final-state key.
+	resp     [][]spec.Value
+	after    [][]map[string]bool
+	finalKey []string
+}
+
+// Edge describes the relation between two permutations.
+type Edge struct {
+	// Label holds the bag-element indices c such that the two permutations
+	// are indistinguishable from s for c. Empty means no edge.
+	Label []int
+	// Strong reports whether both permutations lead to the same final
+	// state; a label on a strong edge is a strong label.
+	Strong bool
+}
+
+// Exists reports whether the edge is present (non-empty label).
+func (e Edge) Exists() bool { return len(e.Label) > 0 }
+
+// Labels reports whether bag element c labels the edge.
+func (e Edge) Labels(c int) bool {
+	for _, l := range e.Label {
+		if l == c {
+			return true
+		}
+	}
+	return false
+}
+
+// New builds the indistinguishability graph of bag from start. The bag size
+// is limited to 7 (7! = 5040 permutations); larger bags are a sign the
+// caller wants the bounded searches of consensus.go instead.
+func New(bag []*spec.Op, start spec.State) *Graph {
+	return build(bag, start, false)
+}
+
+// NewOneShot builds the graph under the one-shot relation: permutations are
+// indistinguishable for c when c's responses agree, with no condition on
+// attainable states (the object is called at most once per thread, so the
+// post-permutation state is unobservable).
+func NewOneShot(bag []*spec.Op, start spec.State) *Graph {
+	return build(bag, start, true)
+}
+
+func build(bag []*spec.Op, start spec.State, oneShot bool) *Graph {
+	if len(bag) == 0 || len(bag) > 7 {
+		panic(fmt.Sprintf("igraph: bag size %d out of range [1,7]", len(bag)))
+	}
+	g := &Graph{Bag: bag, Start: start, Perms: permutations(len(bag)), oneShot: oneShot}
+	g.resp = make([][]spec.Value, len(g.Perms))
+	g.after = make([][]map[string]bool, len(g.Perms))
+	g.finalKey = make([]string, len(g.Perms))
+	for pi, perm := range g.Perms {
+		seq := make([]*spec.Op, len(perm))
+		for i, e := range perm {
+			seq[i] = bag[e]
+		}
+		trace := spec.StatesFrom(start, seq)
+		_, vals := spec.ExecSeq(start, seq)
+
+		g.resp[pi] = make([]spec.Value, len(bag))
+		g.after[pi] = make([]map[string]bool, len(bag))
+		for pos, e := range perm {
+			g.resp[pi][e] = vals[pos]
+			set := make(map[string]bool, len(trace)-pos)
+			for _, st := range trace[pos:] {
+				set[st.Key()] = true
+			}
+			g.after[pi][e] = set
+		}
+		g.finalKey[pi] = trace[len(trace)-1].Key()
+	}
+	return g
+}
+
+// K returns the bag size.
+func (g *Graph) K() int { return len(g.Bag) }
+
+// N returns the node count, |B|!.
+func (g *Graph) N() int { return len(g.Perms) }
+
+// EdgeBetween computes the edge between permutations i and j.
+func (g *Graph) EdgeBetween(i, j int) Edge {
+	if i == j {
+		return Edge{}
+	}
+	var label []int
+	for e := range g.Bag {
+		if g.indistinguishable(i, j, e) {
+			label = append(label, e)
+		}
+	}
+	return Edge{Label: label, Strong: g.finalKey[i] == g.finalKey[j]}
+}
+
+// indistinguishable implements x ~c,s~ x' for bag element e: same response
+// in both permutations, and a common state attainable after e in both.
+func (g *Graph) indistinguishable(i, j, e int) bool {
+	if !spec.ValueEq(g.resp[i][e], g.resp[j][e]) {
+		return false
+	}
+	if g.oneShot {
+		return true
+	}
+	ai, aj := g.after[i][e], g.after[j][e]
+	if len(aj) < len(ai) {
+		ai, aj = aj, ai
+	}
+	for k := range ai {
+		if aj[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Components returns the indistinguishability classes: connected components
+// of the graph, each a sorted list of permutation indices. Components are
+// ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.EdgeBetween(i, j).Exists() {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// NumClasses returns the number of indistinguishability classes.
+func (g *Graph) NumClasses() int { return len(g.Components()) }
+
+// ClassOf returns the index (into Components) of the class containing
+// permutation p.
+func (g *Graph) ClassOf(p int) int {
+	for ci, members := range g.Components() {
+		for _, m := range members {
+			if m == p {
+				return ci
+			}
+		}
+	}
+	return -1
+}
+
+// IsLabeling reports whether bag element e labels every pair of distinct
+// permutations. When true the graph is complete and there is a single class.
+func (g *Graph) IsLabeling(e int) bool {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.indistinguishable(i, j, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsStronglyLabeling reports whether e is a strong label of every pair:
+// e labels it and both permutations reach the same final state.
+func (g *Graph) IsStronglyLabeling(e int) bool {
+	n := g.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.finalKey[i] != g.finalKey[j] || !g.indistinguishable(i, j, e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllLabeling reports whether every bag element is labeling (the condition
+// of Proposition 1).
+func (g *Graph) AllLabeling() bool {
+	for e := range g.Bag {
+		if !g.IsLabeling(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllStronglyLabeling reports whether every bag element is strongly labeling
+// (the |B|=2 condition of Proposition 2).
+func (g *Graph) AllStronglyLabeling() bool {
+	for e := range g.Bag {
+		if !g.IsStronglyLabeling(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// PermString renders permutation p as "add(1).add(2).contains(1)".
+func (g *Graph) PermString(p int) string {
+	parts := make([]string, len(g.Perms[p]))
+	for i, e := range g.Perms[p] {
+		parts[i] = g.Bag[e].String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// permutations enumerates the permutations of 0..k-1 in lexicographic order.
+func permutations(k int) [][]int {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out [][]int
+	var rec func([]int, []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := make([]int, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			withI := make([]int, len(prefix)+1)
+			copy(withI, prefix)
+			withI[len(prefix)] = rest[i]
+			rec(withI, next)
+		}
+	}
+	rec(nil, idx)
+	return out
+}

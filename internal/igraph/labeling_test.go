@@ -1,0 +1,233 @@
+package igraph
+
+import (
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// Propositions 1 and 2: labeling predicates as conflict-freedom criteria.
+
+func TestProposition2SegmentedWritesAreConflictFree(t *testing.T) {
+	// "This may happen when they access different shards, or segments, in a
+	// large object": blind puts to distinct keys of M2 are strongly
+	// labeling pairwise, so a conflict-free implementation exists — this is
+	// precisely what a segmentation realizes.
+	m2 := spec.Map(spec.M2)
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{m2.Op("put", 1, 10), m2.Op("put", 2, 20)}
+	if !ConflictFreeLongLived(m2, opts) {
+		t.Error("blind puts on distinct keys must admit a conflict-free implementation")
+	}
+	// Same key: the writes do not commute strongly (last writer wins), so
+	// no conflict-free implementation exists.
+	opts.Gens = []*spec.Op{m2.Op("put", 1, 10), m2.Op("put", 1, 20)}
+	if ConflictFreeLongLived(m2, opts) {
+		t.Error("blind puts on the same key must not be conflict-free")
+	}
+}
+
+func TestProposition2BlindCounterIncrements(t *testing.T) {
+	// Blind increments commute strongly: a conflict-free implementation
+	// exists (per-thread cells). Adding get breaks it — a read must observe
+	// concurrent increments.
+	c3 := spec.Counter(spec.C3)
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{c3.Op("inc")}
+	if !ConflictFreeLongLived(c3, opts) {
+		t.Error("blind increments must be conflict-free")
+	}
+	opts.Gens = []*spec.Op{c3.Op("inc"), c3.Op("get")}
+	if ConflictFreeLongLived(c3, opts) {
+		t.Error("inc+get must not be conflict-free (reads must see increments)")
+	}
+}
+
+func TestProposition1OneShot(t *testing.T) {
+	opts := DefaultSearchOpts()
+	opts.OneShot = true
+
+	// One-shot blind adds: every bag is labeling — conflict-free.
+	s2 := spec.Set(spec.S2)
+	opts.Gens = []*spec.Op{s2.Op("add", 1), s2.Op("add", 2)}
+	if !ConflictFreeOneShot(s2, 2, opts) {
+		t.Error("one-shot blind adds must be conflict-free")
+	}
+	// S1's reporting add is not: the response reveals the interleaving.
+	s1 := spec.Set(spec.S1)
+	opts.Gens = []*spec.Op{s1.Op("add", 1), s1.Op("add", 1)}
+	if ConflictFreeOneShot(s1, 2, opts) {
+		t.Error("one-shot reporting adds must not be conflict-free")
+	}
+}
+
+func TestWriteOnceReferenceGraphIsDense(t *testing.T) {
+	// §3.3 on Listing 1: AtomicWriteOnceReference fails Proposition 2 for
+	// B = {set, get} — yet its graph is dense: "permuting operations before
+	// (or after) the first set does not change their return values, nor the
+	// state of the object."
+	r2 := spec.Ref(spec.R2)
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{r2.Op("set", 1), r2.Op("get")}
+	if ConflictFreeLongLived(r2, opts) {
+		t.Error("{set, get} on R2 must not satisfy Proposition 2")
+	}
+
+	// Density: among one set and several gets, every graph has a single
+	// class once the reference is initialized, and the set labels every
+	// edge after initialization.
+	g := New([]*spec.Op{r2.Op("set", 2), r2.Op("get"), r2.Op("get")},
+		&spec.RefState{Val: 1, Set: true})
+	if g.NumClasses() != 1 {
+		t.Errorf("initialized write-once graph: %d classes, want 1", g.NumClasses())
+	}
+	if !g.AllLabeling() {
+		t.Error("on an initialized write-once reference every operation is labeling")
+	}
+
+	// From ⊥ the set succeeds and gets race with it: still a single class
+	// (the set labels everything — its response and final state never
+	// change), though gets do not label.
+	g = New([]*spec.Op{r2.Op("set", 2), r2.Op("get"), r2.Op("get")}, r2.Init)
+	if g.NumClasses() != 1 {
+		t.Errorf("uninitialized write-once graph: %d classes, want 1", g.NumClasses())
+	}
+	if !g.IsStronglyLabeling(0) {
+		t.Error("set must strongly label every edge from ⊥ (its effect is order-independent)")
+	}
+}
+
+func TestStrongVersusWeakLabeling(t *testing.T) {
+	// R1 (overwriting register): {set(1), set(2)} is labeling but NOT
+	// strongly labeling — the final state depends on the order. This is the
+	// gap between Proposition 1 (one-shot) and Proposition 2 (long-lived).
+	r1 := spec.Ref(spec.R1)
+	g := New([]*spec.Op{r1.Op("set", 1), r1.Op("set", 2)}, r1.Init)
+	if !g.AllLabeling() {
+		t.Error("blind sets must be labeling")
+	}
+	if g.AllStronglyLabeling() {
+		t.Error("overwriting sets must not be strongly labeling")
+	}
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{r1.Op("set", 1), r1.Op("set", 2)}
+	opts.OneShot = true
+	if !ConflictFreeOneShot(r1, 2, opts) {
+		t.Error("one-shot register writes are conflict-free (Prop. 1)")
+	}
+	opts.OneShot = false
+	if ConflictFreeLongLived(r1, opts) {
+		t.Error("long-lived register writes are not conflict-free (Prop. 2)")
+	}
+}
+
+func TestGraphBasicInvariants(t *testing.T) {
+	// Node count |B|!, class count ≤ |B|, edge symmetry.
+	c := spec.Counter(spec.C1)
+	bag := []*spec.Op{c.Op("inc"), c.Op("inc"), c.Op("get")}
+	g := New(bag, c.Init)
+	if g.N() != 6 || g.K() != 3 {
+		t.Fatalf("N=%d K=%d, want 6 and 3", g.N(), g.K())
+	}
+	if nc := g.NumClasses(); nc > 3 {
+		t.Errorf("classes = %d, exceeds |B|", nc)
+	}
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if i == j {
+				continue
+			}
+			a, b := g.EdgeBetween(i, j), g.EdgeBetween(j, i)
+			if a.Exists() != b.Exists() || a.Strong != b.Strong {
+				t.Fatalf("edge (%d,%d) asymmetric", i, j)
+			}
+		}
+	}
+	// ClassOf is consistent with Components.
+	for p := 0; p < g.N(); p++ {
+		ci := g.ClassOf(p)
+		found := false
+		for _, m := range g.Components()[ci] {
+			if m == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ClassOf(%d) = %d inconsistent with Components", p, ci)
+		}
+	}
+}
+
+func TestFirstOpEqualImpliesSameClass(t *testing.T) {
+	// "This comes from the fact that if x[0] = y[0] then [x] = [y]."
+	for _, dt := range spec.AllCatalogTypes() {
+		gens := dt.OpSpace([]int{1, 2})
+		if len(gens) < 3 {
+			continue
+		}
+		bag := gens[:3]
+		g := New(bag, dt.Init)
+		for i, pi := range g.Perms {
+			for j, pj := range g.Perms {
+				if i < j && pi[0] == pj[0] && g.ClassOf(i) != g.ClassOf(j) {
+					t.Errorf("%s: permutations %s and %s share first op but are in different classes",
+						dt.Name, g.PermString(i), g.PermString(j))
+				}
+			}
+		}
+	}
+}
+
+func TestGraphPanicsOnBadBagSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty bag")
+		}
+	}()
+	New(nil, spec.NewSetState())
+}
+
+// TestOneShotRelationWeaker: the one-shot indistinguishability relation
+// drops the common-attainable-state conjunct, so every long-lived edge is a
+// one-shot edge — checked across the whole catalog.
+func TestOneShotRelationWeaker(t *testing.T) {
+	for _, dt := range spec.AllCatalogTypes() {
+		gens := dt.OpSpace([]int{1, 2})
+		if len(gens) < 3 {
+			continue
+		}
+		bag := gens[:3]
+		for _, s := range dt.Reachable(gens, 2, 8) {
+			ll := New(bag, s)
+			os := NewOneShot(bag, s)
+			for i := 0; i < ll.N(); i++ {
+				for j := i + 1; j < ll.N(); j++ {
+					le, oe := ll.EdgeBetween(i, j), os.EdgeBetween(i, j)
+					for _, l := range le.Label {
+						if !oe.Labels(l) {
+							t.Fatalf("%s: long-lived label %d on (%d,%d) missing one-shot", dt.Name, l, i, j)
+						}
+					}
+				}
+			}
+			if ll.NumClasses() < os.NumClasses() {
+				t.Fatalf("%s: one-shot graph has MORE classes than long-lived", dt.Name)
+			}
+		}
+	}
+}
+
+// TestStrongLabelingImpliesLabeling is the obvious structural implication,
+// checked exhaustively on small graphs.
+func TestStrongLabelingImpliesLabeling(t *testing.T) {
+	for _, dt := range spec.AllCatalogTypes() {
+		gens := dt.OpSpace([]int{1, 2})
+		bag := gens[:min(3, len(gens))]
+		g := New(bag, dt.Init)
+		for e := range bag {
+			if g.IsStronglyLabeling(e) && !g.IsLabeling(e) {
+				t.Fatalf("%s: element %d strongly labeling but not labeling", dt.Name, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package igraph
+
+// Moverness semantics (§3.3): left-movers are implementable without update
+// conflicts (Proposition 3); right-movers are implementable invisibly
+// (Proposition 4).
+
+// leftMovesAt reports whether the bag element at position pos of permutation
+// p strongly labels the edge to the permutation with positions pos-1 and pos
+// swapped.
+func (g *Graph) leftMovesAt(p, pos int) bool {
+	if pos == 0 {
+		return true // nothing to move past
+	}
+	q := g.permIndexOfSwap(p, pos-1)
+	e := g.Perms[p][pos]
+	edge := g.EdgeBetween(p, q)
+	return edge.Strong && edge.Labels(e)
+}
+
+// rightMovesAt reports whether the bag element at position pos of
+// permutation p right-moves: its predecessor strongly labels the edge to the
+// swapped permutation.
+func (g *Graph) rightMovesAt(p, pos int) bool {
+	if pos == 0 {
+		return true
+	}
+	q := g.permIndexOfSwap(p, pos-1)
+	pred := g.Perms[p][pos-1]
+	edge := g.EdgeBetween(p, q)
+	return edge.Strong && edge.Labels(pred)
+}
+
+// LeftMoves reports whether bag element e left-moves in the whole graph: in
+// every permutation, swapping e with its predecessor is strongly labeled by
+// e.
+func (g *Graph) LeftMoves(e int) bool {
+	for p, perm := range g.Perms {
+		for pos, el := range perm {
+			if el == e && !g.leftMovesAt(p, pos) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RightMoves reports whether bag element e right-moves in the whole graph.
+func (g *Graph) RightMoves(e int) bool {
+	for p, perm := range g.Perms {
+		for pos, el := range perm {
+			if el == e && !g.rightMovesAt(p, pos) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// permIndexOfSwap returns the index of the permutation equal to Perms[p]
+// with positions pos and pos+1 exchanged.
+func (g *Graph) permIndexOfSwap(p, pos int) int {
+	perm := g.Perms[p]
+	swapped := make([]int, len(perm))
+	copy(swapped, perm)
+	swapped[pos], swapped[pos+1] = swapped[pos+1], swapped[pos]
+	return g.permIndex(swapped)
+}
+
+// permIndex locates a permutation by content. Lexicographic order makes a
+// rank computation possible, which keeps graph construction O(k!·k) rather
+// than O(k!·k!).
+func (g *Graph) permIndex(perm []int) int {
+	// Lehmer-code rank.
+	k := len(perm)
+	rank := 0
+	fact := 1
+	for i := 2; i <= k; i++ {
+		fact *= i
+	}
+	for i := 0; i < k; i++ {
+		fact /= k - i
+		smaller := 0
+		for j := i + 1; j < k; j++ {
+			if perm[j] < perm[i] {
+				smaller++
+			}
+		}
+		rank += smaller * fact
+	}
+	return rank
+}

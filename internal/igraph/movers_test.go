@@ -1,0 +1,124 @@
+package igraph
+
+import (
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+func TestBlindAddLeftMovesAmongAdds(t *testing.T) {
+	// §3.3: "If add is blind (object S2 in Table 1), it left-moves with
+	// prior add operations."
+	s2 := spec.Set(spec.S2)
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{s2.Op("add", 1), s2.Op("add", 2)}
+	if !LeftMover(s2, s2.Op("add", 1), opts) {
+		t.Error("blind add must left-move among adds")
+	}
+	// With removes in the mix, add no longer left-moves: swapping add(1)
+	// past remove(1) changes the final state.
+	opts.Gens = []*spec.Op{s2.Op("add", 1), s2.Op("remove", 1)}
+	if LeftMover(s2, s2.Op("add", 1), opts) {
+		t.Error("blind add must not left-move past remove of the same element")
+	}
+	// The S1 add (which reports membership) is not a left-mover even among
+	// adds of the same element: its response reveals the order.
+	s1 := spec.Set(spec.S1)
+	opts.Gens = []*spec.Op{s1.Op("add", 1), s1.Op("add", 1)}
+	if LeftMover(s1, s1.Op("add", 1), opts) {
+		t.Error("reporting add must not left-move")
+	}
+}
+
+func TestBlindIncLeftMoves(t *testing.T) {
+	// The C3 blind increment left-moves even with reads present — the basis
+	// of Proposition 3 applied to CounterIncrementOnly.
+	c3 := spec.Counter(spec.C3)
+	opts := DefaultSearchOpts()
+	opts.Gens = []*spec.Op{c3.Op("inc"), c3.Op("get")}
+	if !LeftMover(c3, c3.Op("inc"), opts) {
+		t.Error("blind inc must left-move")
+	}
+	// The C1 inc returns the new value: not a left-mover.
+	c1 := spec.Counter(spec.C1)
+	opts.Gens = []*spec.Op{c1.Op("inc"), c1.Op("get")}
+	if LeftMover(c1, c1.Op("inc"), opts) {
+		t.Error("fetch-and-increment must not left-move")
+	}
+}
+
+func TestReadsRightMove(t *testing.T) {
+	// "Because they have no side effects, reads are typical right-movers."
+	opts := DefaultSearchOpts()
+	cases := []struct {
+		dt  *spec.DataType
+		gen *spec.Op
+	}{
+		{spec.Counter(spec.C1), spec.Counter(spec.C1).Op("get")},
+		{spec.Counter(spec.C3), spec.Counter(spec.C3).Op("get")},
+		{spec.Set(spec.S1), spec.Set(spec.S1).Op("contains", 1)},
+		{spec.Ref(spec.R1), spec.Ref(spec.R1).Op("get")},
+		{spec.Map(spec.M1), spec.Map(spec.M1).Op("contains", 1)},
+	}
+	for _, tc := range cases {
+		if !RightMover(tc.dt, tc.gen, opts) {
+			t.Errorf("%s: %s must right-move (it is a read)", tc.dt.Name, tc.gen)
+		}
+	}
+	// A destructive poll is not a right-mover.
+	q := spec.Queue()
+	if RightMover(q, q.Op("poll"), opts) {
+		t.Error("poll must not right-move")
+	}
+}
+
+func TestOfferLeftMovesWithPollOnNonEmptyQueue(t *testing.T) {
+	// §3.3: "When the queue is not empty, this operation [offer] left-moves
+	// with poll." — checked on the specific graphs.
+	q := spec.Queue()
+	bag := []*spec.Op{q.Op("poll"), q.Op("offer", 9)}
+
+	// Non-empty start: offer left-moves in the permutation poll.offer.
+	g := New(bag, spec.NewQueueState(5))
+	// Permutation 0 is (poll, offer); offer is element 1 at position 1.
+	if !g.leftMovesAt(0, 1) {
+		t.Error("offer must left-move past poll when the queue is non-empty")
+	}
+	if !g.LeftMoves(1) {
+		t.Error("offer must left-move in the whole graph from a non-empty state")
+	}
+
+	// Empty start: swapping changes whether poll sees the element — the
+	// edge is not strong, so offer does not left-move.
+	g = New(bag, spec.NewQueueState())
+	if g.LeftMoves(1) {
+		t.Error("offer must not left-move from the empty queue")
+	}
+}
+
+func TestLeftRightMoverDuality(t *testing.T) {
+	// "c_i right-moves in x if and only if c_{i-1} left-moves in x'."
+	c3 := spec.Counter(spec.C3)
+	bag := []*spec.Op{c3.Op("inc"), c3.Op("get"), c3.Op("inc")}
+	g := New(bag, c3.Init)
+	for p, perm := range g.Perms {
+		for pos := 1; pos < len(perm); pos++ {
+			q := g.permIndexOfSwap(p, pos-1)
+			// In the swapped permutation, the old predecessor sits at pos.
+			if got, want := g.rightMovesAt(p, pos), g.leftMovesAt(q, pos); got != want {
+				t.Fatalf("duality violated at perm %s pos %d", g.PermString(p), pos)
+			}
+		}
+	}
+}
+
+func TestPermIndexRoundTrip(t *testing.T) {
+	c := spec.Counter(spec.C3)
+	bag := []*spec.Op{c.Op("inc"), c.Op("inc"), c.Op("get"), c.Op("reset")}
+	g := New(bag, c.Init)
+	for i, perm := range g.Perms {
+		if got := g.permIndex(perm); got != i {
+			t.Fatalf("permIndex(%v) = %d, want %d", perm, got, i)
+		}
+	}
+}

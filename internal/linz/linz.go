@@ -1,0 +1,133 @@
+// Package linz is a small linearizability checker (Wing & Gong style) driven
+// by the executable sequential specifications of package spec. Concurrent
+// test harnesses record operation invocations and responses with logical
+// timestamps; the checker searches for a linearization — a sequential order
+// consistent with real time whose responses the specification reproduces.
+//
+// The checker is exponential in the worst case and intended for the small
+// histories the test suites record (≤ ~20 operations); memoization on
+// (linearized-set, state) keeps typical runs fast.
+package linz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// Event is one completed operation in a concurrent history.
+type Event struct {
+	// Thread is the recording thread's id.
+	Thread int
+	// Op is the operation instance (its spec drives the check).
+	Op *spec.Op
+	// Result is the response observed from the implementation.
+	Result spec.Value
+	// Start and End are logical timestamps: Start is taken before the
+	// operation begins, End after it returns. Event A happens-before B iff
+	// A.End < B.Start.
+	Start, End int64
+}
+
+// String renders the event for failure messages.
+func (e Event) String() string {
+	return fmt.Sprintf("t%d:%s=%s@[%d,%d]", e.Thread, e.Op, spec.FormatValue(e.Result), e.Start, e.End)
+}
+
+// Recorder collects events concurrently. Create one per test run; threads
+// call Begin before invoking the operation and End after it returns.
+type Recorder struct {
+	clock  atomic.Int64
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin returns the invocation timestamp.
+func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
+
+// End records a completed operation.
+func (r *Recorder) End(thread int, op *spec.Op, result spec.Value, start int64) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.events = append(r.events, Event{Thread: thread, Op: op, Result: result, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// History returns the recorded events sorted by start time.
+func (r *Recorder) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Check reports whether the history linearizes against the specification
+// starting from init. On failure it returns an error describing the history.
+func Check(init spec.State, history []Event) error {
+	n := len(history)
+	if n == 0 {
+		return nil
+	}
+	if n > 63 {
+		return fmt.Errorf("linz: history of %d events is too large for the checker", n)
+	}
+	events := append([]Event(nil), history...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+
+	memo := map[string]bool{} // states already proven dead ends
+	var dfs func(done uint64, st spec.State) bool
+	dfs = func(done uint64, st spec.State) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		key := strconv.FormatUint(done, 16) + "|" + st.Key()
+		if memo[key] {
+			return false
+		}
+		// minEnd over not-yet-linearized events: a candidate must have
+		// started before every pending operation ended (otherwise some
+		// pending op happens-before it and must linearize first).
+		minEnd := int64(1 << 62)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && events[i].End < minEnd {
+				minEnd = events[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			e := events[i]
+			if e.Start > minEnd {
+				continue // some pending event precedes it in real time
+			}
+			next, val := e.Op.Exec(st)
+			if !spec.ValueEq(val, e.Result) {
+				continue
+			}
+			if dfs(done|1<<i, next) {
+				return true
+			}
+		}
+		memo[key] = true
+		return false
+	}
+	if dfs(0, init) {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("linz: history is not linearizable:\n")
+	for _, e := range events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -1,0 +1,290 @@
+// Package miner reproduces the usage-mining study of §6.1 (Figures 1, 4
+// and 5) with Go as the subject language. The paper mines 50 Apache Software
+// Foundation Java projects for java.util.concurrent usage; this miner parses
+// Go source trees (go/ast, stdlib only) for usage of the equivalent shared
+// objects — sync/atomic types, sync.Map/Mutex/RWMutex, and this library's
+// own objects — and reports the same metrics:
+//
+//   - method-call frequencies per shared-object type (Figures 1-left, 5);
+//   - whether call return values are used or ignored (Figure 1-right);
+//   - declaration counts per project and their share of all declarations
+//     (Figure 4).
+//
+// The substitution preserves the methodology: the takeaways (few
+// declarations, a narrow slice of the interface in use, ignored return
+// values) are measured, not assumed.
+package miner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TrackedTypes maps type spellings (as written in source) to the canonical
+// shared-object name they count toward. Both pointer and value spellings of
+// the sync/atomic types are tracked, as are this module's own objects.
+var TrackedTypes = map[string]string{
+	"atomic.Int64":   "atomic.Int64",
+	"atomic.Int32":   "atomic.Int64",
+	"atomic.Uint64":  "atomic.Int64",
+	"atomic.Uint32":  "atomic.Int64",
+	"atomic.Bool":    "atomic.Int64",
+	"atomic.Value":   "atomic.Value",
+	"atomic.Pointer": "atomic.Pointer",
+	"sync.Map":       "sync.Map",
+	"sync.Mutex":     "sync.Mutex",
+	"sync.RWMutex":   "sync.RWMutex",
+	"sync.WaitGroup": "sync.WaitGroup",
+	"sync.Once":      "sync.Once",
+}
+
+// MethodUse aggregates the usage of one method of a shared-object type.
+type MethodUse struct {
+	Type         string
+	Method       string
+	Calls        int
+	ReturnUsed   int // calls whose result flows somewhere
+	ReturnUnused int // calls in expression-statement position
+}
+
+// ProjectStats aggregates one project (directory tree).
+type ProjectStats struct {
+	Name         string
+	Files        int
+	FilesUsing   int                   // files declaring or calling a shared object
+	Declarations int                   // declarations of tracked types
+	AllDecls     int                   // all declarations, for the proportion axis of Fig. 4
+	Methods      map[string]*MethodUse // key: "Type.Method"
+}
+
+// NewProjectStats creates an empty aggregate.
+func NewProjectStats(name string) *ProjectStats {
+	return &ProjectStats{Name: name, Methods: map[string]*MethodUse{}}
+}
+
+// Proportion returns the share of shared-object declarations among all
+// declarations (the second y-axis of Figure 4-top).
+func (p *ProjectStats) Proportion() float64 {
+	if p.AllDecls == 0 {
+		return 0
+	}
+	return float64(p.Declarations) / float64(p.AllDecls)
+}
+
+// MineDir mines every .go file under root (skipping testdata and vendor)
+// as one project.
+func MineDir(root, name string) (*ProjectStats, error) {
+	stats := NewProjectStats(name)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			// Never skip the root itself: its basename may legitimately
+			// start with a dot (".", "..", a hidden checkout directory).
+			if path != root && (base == "vendor" || base == "testdata" || strings.HasPrefix(base, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if err := MineFile(path, stats); err != nil {
+			// A file that fails to parse is skipped, not fatal: mining is
+			// best effort across large corpora.
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("miner: walking %s: %w", root, err)
+	}
+	return stats, nil
+}
+
+// MineFile parses one file into the aggregate.
+func MineFile(path string, stats *ProjectStats) error {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return err
+	}
+	stats.Files++
+	before := stats.Declarations + totalCalls(stats)
+	mineAST(f, stats)
+	if stats.Declarations+totalCalls(stats) > before {
+		stats.FilesUsing++
+	}
+	return nil
+}
+
+func totalCalls(stats *ProjectStats) int {
+	n := 0
+	for _, m := range stats.Methods {
+		n += m.Calls
+	}
+	return n
+}
+
+// mineAST walks the file: it infers receiver types for identifiers declared
+// with tracked types (var decls, fields, composite literals) and counts
+// method calls on them, classifying return-value usage by syntactic
+// position. The inference is heuristic — the price of not type-checking the
+// whole corpus — and matches how the paper's scripts worked ("The results
+// reported in Figures 1 and 5 were found with the help of scripts").
+func mineAST(f *ast.File, stats *ProjectStats) {
+	// Pass 1: identifier -> tracked type, from declarations.
+	vars := map[string]string{}
+	recordType := func(names []*ast.Ident, typeExpr ast.Expr) {
+		tname, ok := trackedTypeName(typeExpr)
+		if !ok {
+			return
+		}
+		for _, id := range names {
+			vars[id.Name] = tname
+			stats.Declarations++
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ValueSpec:
+			stats.AllDecls += len(node.Names)
+			if node.Type != nil {
+				recordType(node.Names, node.Type)
+			}
+		case *ast.Field:
+			stats.AllDecls += len(node.Names)
+			recordType(node.Names, node.Type)
+		case *ast.AssignStmt:
+			if node.Tok == token.DEFINE {
+				stats.AllDecls += len(node.Lhs)
+			}
+		case *ast.TypeSpec, *ast.FuncDecl:
+			stats.AllDecls++
+		}
+		return true
+	})
+
+	// Pass 2: method calls on tracked identifiers (x.Method or s.f.Method),
+	// with return-usage classification from the parent statement.
+	classify := func(call *ast.CallExpr, used bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tname, ok := receiverType(sel.X, vars)
+		if !ok {
+			return
+		}
+		key := tname + "." + sel.Sel.Name
+		mu := stats.Methods[key]
+		if mu == nil {
+			mu = &MethodUse{Type: tname, Method: sel.Sel.Name}
+			stats.Methods[key] = mu
+		}
+		mu.Calls++
+		if used {
+			mu.ReturnUsed++
+		} else {
+			mu.ReturnUnused++
+		}
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if stmt, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					classify(call, false)
+					// Still walk into arguments: nested calls there are
+					// "used" (they feed the outer call).
+					for _, arg := range call.Args {
+						walk(arg)
+					}
+					return false
+				}
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				classify(call, true)
+			}
+			return true
+		})
+	}
+	walk(f)
+}
+
+// trackedTypeName resolves a declaration type expression to a tracked name.
+func trackedTypeName(e ast.Expr) (string, bool) {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return trackedTypeName(t.X)
+	case *ast.IndexExpr: // generic instantiation, e.g. atomic.Pointer[T]
+		return trackedTypeName(t.X)
+	case *ast.SelectorExpr:
+		if pkg, ok := t.X.(*ast.Ident); ok {
+			name := pkg.Name + "." + t.Sel.Name
+			if canon, ok := TrackedTypes[name]; ok {
+				return canon, true
+			}
+		}
+	}
+	return "", false
+}
+
+// receiverType resolves the receiver expression of a method call to a
+// tracked type via the declared-identifier table (x, s.x, (&x)).
+func receiverType(e ast.Expr, vars map[string]string) (string, bool) {
+	switch r := e.(type) {
+	case *ast.Ident:
+		t, ok := vars[r.Name]
+		return t, ok
+	case *ast.SelectorExpr:
+		t, ok := vars[r.Sel.Name]
+		return t, ok
+	case *ast.ParenExpr:
+		return receiverType(r.X, vars)
+	case *ast.UnaryExpr:
+		return receiverType(r.X, vars)
+	}
+	return "", false
+}
+
+// TopMethods returns the method-usage rows of one type, most-called first —
+// the data behind Figures 1-left and 5.
+func (p *ProjectStats) TopMethods(typeName string) []*MethodUse {
+	var out []*MethodUse
+	for _, m := range p.Methods {
+		if m.Type == typeName {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// Types returns the tracked type names observed, alphabetically.
+func (p *ProjectStats) Types() []string {
+	seen := map[string]bool{}
+	for _, m := range p.Methods {
+		seen[m.Type] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,220 @@
+package miner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpus creates a small synthetic project on disk.
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const srcCounters = `package p
+
+import "sync/atomic"
+
+type server struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var global atomic.Int64
+
+func (s *server) handle() {
+	s.hits.Add(1)          // return value ignored
+	_ = s.hits.Load()      // return value used
+	global.Store(5)        // void
+	if global.Load() > 3 { // used
+		s.misses.Add(1)
+	}
+}
+`
+
+const srcMap = `package p
+
+import "sync"
+
+var cache sync.Map
+
+func lookup(k string) (any, bool) {
+	cache.Store(k, 1)
+	return cache.Load(k)
+}
+`
+
+const srcPlain = `package p
+
+func add(a, b int) int {
+	c := a + b
+	return c
+}
+`
+
+func TestMineCountsMethodsAndReturnUsage(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{
+		"a.go": srcCounters,
+		"b.go": srcMap,
+		"c.go": srcPlain,
+	})
+	stats, err := MineDir(dir, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 3 {
+		t.Fatalf("Files = %d, want 3", stats.Files)
+	}
+	if stats.FilesUsing != 2 {
+		t.Fatalf("FilesUsing = %d, want 2", stats.FilesUsing)
+	}
+	// hits, misses, global = 3 atomic.Int64 declarations + cache (sync.Map).
+	if stats.Declarations != 4 {
+		t.Fatalf("Declarations = %d, want 4", stats.Declarations)
+	}
+	if stats.AllDecls <= stats.Declarations {
+		t.Fatalf("AllDecls = %d must exceed tracked declarations", stats.AllDecls)
+	}
+
+	add := stats.Methods["atomic.Int64.Add"]
+	if add == nil || add.Calls != 2 {
+		t.Fatalf("Add usage = %+v, want 2 calls", add)
+	}
+	if add.ReturnUnused != 2 {
+		t.Fatalf("Add.ReturnUnused = %d, want 2 (statement position)", add.ReturnUnused)
+	}
+	load := stats.Methods["atomic.Int64.Load"]
+	if load == nil || load.Calls != 2 || load.ReturnUsed != 2 {
+		t.Fatalf("Load usage = %+v, want 2 used calls", load)
+	}
+	store := stats.Methods["atomic.Int64.Store"]
+	if store == nil || store.Calls != 1 {
+		t.Fatalf("Store usage = %+v", store)
+	}
+	if m := stats.Methods["sync.Map.Store"]; m == nil || m.Calls != 1 {
+		t.Fatalf("sync.Map.Store = %+v", m)
+	}
+	if m := stats.Methods["sync.Map.Load"]; m == nil || m.ReturnUsed != 1 {
+		t.Fatalf("sync.Map.Load = %+v, want return used (return position)", m)
+	}
+}
+
+func TestTopMethodsOrdering(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{"a.go": srcCounters})
+	stats, err := MineDir(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := stats.TopMethods("atomic.Int64")
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Calls > rows[i-1].Calls {
+			t.Fatal("TopMethods not sorted by calls")
+		}
+	}
+}
+
+func TestMineSkipsVendorAndBadFiles(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{
+		"ok.go":           srcPlain,
+		"vendor/bad.go":   "not go at all {",
+		"testdata/bad.go": "also not go",
+		"broken.go":       "package p\nfunc {", // parse error: skipped
+	})
+	stats, err := MineDir(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 1 {
+		t.Fatalf("Files = %d, want 1 (vendor/testdata/broken skipped)", stats.Files)
+	}
+}
+
+func TestMineSelfHosting(t *testing.T) {
+	// The miner mines this repository: the library's own internals declare
+	// plenty of sync/atomic state, so this doubles as an integration test on
+	// a real corpus.
+	stats, err := MineDir("../..", "dego")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files < 30 {
+		t.Fatalf("mined %d files; expected the whole repository", stats.Files)
+	}
+	if stats.Declarations == 0 {
+		t.Fatal("no tracked declarations found in a concurrency library")
+	}
+	if stats.Proportion() <= 0 || stats.Proportion() > 0.5 {
+		t.Fatalf("proportion = %v, want small but positive (Takeaway 1)", stats.Proportion())
+	}
+}
+
+func TestFigurePrinters(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{"a.go": srcCounters, "b.go": srcMap})
+	stats, err := MineDir(dir, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Figure1(&sb, stats)
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "atomic.Int64", "Add", "return used"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	Figure5(&sb, []*ProjectStats{stats}, 10)
+	out = sb.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "atomic.Int64") {
+		t.Errorf("Figure5 output wrong:\n%s", out)
+	}
+
+	sb.Reset()
+	Figure4(&sb, []*ProjectStats{stats})
+	out = sb.String()
+	for _, want := range []string{"Figure 4", "corpus", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Trend(t *testing.T) {
+	mk := func(decls, all int) *ProjectStats {
+		p := NewProjectStats("p")
+		p.Declarations = decls
+		p.AllDecls = all
+		return p
+	}
+	var sb strings.Builder
+	err := Figure4Trend(&sb, []string{"2015", "2024"},
+		[][]*ProjectStats{{mk(40, 5000)}, {mk(50, 5200)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"2015", "2024", "40.0", "50.0", "+25%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Figure4Trend(&sb, []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}

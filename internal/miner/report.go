@@ -1,0 +1,169 @@
+package miner
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file renders the figures of §6.1 from mining aggregates.
+
+// Figure1 prints, for each tracked type in the project: the method-usage
+// percentages (left panel) and the return-value-used matrix (right panel).
+func Figure1(w io.Writer, p *ProjectStats) {
+	fmt.Fprintf(w, "=== Figure 1: shared-object interface usage in %s ===\n\n", p.Name)
+	for _, t := range p.Types() {
+		rows := p.TopMethods(t)
+		total := 0
+		for _, m := range rows {
+			total += m.Calls
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "## %s (%d calls)\n", t, total)
+		fmt.Fprintf(w, "%-24s%8s%8s  %s\n", "method", "calls", "%", "return used")
+		for _, m := range rows {
+			mark := "×"
+			if m.ReturnUsed > 0 {
+				mark = "+"
+			}
+			fmt.Fprintf(w, "%-24s%8d%7.1f%%  %s\n",
+				m.Method, m.Calls, 100*float64(m.Calls)/float64(total), mark)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure5 prints the most-used-methods summary across projects: methods
+// above the threshold share are listed, the rest are grouped as "others",
+// exactly like the pie charts of Figure 5.
+func Figure5(w io.Writer, projects []*ProjectStats, thresholdPct float64) {
+	fmt.Fprintf(w, "=== Figure 5: most used methods across %d projects ===\n\n", len(projects))
+	// Merge per type.
+	merged := map[string]map[string]int{}
+	for _, p := range projects {
+		for _, m := range p.Methods {
+			if merged[m.Type] == nil {
+				merged[m.Type] = map[string]int{}
+			}
+			merged[m.Type][m.Method] += m.Calls
+		}
+	}
+	types := make([]string, 0, len(merged))
+	for t := range merged {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		methods := merged[t]
+		total := 0
+		for _, c := range methods {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		type row struct {
+			name string
+			c    int
+		}
+		rows := make([]row, 0, len(methods))
+		for m, c := range methods {
+			rows = append(rows, row{m, c})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].c != rows[j].c {
+				return rows[i].c > rows[j].c
+			}
+			return rows[i].name < rows[j].name
+		})
+		fmt.Fprintf(w, "## %s\n", t)
+		othersCalls, othersCount := 0, 0
+		for _, r := range rows {
+			pct := 100 * float64(r.c) / float64(total)
+			if pct >= thresholdPct {
+				fmt.Fprintf(w, "  %-20s%6.1f%%\n", r.name, pct)
+			} else {
+				othersCalls += r.c
+				othersCount++
+			}
+		}
+		if othersCount > 0 {
+			fmt.Fprintf(w, "  others (%d)%*s%6.1f%%\n", othersCount,
+				max(1, 20-8-digits(othersCount)), "",
+				100*float64(othersCalls)/float64(total))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure4 prints the declaration study: per project, the number of
+// shared-object declarations, their share of all declarations, and the
+// fraction of files using a shared object (the paper's most-modified-files
+// panel is approximated by files-using since git history is out of scope for
+// a source snapshot).
+func Figure4(w io.Writer, projects []*ProjectStats) {
+	fmt.Fprintf(w, "=== Figure 4: declarations of shared objects per project ===\n\n")
+	fmt.Fprintf(w, "%-24s%8s%10s%12s%14s\n", "project", "files", "decls", "proportion", "files using")
+	totalDecls, totalAll := 0, 0
+	for _, p := range projects {
+		share := 0.0
+		if p.Files > 0 {
+			share = float64(p.FilesUsing) / float64(p.Files)
+		}
+		fmt.Fprintf(w, "%-24s%8d%10d%11.2f%%%13.1f%%\n",
+			p.Name, p.Files, p.Declarations, 100*p.Proportion(), 100*share)
+		totalDecls += p.Declarations
+		totalAll += p.AllDecls
+	}
+	if totalAll > 0 {
+		fmt.Fprintf(w, "%-24s%8s%10d%11.2f%%\n", "TOTAL", "", totalDecls,
+			100*float64(totalDecls)/float64(totalAll))
+	}
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+// Figure4Trend prints the time axis of Figure 4 (top): given chronological
+// snapshots of the same corpus (version directories mined separately), it
+// reports the average number of shared-object declarations and their
+// proportion per snapshot — the paper's "gradual increase ... 25% growth
+// over ten years" measurement.
+func Figure4Trend(w io.Writer, labels []string, snapshots [][]*ProjectStats) error {
+	if len(labels) != len(snapshots) {
+		return fmt.Errorf("miner: %d labels for %d snapshots", len(labels), len(snapshots))
+	}
+	fmt.Fprintf(w, "=== Figure 4 (top): shared-object declarations over time ===\n\n")
+	fmt.Fprintf(w, "%-12s%14s%14s\n", "snapshot", "avg decls", "proportion")
+	first := -1.0
+	for i, projects := range snapshots {
+		total, all := 0, 0
+		for _, p := range projects {
+			total += p.Declarations
+			all += p.AllDecls
+		}
+		avg := 0.0
+		if len(projects) > 0 {
+			avg = float64(total) / float64(len(projects))
+		}
+		prop := 0.0
+		if all > 0 {
+			prop = float64(total) / float64(all)
+		}
+		fmt.Fprintf(w, "%-12s%14.1f%13.2f%%\n", labels[i], avg, 100*prop)
+		if first < 0 && avg > 0 {
+			first = avg
+		} else if i == len(snapshots)-1 && first > 0 {
+			fmt.Fprintf(w, "\ngrowth over the period: %+.0f%%\n", 100*(avg-first)/first)
+		}
+	}
+	return nil
+}

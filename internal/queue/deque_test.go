@@ -1,0 +1,145 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func TestSizedDequeSequential(t *testing.T) {
+	r := core.NewRegistry(2)
+	h := r.MustRegister()
+	d := NewSizedDeque[int](4, nil)
+
+	if _, ok := d.PopFront(h); ok {
+		t.Fatal("pop on empty deque")
+	}
+	if _, ok := d.PopBack(h); ok {
+		t.Fatal("pop on empty deque")
+	}
+	d.PushBack(h, 2)
+	d.PushBack(h, 3)
+	d.PushFront(h, 1)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if v, ok := d.PopFront(h); !ok || v != 1 {
+		t.Fatalf("PopFront = %d,%v", v, ok)
+	}
+	if v, ok := d.PopBack(h); !ok || v != 3 {
+		t.Fatalf("PopBack = %d,%v", v, ok)
+	}
+	if v, ok := d.PopFront(h); !ok || v != 2 {
+		t.Fatalf("PopFront = %d,%v", v, ok)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestSizedDequeMatchesOracleQuick(t *testing.T) {
+	r := core.NewRegistry(2)
+	h := r.MustRegister()
+	prop := func(ops []uint8) bool {
+		d := NewSizedDeque[int](2, nil)
+		var oracle []int
+		seq := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				seq++
+				d.PushFront(h, seq)
+				oracle = append([]int{seq}, oracle...)
+			case 1:
+				seq++
+				d.PushBack(h, seq)
+				oracle = append(oracle, seq)
+			case 2:
+				v, ok := d.PopFront(h)
+				if len(oracle) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != oracle[0] {
+						return false
+					}
+					oracle = oracle[1:]
+				}
+			default:
+				v, ok := d.PopBack(h)
+				if len(oracle) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != oracle[len(oracle)-1] {
+						return false
+					}
+					oracle = oracle[:len(oracle)-1]
+				}
+			}
+			if d.Len() != len(oracle) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizedDequeConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	r := core.NewRegistry(goroutines + 1)
+	d := NewSizedDeque[int](goroutines, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			for i := 0; i < perG; i++ {
+				if (g+i)%2 == 0 {
+					d.PushBack(h, i)
+				} else {
+					d.PushFront(h, i)
+				}
+				if i%3 == 0 {
+					d.PopFront(h)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := 0
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			want++
+			if i%3 == 0 {
+				want--
+			}
+		}
+	}
+	if got := d.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	// Drain and cross-check against the counter.
+	h0 := r.MustRegister()
+	n := 0
+	for {
+		if _, ok := d.PopBack(h0); !ok {
+			break
+		}
+		n++
+	}
+	if n != want {
+		t.Fatalf("drained %d, want %d", n, want)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len after drain = %d", d.Len())
+	}
+}

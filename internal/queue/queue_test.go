@@ -1,0 +1,293 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func TestMSSequentialFIFO(t *testing.T) {
+	q := NewMS[int](nil)
+	if !q.IsEmpty() {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, ok := q.Poll(); ok {
+		t.Fatal("poll on empty queue must miss")
+	}
+	for i := 1; i <= 5; i++ {
+		q.Offer(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := q.Poll()
+		if !ok || v != i {
+			t.Fatalf("Poll = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if !q.IsEmpty() || q.Len() != 0 {
+		t.Fatal("queue must be empty after draining")
+	}
+}
+
+func TestMSConcurrentProducersConsumers(t *testing.T) {
+	const producers, consumers, perP = 8, 8, 10000
+	q := NewMS[int](contention.NewProbe())
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Offer(p*perP + i)
+			}
+		}(p)
+	}
+	var consumed sync.Map
+	var total atomic64
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Poll()
+				if ok {
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("value %d consumed twice", v)
+						return
+					}
+					total.add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after producers are finished.
+					for {
+						v, ok := q.Poll()
+						if !ok {
+							return
+						}
+						if _, dup := consumed.LoadOrStore(v, true); dup {
+							t.Errorf("value %d consumed twice", v)
+							return
+						}
+						total.add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	if got := total.load(); got != producers*perP {
+		t.Fatalf("consumed %d values, want %d", got, producers*perP)
+	}
+}
+
+func TestMSPerProducerOrder(t *testing.T) {
+	// FIFO per producer: a single consumer must see each producer's values
+	// in order.
+	const producers, perP = 4, 5000
+	q := NewMS[[2]int](nil)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Offer([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Poll()
+		if !ok {
+			break
+		}
+		if v[1] != last[v[0]]+1 {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perP-1 {
+			t.Fatalf("producer %d: lost items after %d", p, l)
+		}
+	}
+}
+
+func TestMPSCSequential(t *testing.T) {
+	r := core.NewRegistry(4)
+	h := r.MustRegister()
+	q := NewMPSC[int](nil, false)
+	if !q.IsEmpty(h) {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := 1; i <= 3; i++ {
+		q.Offer(h, i)
+	}
+	if v, ok := q.Peek(h); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for i := 1; i <= 3; i++ {
+		if v, ok := q.Poll(h); !ok || v != i {
+			t.Fatalf("Poll = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Poll(h); ok {
+		t.Fatal("empty poll must miss")
+	}
+}
+
+func TestMPSCManyProducersOneConsumer(t *testing.T) {
+	const producers, perP = 15, 20000
+	r := core.NewRegistry(producers + 1)
+	q := NewMPSC[[2]int](contention.NewProbe(), false)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			for i := 0; i < perP; i++ {
+				q.Offer(h, [2]int{p, i})
+			}
+		}(p)
+	}
+	consumer := r.MustRegister()
+	got := 0
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	donech := make(chan struct{})
+	go func() { wg.Wait(); close(donech) }()
+	for {
+		v, ok := q.Poll(consumer)
+		if ok {
+			if v[1] != last[v[0]]+1 {
+				t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+			}
+			last[v[0]] = v[1]
+			got++
+			if got == producers*perP {
+				break
+			}
+			continue
+		}
+		select {
+		case <-donech:
+			if q.IsEmpty(consumer) && got != producers*perP {
+				t.Fatalf("consumed %d, want %d", got, producers*perP)
+			}
+		default:
+		}
+	}
+	if got != producers*perP {
+		t.Fatalf("consumed %d, want %d", got, producers*perP)
+	}
+}
+
+func TestMPSCGuardRejectsSecondConsumer(t *testing.T) {
+	r := core.NewRegistry(4)
+	q := NewMPSC[int](nil, true)
+	c1, c2 := r.MustRegister(), r.MustRegister()
+	q.Offer(c1, 1) // producers may be anyone
+	q.Offer(c2, 2)
+	if _, ok := q.Poll(c1); !ok {
+		t.Fatal("first consumer poll failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second consumer must trip the MWSR guard")
+		}
+	}()
+	q.Poll(c2)
+}
+
+func TestMPSCDrain(t *testing.T) {
+	r := core.NewRegistry(2)
+	h := r.MustRegister()
+	q := NewMPSC[int](nil, false)
+	for i := 0; i < 10; i++ {
+		q.Offer(h, i)
+	}
+	buf := make([]int, 4)
+	n := q.Drain(h, buf, 4)
+	if n != 4 || buf[0] != 0 || buf[3] != 3 {
+		t.Fatalf("Drain = %d %v", n, buf)
+	}
+	n = q.Drain(h, buf, 100)
+	if n != 4 { // limited by len(out)
+		t.Fatalf("Drain capped by buffer = %d, want 4", n)
+	}
+	big := make([]int, 100)
+	n = q.Drain(h, big, 100)
+	if n != 2 { // 10 - 8 drained
+		t.Fatalf("final Drain = %d, want 2", n)
+	}
+}
+
+func TestQueuesMatchOracleQuick(t *testing.T) {
+	// Property: a random offer/poll trace against both queues matches a
+	// slice-based oracle.
+	prop := func(ops []uint8) bool {
+		r := core.NewRegistry(2)
+		h := r.MustRegister()
+		ms := NewMS[int](nil)
+		mp := NewMPSC[int](nil, false)
+		var oracle []int
+		seq := 0
+		for _, op := range ops {
+			if op%3 != 0 { // offer twice as often
+				seq++
+				ms.Offer(seq)
+				mp.Offer(h, seq)
+				oracle = append(oracle, seq)
+				continue
+			}
+			mv, mok := ms.Poll()
+			pv, pok := mp.Poll(h)
+			if len(oracle) == 0 {
+				if mok || pok {
+					return false
+				}
+				continue
+			}
+			want := oracle[0]
+			oracle = oracle[1:]
+			if !mok || !pok || mv != want || pv != want {
+				return false
+			}
+		}
+		return ms.Len() == len(oracle)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// atomic64 is a tiny helper avoiding an import cycle with sync/atomic naming.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -1,0 +1,143 @@
+// Package ref provides the reference objects of §5.3 and Listing 1:
+//
+//   - Atomic — the AtomicReference baseline (a linearizable pointer cell).
+//   - WriteOnce — the adjusted object (R2): set succeeds at most once, and
+//     readers cache the immutable value to skip synchronization, the
+//     Concurrentli AtomicWriteOnceReference pattern. Java caches in a plain
+//     shared field (a benign race under the JMM); Go forbids benign races,
+//     so the cache is per-thread — same effect, race-detector clean.
+//   - RCUBox — the RCU-like mechanism for larger write-once/rarely-written
+//     objects: a full copy swapped in with one atomic store.
+package ref
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// ErrAlreadySet is returned by WriteOnce.Set when the reference was
+// initialized before (Listing 1 throws IllegalStateException).
+var ErrAlreadySet = errors.New("ref: write-once reference already set")
+
+// Atomic is the AtomicReference baseline: all operations are linearizable
+// loads, stores and CASes on one shared cell.
+type Atomic[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// NewAtomic creates a reference holding v (nil allowed).
+func NewAtomic[T any](v *T) *Atomic[T] {
+	a := &Atomic[T]{}
+	a.p.Store(v)
+	return a
+}
+
+// Get returns the current value.
+func (a *Atomic[T]) Get() *T { return a.p.Load() }
+
+// Set stores v.
+func (a *Atomic[T]) Set(v *T) { a.p.Store(v) }
+
+// CompareAndSet installs new when the current value is old.
+func (a *Atomic[T]) CompareAndSet(old, new *T) bool { return a.p.CompareAndSwap(old, new) }
+
+// ---------------------------------------------------------------------------
+
+// WriteOnce is the (R2, ALL) adjusted reference. TrySet wins at most once
+// (CAS, exactly Listing 1 line 16); Get first consults a per-thread cache
+// slot that, once filled, is read with a plain owner-only access — the Go
+// equivalent of Listing 1's _cachedObj shortcut.
+type WriteOnce[T any] struct {
+	obj   atomic.Pointer[T] // the volatile field of Listing 1
+	cache []cacheSlot[T]    // per-thread _cachedObj
+}
+
+type cacheSlot[T any] struct {
+	_ core.Pad
+	p *T // owner-only: written and read by one thread
+	_ core.Pad
+}
+
+// NewWriteOnce creates an unset reference over a registry's id space.
+func NewWriteOnce[T any](r *core.Registry) *WriteOnce[T] {
+	return &WriteOnce[T]{cache: make([]cacheSlot[T], r.Capacity())}
+}
+
+// Get returns the value, or nil before initialization. After the first
+// non-nil read by a thread, subsequent reads touch only that thread's
+// private slot.
+func (w *WriteOnce[T]) Get(h *core.Handle) *T {
+	slot := &w.cache[h.ID()]
+	if slot.p != nil {
+		return slot.p
+	}
+	v := w.obj.Load()
+	if v != nil {
+		slot.p = v
+	}
+	return v
+}
+
+// GetShared is the handle-free read path (one atomic load); used by threads
+// that read too rarely to justify a cache slot.
+func (w *WriteOnce[T]) GetShared() *T { return w.obj.Load() }
+
+// TrySet initializes the reference, returning false if it was already set.
+// Nil values are rejected: nil encodes "unset" (as in Listing 1).
+func (w *WriteOnce[T]) TrySet(h *core.Handle, v *T) bool {
+	if v == nil {
+		return false
+	}
+	if w.Get(h) != nil {
+		return false
+	}
+	if !w.obj.CompareAndSwap(nil, v) {
+		return false
+	}
+	w.cache[h.ID()].p = v // Listing 1 line 17
+	return true
+}
+
+// Set initializes the reference, returning ErrAlreadySet on a second call
+// (Listing 1 lines 9–13).
+func (w *WriteOnce[T]) Set(h *core.Handle, v *T) error {
+	if !w.TrySet(h, v) {
+		return ErrAlreadySet
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// RCUBox holds an immutable snapshot of a value. Readers load the current
+// snapshot with one atomic load and may keep using it; the single writer
+// replaces the whole snapshot atomically (copy-update). This is the "full
+// copy of the object and swapping the reference atomically with
+// setVolatile" mechanism of §5.3.
+type RCUBox[T any] struct {
+	p     atomic.Pointer[T]
+	guard *core.Guard
+}
+
+// NewRCUBox creates a box holding v. When checked is true an SWMR guard
+// verifies the single-writer role.
+func NewRCUBox[T any](v *T, checked bool) *RCUBox[T] {
+	b := &RCUBox[T]{}
+	b.p.Store(v)
+	if checked {
+		b.guard = core.NewGuard(core.ModeSWMR)
+	}
+	return b
+}
+
+// Read returns the current snapshot. The caller must treat it as immutable.
+func (b *RCUBox[T]) Read() *T { return b.p.Load() }
+
+// Update computes a new snapshot from the current one and publishes it. Only
+// the owning writer may call it; update must not mutate its argument.
+func (b *RCUBox[T]) Update(h *core.Handle, update func(old *T) *T) {
+	b.guard.MustCheck(h, core.Write)
+	b.p.Store(update(b.p.Load()))
+}

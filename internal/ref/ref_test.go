@@ -1,0 +1,182 @@
+package ref
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func TestAtomicReference(t *testing.T) {
+	one, two := 1, 2
+	a := NewAtomic[int](nil)
+	if a.Get() != nil {
+		t.Fatal("fresh reference not nil")
+	}
+	a.Set(&one)
+	if a.Get() != &one {
+		t.Fatal("Set/Get mismatch")
+	}
+	if !a.CompareAndSet(&one, &two) || a.Get() != &two {
+		t.Fatal("CAS should succeed")
+	}
+	if a.CompareAndSet(&one, &one) {
+		t.Fatal("CAS with stale expected value should fail")
+	}
+}
+
+func TestWriteOnceSingleAssignment(t *testing.T) {
+	r := core.NewRegistry(4)
+	h := r.MustRegister()
+	w := NewWriteOnce[string](r)
+
+	if w.Get(h) != nil || w.GetShared() != nil {
+		t.Fatal("fresh write-once reference must read nil")
+	}
+	v1, v2 := "first", "second"
+	if err := w.Set(h, &v1); err != nil {
+		t.Fatalf("first Set: %v", err)
+	}
+	if err := w.Set(h, &v2); !errors.Is(err, ErrAlreadySet) {
+		t.Fatalf("second Set: err = %v, want ErrAlreadySet", err)
+	}
+	if w.TrySet(h, &v2) {
+		t.Fatal("TrySet after Set must fail")
+	}
+	if got := w.Get(h); got != &v1 {
+		t.Fatalf("Get = %v, want first value", got)
+	}
+	if got := w.GetShared(); got != &v1 {
+		t.Fatalf("GetShared = %v, want first value", got)
+	}
+	if w.TrySet(h, nil) {
+		t.Fatal("nil TrySet must fail (nil encodes unset)")
+	}
+}
+
+func TestWriteOnceCacheIsPerThread(t *testing.T) {
+	r := core.NewRegistry(4)
+	h1, h2 := r.MustRegister(), r.MustRegister()
+	w := NewWriteOnce[int](r)
+	v := 42
+	if !w.TrySet(h1, &v) {
+		t.Fatal("TrySet failed")
+	}
+	// h2 has never read: its first Get loads through the shared field, then
+	// caches privately.
+	if w.Get(h2) != &v || w.Get(h2) != &v {
+		t.Fatal("h2 reads wrong value")
+	}
+}
+
+func TestWriteOnceConcurrentSingleWinner(t *testing.T) {
+	const goroutines = 16
+	r := core.NewRegistry(goroutines)
+	w := NewWriteOnce[int](r)
+	var wg sync.WaitGroup
+	winners := make(chan int, goroutines)
+	vals := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			vals[i] = i
+			if w.TrySet(h, &vals[i]) {
+				winners <- i
+			}
+			// Every reader must observe the winner's value from now on.
+			if got := w.Get(h); got == nil {
+				t.Error("read nil after TrySet attempt")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(winners)
+	count := 0
+	winner := -1
+	for i := range winners {
+		count++
+		winner = i
+	}
+	if count != 1 {
+		t.Fatalf("%d winners, want exactly 1", count)
+	}
+	if got := w.GetShared(); got != &vals[winner] {
+		t.Fatalf("final value is not the winner's")
+	}
+}
+
+func TestRCUBoxCopyUpdate(t *testing.T) {
+	type config struct {
+		Limit int
+		Name  string
+	}
+	r := core.NewRegistry(4)
+	writer := r.MustRegister()
+	b := NewRCUBox(&config{Limit: 1, Name: "a"}, false)
+
+	snap := b.Read()
+	b.Update(writer, func(old *config) *config {
+		c := *old
+		c.Limit = 2
+		return &c
+	})
+	if snap.Limit != 1 {
+		t.Fatal("old snapshot mutated: RCU contract broken")
+	}
+	if got := b.Read(); got.Limit != 2 || got.Name != "a" {
+		t.Fatalf("updated snapshot = %+v", got)
+	}
+}
+
+func TestRCUBoxGuard(t *testing.T) {
+	r := core.NewRegistry(4)
+	w1, w2 := r.MustRegister(), r.MustRegister()
+	b := NewRCUBox(new(int), true)
+	b.Update(w1, func(old *int) *int { v := *old + 1; return &v })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second writer must trip the SWMR guard")
+		}
+	}()
+	b.Update(w2, func(old *int) *int { return old })
+}
+
+func TestRCUBoxConcurrentReaders(t *testing.T) {
+	r := core.NewRegistry(16)
+	writer := r.MustRegister()
+	b := NewRCUBox(&[]int{0}, false)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := b.Read()
+					// Snapshot is internally consistent: values ascend by 1.
+					for j := 1; j < len(*s); j++ {
+						if (*s)[j] != (*s)[j-1]+1 {
+							t.Error("torn snapshot")
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 200; i++ {
+		b.Update(writer, func(old *[]int) *[]int {
+			next := append(append([]int(nil), *old...), (*old)[len(*old)-1]+1)
+			return &next
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,372 @@
+package retwis
+
+import (
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/hashmap"
+	"github.com/adjusted-objects/dego/internal/queue"
+	"github.com/adjusted-objects/dego/internal/set"
+	"github.com/adjusted-objects/dego/internal/stats"
+)
+
+func userHash(u UserID) uint64 { return stats.Hash64(uint64(u)) }
+
+// profile is an immutable profile snapshot, replaced wholesale on update
+// (both backends pay the same allocation).
+type profile struct {
+	Version int64
+}
+
+// ---------------------------------------------------------------------------
+// JUC backend
+
+type jucBackend struct {
+	followers *hashmap.Striped[UserID, *set.Locked[UserID]]
+	following *hashmap.Striped[UserID, *set.Locked[UserID]]
+	timelines *hashmap.Striped[UserID, *queue.MS[Tweet]]
+	profiles  *hashmap.Striped[UserID, *profile]
+	community *set.Striped[UserID]
+	probe     *contention.Probe
+}
+
+// NewJUC builds the baseline backend; probe may be nil.
+func NewJUC(expectedUsers int, probe *contention.Probe) Backend {
+	return &jucBackend{
+		followers: hashmap.NewStriped[UserID, *set.Locked[UserID]](256, expectedUsers, userHash, probe),
+		following: hashmap.NewStriped[UserID, *set.Locked[UserID]](256, expectedUsers, userHash, probe),
+		timelines: hashmap.NewStriped[UserID, *queue.MS[Tweet]](256, expectedUsers, userHash, probe),
+		profiles:  hashmap.NewStriped[UserID, *profile](256, expectedUsers, userHash, probe),
+		community: set.NewStriped[UserID](256, expectedUsers/8+16, userHash, probe),
+		probe:     probe,
+	}
+}
+
+func (b *jucBackend) Name() string { return "JUC" }
+
+func (b *jucBackend) AddUser(_ *core.Handle, u UserID) {
+	b.followers.Put(u, set.NewLocked[UserID](4, b.probe))
+	b.following.Put(u, set.NewLocked[UserID](4, b.probe))
+	b.timelines.Put(u, queue.NewMS[Tweet](b.probe))
+	b.profiles.Put(u, &profile{})
+}
+
+func (b *jucBackend) Follow(_ *core.Handle, follower, followee UserID) {
+	if s, ok := b.following.Get(follower); ok {
+		s.Add(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Add(follower)
+	}
+}
+
+func (b *jucBackend) Unfollow(_ *core.Handle, follower, followee UserID) {
+	if s, ok := b.following.Get(follower); ok {
+		s.Remove(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Remove(follower)
+	}
+}
+
+func (b *jucBackend) Post(_ *core.Handle, author UserID, t Tweet) {
+	fset, ok := b.followers.Get(author)
+	if !ok {
+		return
+	}
+	n := 0
+	fset.Range(func(f UserID) bool {
+		if q, ok := b.timelines.Get(f); ok {
+			q.Offer(t)
+		}
+		n++
+		return n < FanoutLimit
+	})
+}
+
+func (b *jucBackend) Timeline(_ *core.Handle, u UserID, out []Tweet) int {
+	q, ok := b.timelines.Get(u)
+	if !ok {
+		return 0
+	}
+	return drainLastMS(q, out)
+}
+
+func (b *jucBackend) JoinGroup(_ *core.Handle, u UserID)  { b.community.Add(u) }
+func (b *jucBackend) LeaveGroup(_ *core.Handle, u UserID) { b.community.Remove(u) }
+
+func (b *jucBackend) UpdateProfile(_ *core.Handle, u UserID, version int64) {
+	b.profiles.Put(u, &profile{Version: version})
+}
+
+func (b *jucBackend) InGroup(u UserID) bool { return b.community.Contains(u) }
+
+func (b *jucBackend) Followers(u UserID) int {
+	if s, ok := b.followers.Get(u); ok {
+		return s.Len()
+	}
+	return 0
+}
+
+func (b *jucBackend) Users() int { return b.profiles.Len() }
+
+// drainLastMS fetches every queued message and keeps the most recent
+// len(out) of them (the paper reads the full queue and returns the last 50).
+func drainLastMS(q *queue.MS[Tweet], out []Tweet) int {
+	n := 0
+	for {
+		t, ok := q.Poll()
+		if !ok {
+			break
+		}
+		if n < len(out) {
+			out[n] = t
+			n++
+		} else {
+			copy(out, out[1:])
+			out[len(out)-1] = t
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// DEGO backend
+
+type degoBackend struct {
+	followers *hashmap.Segmented[UserID, *set.Locked[UserID]]
+	following *hashmap.Segmented[UserID, *set.Locked[UserID]]
+	timelines *hashmap.Segmented[UserID, *queue.MPSC[Tweet]]
+	profiles  *hashmap.Segmented[UserID, *profile]
+	community *set.Segmented[UserID]
+	probe     *contention.Probe
+}
+
+// NewDEGO builds the adjusted backend over a registry. The maps are
+// (M2, CWMR) segmented maps keyed by user; timelines are MPSC queues whose
+// single consumer is the user's owner thread.
+func NewDEGO(r *core.Registry, expectedUsers int, probe *contention.Probe) Backend {
+	dir := expectedUsers * 2
+	return &degoBackend{
+		followers: hashmap.NewSegmented[UserID, *set.Locked[UserID]](r, expectedUsers, dir, userHash, false),
+		following: hashmap.NewSegmented[UserID, *set.Locked[UserID]](r, expectedUsers, dir, userHash, false),
+		timelines: hashmap.NewSegmented[UserID, *queue.MPSC[Tweet]](r, expectedUsers, dir, userHash, false),
+		profiles:  hashmap.NewSegmented[UserID, *profile](r, expectedUsers, dir, userHash, false),
+		community: set.NewSegmented[UserID](r, expectedUsers/8+16, dir, userHash, false),
+		probe:     probe,
+	}
+}
+
+func (b *degoBackend) Name() string { return "DEGO" }
+
+func (b *degoBackend) AddUser(h *core.Handle, u UserID) {
+	b.followers.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.following.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.timelines.Put(h, u, queue.NewMPSC[Tweet](b.probe, false))
+	b.profiles.Put(h, u, &profile{})
+}
+
+func (b *degoBackend) Follow(_ *core.Handle, follower, followee UserID) {
+	// Map reads only; the inner sets are deliberately NOT adjusted (§6.3:
+	// adjusting them costs more in write amplification than it saves).
+	if s, ok := b.following.Get(follower); ok {
+		s.Add(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Add(follower)
+	}
+}
+
+func (b *degoBackend) Unfollow(_ *core.Handle, follower, followee UserID) {
+	if s, ok := b.following.Get(follower); ok {
+		s.Remove(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Remove(follower)
+	}
+}
+
+func (b *degoBackend) Post(_ *core.Handle, author UserID, t Tweet) {
+	fset, ok := b.followers.Get(author)
+	if !ok {
+		return
+	}
+	n := 0
+	fset.Range(func(f UserID) bool {
+		if q, ok := b.timelines.Get(f); ok {
+			// Any thread may produce into an MPSC timeline; the offer is
+			// handle-free from the producer side (nil handle is fine with
+			// checking off).
+			q.Offer(nil, t)
+		}
+		n++
+		return n < FanoutLimit
+	})
+}
+
+func (b *degoBackend) Timeline(h *core.Handle, u UserID, out []Tweet) int {
+	q, ok := b.timelines.Get(u)
+	if !ok {
+		return 0
+	}
+	// The owner thread is the queue's unique consumer (Q1, MWSR).
+	n := 0
+	for {
+		t, ok := q.Poll(h)
+		if !ok {
+			break
+		}
+		if n < len(out) {
+			out[n] = t
+			n++
+		} else {
+			copy(out, out[1:])
+			out[len(out)-1] = t
+		}
+	}
+	return n
+}
+
+func (b *degoBackend) JoinGroup(h *core.Handle, u UserID)  { b.community.Add(h, u) }
+func (b *degoBackend) LeaveGroup(h *core.Handle, u UserID) { b.community.Remove(h, u) }
+
+func (b *degoBackend) UpdateProfile(h *core.Handle, u UserID, version int64) {
+	b.profiles.Put(h, u, &profile{Version: version})
+}
+
+func (b *degoBackend) InGroup(u UserID) bool { return b.community.Contains(u) }
+
+func (b *degoBackend) Followers(u UserID) int {
+	if s, ok := b.followers.Get(u); ok {
+		return s.Len()
+	}
+	return 0
+}
+
+func (b *degoBackend) Users() int { return b.profiles.Len() }
+
+// ---------------------------------------------------------------------------
+// DAP backend
+
+// dapPart is one thread's private, unsynchronized state.
+type dapPart struct {
+	_         core.Pad
+	followers map[UserID]map[UserID]bool
+	following map[UserID]map[UserID]bool
+	timelines map[UserID][]Tweet
+	profiles  map[UserID]int64
+	community map[UserID]bool
+	_         core.Pad
+}
+
+type dapBackend struct {
+	parts []dapPart
+}
+
+// NewDAP builds the disjoint-access-parallel upper bound: threads touch only
+// their own partition, so nothing synchronizes. The workload generator must
+// keep every operation within the acting thread's partition.
+func NewDAP(threads int) Backend {
+	b := &dapBackend{parts: make([]dapPart, threads)}
+	for i := range b.parts {
+		b.parts[i] = dapPart{
+			followers: map[UserID]map[UserID]bool{},
+			following: map[UserID]map[UserID]bool{},
+			timelines: map[UserID][]Tweet{},
+			profiles:  map[UserID]int64{},
+			community: map[UserID]bool{},
+		}
+	}
+	return b
+}
+
+func (b *dapBackend) Name() string { return "DAP" }
+
+func (b *dapBackend) part(h *core.Handle) *dapPart {
+	return &b.parts[h.ID()%len(b.parts)]
+}
+
+func (b *dapBackend) AddUser(h *core.Handle, u UserID) {
+	p := b.part(h)
+	p.followers[u] = map[UserID]bool{}
+	p.following[u] = map[UserID]bool{}
+	p.timelines[u] = nil
+	p.profiles[u] = 0
+}
+
+func (b *dapBackend) Follow(h *core.Handle, follower, followee UserID) {
+	p := b.part(h)
+	if s := p.following[follower]; s != nil {
+		s[followee] = true
+	}
+	if s := p.followers[followee]; s != nil {
+		s[follower] = true
+	}
+}
+
+func (b *dapBackend) Unfollow(h *core.Handle, follower, followee UserID) {
+	p := b.part(h)
+	if s := p.following[follower]; s != nil {
+		delete(s, followee)
+	}
+	if s := p.followers[followee]; s != nil {
+		delete(s, follower)
+	}
+}
+
+func (b *dapBackend) Post(h *core.Handle, author UserID, t Tweet) {
+	p := b.part(h)
+	n := 0
+	for f := range p.followers[author] {
+		p.timelines[f] = append(p.timelines[f], t)
+		n++
+		if n >= FanoutLimit {
+			break
+		}
+	}
+}
+
+func (b *dapBackend) Timeline(h *core.Handle, u UserID, out []Tweet) int {
+	p := b.part(h)
+	tl := p.timelines[u]
+	n := len(tl)
+	if n > len(out) {
+		tl = tl[n-len(out):]
+		n = len(out)
+	}
+	copy(out, tl)
+	p.timelines[u] = p.timelines[u][:0]
+	return n
+}
+
+func (b *dapBackend) JoinGroup(h *core.Handle, u UserID)  { b.part(h).community[u] = true }
+func (b *dapBackend) LeaveGroup(h *core.Handle, u UserID) { delete(b.part(h).community, u) }
+
+func (b *dapBackend) UpdateProfile(h *core.Handle, u UserID, version int64) {
+	b.part(h).profiles[u] = version
+}
+
+func (b *dapBackend) InGroup(u UserID) bool {
+	for i := range b.parts {
+		if b.parts[i].community[u] {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *dapBackend) Followers(u UserID) int {
+	for i := range b.parts {
+		if s, ok := b.parts[i].followers[u]; ok {
+			return len(s)
+		}
+	}
+	return 0
+}
+
+func (b *dapBackend) Users() int {
+	n := 0
+	for i := range b.parts {
+		n += len(b.parts[i].profiles)
+	}
+	return n
+}

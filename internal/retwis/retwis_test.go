@@ -1,0 +1,253 @@
+package retwis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func testParams(users, threads int) Params {
+	p := DefaultParams()
+	p.Users = users
+	p.Threads = threads
+	p.OpsPerThread = 500
+	p.MaxDegree = 32
+	return p
+}
+
+func TestMixTable2(t *testing.T) {
+	m := DefaultMix()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The exact Table 2 percentages.
+	if m.AddUser != 5 || m.Follow != 5 || m.Post != 15 ||
+		m.Timeline != 60 || m.Group != 5 || m.Profile != 10 {
+		t.Fatalf("mix = %+v, want Table 2", m)
+	}
+	bad := Mix{AddUser: 50, Follow: 50, Post: 50}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+func eachBackend(t *testing.T, users, threads int, f func(t *testing.T, b Backend, h []*core.Handle)) {
+	t.Helper()
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := core.NewRegistry(2*threads + 8)
+			workers := make([]*core.Handle, threads)
+			for i := range workers {
+				workers[i] = reg.MustRegister()
+			}
+			p := testParams(users, threads)
+			b, _ := Build(kind, p, reg)
+			f(t, b, workers)
+		})
+	}
+}
+
+func TestBackendSemantics(t *testing.T) {
+	const users, threads = 64, 4
+	eachBackend(t, users, threads, func(t *testing.T, b Backend, workers []*core.Handle) {
+		if got := b.Users(); got != users {
+			t.Fatalf("Users = %d, want %d", got, users)
+		}
+		// u=1 is owned by thread 1; u=5 too (5 mod 4 = 1).
+		h := workers[1]
+		// The seeded graph may already contain the edge 1→5: clear it first.
+		b.Unfollow(h, 1, 5)
+		before := b.Followers(5)
+		b.Follow(h, 1, 5)
+		if got := b.Followers(5); got != before+1 {
+			t.Fatalf("Followers(5) = %d, want %d", got, before+1)
+		}
+		b.Unfollow(h, 1, 5)
+		if got := b.Followers(5); got != before {
+			t.Fatalf("after unfollow Followers(5) = %d, want %d", got, before)
+		}
+
+		// Group membership.
+		if b.InGroup(5) {
+			b.LeaveGroup(h, 5)
+		}
+		b.JoinGroup(h, 5)
+		if !b.InGroup(5) {
+			t.Fatal("JoinGroup did not register")
+		}
+		b.LeaveGroup(h, 5)
+		if b.InGroup(5) {
+			t.Fatal("LeaveGroup did not apply")
+		}
+
+		// Post/timeline: 1 follows 5, 5 posts, 1 reads.
+		b.Follow(h, 1, 5)
+		b.Post(h, 5, Tweet{Author: 5, Seq: 99})
+		tl := make([]Tweet, TimelineSize)
+		n := b.Timeline(workers[1], 1, tl)
+		found := false
+		for i := 0; i < n; i++ {
+			if tl[i].Author == 5 && tl[i].Seq == 99 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("timeline of follower missed the tweet (n=%d)", n)
+		}
+		// A second read returns nothing new.
+		if n := b.Timeline(workers[1], 1, tl); n != 0 {
+			t.Fatalf("second timeline read = %d messages, want 0", n)
+		}
+		b.UpdateProfile(h, 5, 7)
+	})
+}
+
+func TestTimelineKeepsLastN(t *testing.T) {
+	const users, threads = 16, 2
+	eachBackend(t, users, threads, func(t *testing.T, b Backend, workers []*core.Handle) {
+		h1 := workers[1]
+		// User 3 follows user 5; both are owned by thread 1, so the
+		// scenario is valid even under DAP's intra-partition contract.
+		b.Follow(h1, 3, 5)
+		b.Timeline(h1, 3, make([]Tweet, TimelineSize)) // clear pre-seeded entries
+		for i := 0; i < TimelineSize+20; i++ {
+			b.Post(h1, 5, Tweet{Author: 5, Seq: int64(i)})
+		}
+		tl := make([]Tweet, TimelineSize)
+		n := b.Timeline(h1, 3, tl)
+		if n != TimelineSize {
+			t.Fatalf("timeline = %d messages, want %d", n, TimelineSize)
+		}
+		// Must be the LAST 50: sequences 20..69.
+		if tl[0].Seq != 20 || tl[n-1].Seq != int64(TimelineSize+19) {
+			t.Fatalf("window = [%d, %d], want [20, %d]", tl[0].Seq, tl[n-1].Seq, TimelineSize+19)
+		}
+	})
+}
+
+func TestGraphSeedIsPowerLaw(t *testing.T) {
+	reg := core.NewRegistry(24)
+	p := testParams(2000, 4)
+	b, _ := Build(KindJUC, p, reg)
+	// Some user must have far more followers than the median — the heavy
+	// tail of the power law.
+	maxF, withAny := 0, 0
+	for u := 0; u < p.Users; u++ {
+		f := b.Followers(UserID(u))
+		if f > maxF {
+			maxF = f
+		}
+		if f > 0 {
+			withAny++
+		}
+	}
+	if maxF < 8 {
+		t.Fatalf("max followers = %d; degree distribution has no tail", maxF)
+	}
+	if withAny < p.Users/10 {
+		t.Fatalf("only %d users have followers", withAny)
+	}
+}
+
+func TestRunAllBackends(t *testing.T) {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			p := testParams(512, 4)
+			res, err := Run(kind, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != int64(p.Threads*p.OpsPerThread) {
+				t.Fatalf("ops = %d, want %d", res.Ops, p.Threads*p.OpsPerThread)
+			}
+			if res.OpsPerSec() <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+			if res.Backend != kind.String() {
+				t.Fatalf("backend label = %q", res.Backend)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	p := testParams(2, 4) // fewer users than threads
+	if _, err := Run(KindJUC, p); err == nil {
+		t.Fatal("accepted users < threads")
+	}
+	p = testParams(512, 4)
+	p.Mix = Mix{AddUser: 10}
+	if _, err := Run(KindJUC, p); err == nil {
+		t.Fatal("accepted invalid mix")
+	}
+}
+
+func TestFigure9And10Printers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	p := testParams(512, 2)
+	p.OpsPerThread = 200
+
+	var sb strings.Builder
+	if err := Figure9(&sb, p, []int{512}, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 9", "0K users", "DEGO/JUC", "DAP/JUC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure9 output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := Figure10(&sb, p, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"Figure 10", "alpha", "DEGO Mops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure10 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunPreservesInvariants: after a full mixed run, the backend's state
+// still satisfies the application invariants — user count only grew, and
+// the follow/unfollow converse-application rule (§6.3) kept the seeded
+// social graph intact for a probe user.
+func TestRunPreservesInvariants(t *testing.T) {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := core.NewRegistry(24)
+			workers := make([]*core.Handle, 4)
+			for i := range workers {
+				workers[i] = reg.MustRegister()
+			}
+			p := testParams(1000, 4)
+			b, _ := Build(kind, p, reg)
+			before := b.Followers(1)
+			res, err := Run(kind, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no ops")
+			}
+			// A fresh build of the same seed reproduces the same graph.
+			reg2 := core.NewRegistry(24)
+			b2, _ := Build(kind, p, reg2)
+			if got := b2.Followers(1); got != before {
+				t.Fatalf("graph seeding not deterministic: %d vs %d", got, before)
+			}
+			if b2.Users() != p.Users {
+				t.Fatalf("users = %d, want %d", b2.Users(), p.Users)
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package segment
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func TestBaseSegmentPerThread(t *testing.T) {
+	r := core.NewRegistry(8)
+	made := atomic.Int64{}
+	b := NewBase(r, func(owner int) *int64 {
+		made.Add(1)
+		v := int64(owner * 100)
+		return &v
+	})
+	h1, h2 := r.MustRegister(), r.MustRegister()
+
+	s1 := b.Mine(h1)
+	if again := b.Mine(h1); again != s1 {
+		t.Fatal("Mine must be stable for a handle")
+	}
+	s2 := b.Mine(h2)
+	if s1 == s2 {
+		t.Fatal("distinct threads must get distinct segments")
+	}
+	if made.Load() != 2 {
+		t.Fatalf("newSeg called %d times, want 2", made.Load())
+	}
+	if *s1 != int64(h1.ID()*100) {
+		t.Fatalf("segment seeded with wrong owner: %d", *s1)
+	}
+	if b.Len() != 2 || b.Capacity() != 8 {
+		t.Fatalf("Len=%d Capacity=%d, want 2 and 8", b.Len(), b.Capacity())
+	}
+}
+
+func TestBaseForEachOrderAndEarlyStop(t *testing.T) {
+	r := core.NewRegistry(8)
+	b := NewBase(r, func(owner int) *int { v := owner; return &v })
+	var handles []*core.Handle
+	for i := 0; i < 4; i++ {
+		h := r.MustRegister()
+		handles = append(handles, h)
+		b.Mine(h)
+	}
+	var seen []int
+	b.ForEach(func(owner int, seg *int) bool {
+		seen = append(seen, owner)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("visited %d segments, want 4", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatal("ForEach must visit owners in ascending order")
+		}
+	}
+	count := 0
+	b.ForEach(func(int, *int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d, want 1", count)
+	}
+	_ = handles
+}
+
+func TestBaseConcurrentSum(t *testing.T) {
+	// The CWSR counter pattern: each goroutine bumps its own segment; the
+	// total must equal the sequential sum.
+	const goroutines, perG = 16, 5000
+	r := core.NewRegistry(goroutines)
+	b := NewBase(r, func(int) *atomic.Int64 { return new(atomic.Int64) })
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := r.MustRegister()
+			seg := b.Mine(h)
+			for j := 0; j < perG; j++ {
+				seg.Store(seg.Load() + 1) // owner-only plain read-modify-store
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	b.ForEach(func(_ int, seg *atomic.Int64) bool {
+		total += seg.Load()
+		return true
+	})
+	if total != goroutines*perG {
+		t.Fatalf("sum = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestHashSegmentationRouting(t *testing.T) {
+	h := NewHash(6, func(idx int) *int { v := idx; return &v })
+	if h.Segments() != 8 {
+		t.Fatalf("segments = %d, want 8 (rounded up)", h.Segments())
+	}
+	for hash := uint64(0); hash < 100; hash++ {
+		idx := h.Index(hash)
+		if idx != int(hash%8) {
+			t.Fatalf("Index(%d) = %d, want %d", hash, idx, hash%8)
+		}
+		seg := h.For(hash)
+		if *seg != idx {
+			t.Fatalf("For(%d) returned segment %d, want %d", hash, *seg, idx)
+		}
+		if h.For(hash) != seg {
+			t.Fatal("For must be stable")
+		}
+	}
+	n := 0
+	h.ForEach(func(int, *int) bool { n++; return true })
+	if n != 8 {
+		t.Fatalf("initialized segments = %d, want 8", n)
+	}
+}
+
+func TestExtendedBindingIsSticky(t *testing.T) {
+	r := core.NewRegistry(8)
+	hash := func(k int) uint64 { return uint64(k) * 0x9e3779b97f4a7c15 }
+	e := NewExtended(r, 64, hash, func(owner int) *int { v := owner; return &v })
+	h1, h2 := r.MustRegister(), r.MustRegister()
+
+	if _, ok := e.Find(42); ok {
+		t.Fatal("Find on unbound key must miss")
+	}
+	seg := e.Acquire(h1, 42)
+	if *seg != h1.ID() {
+		t.Fatalf("key bound to segment %d, want %d", *seg, h1.ID())
+	}
+	// A second writer acquires the SAME segment: the binding is permanent.
+	if again := e.Acquire(h2, 42); again != seg {
+		t.Fatal("binding must be sticky across threads")
+	}
+	found, ok := e.Find(42)
+	if !ok || found != seg {
+		t.Fatal("Find must return the bound segment")
+	}
+	if e.Bindings() != 1 {
+		t.Fatalf("bindings = %d, want 1", e.Bindings())
+	}
+	// Distinct key binds to the acquiring thread.
+	if s2 := e.Acquire(h2, 43); *s2 != h2.ID() {
+		t.Fatalf("key 43 bound to %d, want %d", *s2, h2.ID())
+	}
+}
+
+func TestExtendedConcurrentAcquireSingleBinding(t *testing.T) {
+	const goroutines = 16
+	r := core.NewRegistry(goroutines)
+	hash := func(k int) uint64 { return uint64(k) }
+	e := NewExtended(r, 4, hash, func(owner int) *int { v := owner; return &v })
+
+	var wg sync.WaitGroup
+	segs := make([]*int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			// Everyone fights over the same key (and the tiny directory
+			// forces CAS collisions on other keys too).
+			segs[i] = e.Acquire(h, 7)
+			e.Acquire(h, i+100)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if segs[i] != segs[0] {
+			t.Fatal("concurrent Acquire produced divergent bindings")
+		}
+	}
+	if got := e.Bindings(); got != goroutines+1 {
+		t.Fatalf("bindings = %d, want %d", got, goroutines+1)
+	}
+}
+
+func TestExtendedQuickDirectoryMatchesMap(t *testing.T) {
+	r := core.NewRegistry(4)
+	h := r.MustRegister()
+	hash := func(k uint16) uint64 { return uint64(k) }
+	e := NewExtended(r, 32, hash, func(owner int) *int { v := owner; return &v })
+	oracle := map[uint16]bool{}
+
+	prop := func(keys []uint16) bool {
+		for _, k := range keys {
+			e.Acquire(h, k)
+			oracle[k] = true
+		}
+		for k := range oracle {
+			if _, ok := e.Find(k); !ok {
+				return false
+			}
+		}
+		return e.Bindings() == len(oracle)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package skiplist
+
+import (
+	"cmp"
+	"sort"
+
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/segment"
+)
+
+// Segmented is the paper's ExtendedSegmentedSkipListMap — the adjusted
+// ordered map (M2, CWMR): an extended segmentation whose segments are SWMR
+// skip lists. Writes by distinct threads on distinct keys touch distinct
+// segments; a lookup touches exactly one.
+type Segmented[K cmp.Ordered, V any] struct {
+	ext *segment.Extended[K, SWMR[K, V]]
+}
+
+// NewSegmented creates a segmented skip list over a registry. dirBuckets
+// sizes the key directory; hash routes keys to directory buckets. When
+// checked is true each segment verifies its single-writer role.
+func NewSegmented[K cmp.Ordered, V any](r *core.Registry, dirBuckets int,
+	hash func(K) uint64, checked bool) *Segmented[K, V] {
+	return &Segmented[K, V]{
+		ext: segment.NewExtended[K, SWMR[K, V]](r, dirBuckets, hash,
+			func(int) *SWMR[K, V] { return NewSWMR[K, V](checked) }),
+	}
+}
+
+// Put inserts or updates key in its bound segment.
+func (m *Segmented[K, V]) Put(h *core.Handle, key K, val V) {
+	m.ext.Acquire(h, key).PutRef(h, key, &val)
+}
+
+// PutRef is Put with a caller-provided value box; see SWMR.PutRef.
+func (m *Segmented[K, V]) PutRef(h *core.Handle, key K, val *V) {
+	m.ext.Acquire(h, key).PutRef(h, key, val)
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *Segmented[K, V]) Remove(h *core.Handle, key K) bool {
+	seg, ok := m.ext.Find(key)
+	if !ok {
+		return false
+	}
+	return seg.Remove(h, key)
+}
+
+// Get returns the value for key.
+func (m *Segmented[K, V]) Get(key K) (V, bool) {
+	seg, ok := m.ext.Find(key)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return seg.Get(key)
+}
+
+// Contains reports whether key is present.
+func (m *Segmented[K, V]) Contains(key K) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Len sums the segment sizes.
+func (m *Segmented[K, V]) Len() int {
+	n := 0
+	m.ext.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		n += seg.Len()
+		return true
+	})
+	return n
+}
+
+// Range calls f in ascending key order until it returns false. Segments are
+// merged by collecting per-segment snapshots; the view is weakly consistent
+// (like every java.util.concurrent iterator, per §5.3 "read operations over
+// adjusted objects are as consistent as in JUC").
+func (m *Segmented[K, V]) Range(f func(key K, val V) bool) {
+	type kv struct {
+		k K
+		v V
+	}
+	var all []kv
+	m.ext.ForEach(func(_ int, seg *SWMR[K, V]) bool {
+		seg.Range(func(k K, v V) bool {
+			all = append(all, kv{k, v})
+			return true
+		})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	for _, e := range all {
+		if !f(e.k, e.v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"fmt"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Object is a shared object in the paper's sense: a pair (O.T, O.m) of a
+// sequential data type and an access-permission map, the latter summarized
+// by a core.Mode.
+type Object struct {
+	Type *DataType
+	Mode core.Mode
+}
+
+// String renders the object like the nodes of Figure 3, e.g. "(S3, CWMR)".
+func (o Object) String() string { return fmt.Sprintf("(%s, %s)", o.Type.Name, o.Mode) }
+
+// Adjusts implements Definition 1: o adjusts base when base.T is a narrow
+// subtype of o.T and o.m ⊆ base.m (o's mode restricts base's mode). A nil
+// error means the relation holds.
+func Adjusts(o, base Object, cfg CheckConfig) error {
+	if err := IsNarrowSubtype(base.Type, o.Type, cfg); err != nil {
+		return fmt.Errorf("%s does not adjust %s: %w", o, base, err)
+	}
+	if !o.Mode.Restricts(base.Mode) {
+		return fmt.Errorf("%s does not adjust %s: mode %s does not restrict %s",
+			o, base, o.Mode, base.Mode)
+	}
+	return nil
+}
+
+// AdjustKind labels the adjustment arrows of Figure 3.
+type AdjustKind int
+
+// The five adjustment techniques of §4.2.
+const (
+	// AdjustDelete (d→) deletes an operation: its precondition becomes
+	// false, or its postcondition is voided; either way it fails silently.
+	AdjustDelete AdjustKind = iota + 1
+	// AdjustPre (p→) strengthens a precondition (e.g. write-once).
+	AdjustPre
+	// AdjustReturn (r→) weakens a postcondition by voiding a return value
+	// (blind writes).
+	AdjustReturn
+	// AdjustCommute (c→) requires writes of distinct threads to commute.
+	AdjustCommute
+	// AdjustMode (m→) restricts which thread may call which operation
+	// (SWMR, MWSR, CWSR...).
+	AdjustMode
+)
+
+// String returns the arrow label used in Figure 3.
+func (k AdjustKind) String() string {
+	switch k {
+	case AdjustDelete:
+		return "d"
+	case AdjustPre:
+		return "p"
+	case AdjustReturn:
+		return "r"
+	case AdjustCommute:
+		return "c"
+	case AdjustMode:
+		return "m"
+	}
+	return fmt.Sprintf("AdjustKind(%d)", int(k))
+}
+
+// Edge is one adjustment arrow: To adjusts From via technique Kind.
+type Edge struct {
+	From, To Object
+	Kind     AdjustKind
+}
+
+// String renders the edge like "(S1, ALL) -r-> (S2, ALL)".
+func (e Edge) String() string { return fmt.Sprintf("%s -%s-> %s", e.From, e.Kind, e.To) }
+
+// Lattice is the acyclic directed graph of adjustments (Figure 3).
+type Lattice struct {
+	Edges []Edge
+}
+
+// Figure3 builds the exact adjustment graph shown in Figure 3 of the paper.
+func Figure3() *Lattice {
+	r1, r2 := Ref(R1), Ref(R2)
+	s1, s2, s3 := Set(S1), Set(S2), Set(S3)
+	c1, c2, c3 := Counter(C1), Counter(C2), Counter(C3)
+
+	obj := func(t *DataType, m core.Mode) Object { return Object{Type: t, Mode: m} }
+	return &Lattice{Edges: []Edge{
+		// Reference diamond.
+		{obj(r1, core.ModeAll), obj(r2, core.ModeAll), AdjustPre},
+		{obj(r2, core.ModeAll), obj(r2, core.ModeSWMR), AdjustMode},
+		{obj(r1, core.ModeAll), obj(r1, core.ModeSWMR), AdjustMode},
+		{obj(r1, core.ModeSWMR), obj(r2, core.ModeSWMR), AdjustPre},
+		// Set chain.
+		{obj(s1, core.ModeAll), obj(s2, core.ModeAll), AdjustReturn},
+		{obj(s2, core.ModeAll), obj(s3, core.ModeAll), AdjustDelete},
+		{obj(s3, core.ModeAll), obj(s3, core.ModeCWMR), AdjustCommute},
+		{obj(s3, core.ModeCWMR), obj(s3, core.ModeCWSR), AdjustMode},
+		// Counter chain.
+		{obj(c1, core.ModeAll), obj(c2, core.ModeAll), AdjustDelete},
+		{obj(c2, core.ModeAll), obj(c3, core.ModeAll), AdjustReturn},
+		{obj(c3, core.ModeAll), obj(c3, core.ModeCWSR), AdjustMode},
+	}}
+}
+
+// Nodes returns the distinct objects appearing in the lattice, sources first.
+func (l *Lattice) Nodes() []Object {
+	seen := map[string]bool{}
+	var out []Object
+	add := func(o Object) {
+		if !seen[o.String()] {
+			seen[o.String()] = true
+			out = append(out, o)
+		}
+	}
+	for _, e := range l.Edges {
+		add(e.From)
+		add(e.To)
+	}
+	return out
+}
+
+// Verify checks Definition 1 on every edge and transitively along every
+// path (the Adjusts relation must compose). A nil error certifies the
+// lattice.
+func (l *Lattice) Verify(cfg CheckConfig) error {
+	for _, e := range l.Edges {
+		if err := Adjusts(e.To, e.From, cfg); err != nil {
+			return fmt.Errorf("edge %s: %w", e, err)
+		}
+	}
+	// Transitive closure: follow each two-edge path.
+	for _, e1 := range l.Edges {
+		for _, e2 := range l.Edges {
+			if e1.To.String() != e2.From.String() {
+				continue
+			}
+			if err := Adjusts(e2.To, e1.From, cfg); err != nil {
+				return fmt.Errorf("path %s then %s: %w", e1, e2, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,438 @@
+package spec
+
+// This file is the executable form of Table 1: the adjusted versions of the
+// counter (C1–C3), set (S1–S3), queue (Q1), reference (R1–R2), and map
+// (M1–M2) data types, each operation given as a Hoare triple.
+
+// ---------------------------------------------------------------------------
+// Counters
+//
+//	C1: [true] rmw(f,x) [s'=f(s,x) ∧ r=s']   C2: rmw voided        C3: rmw voided
+//	    [true] inc()    [s'=s+1  ∧ r=s']         inc as C1             inc blind
+//	    [true] get()    [r=s]                    get as C1             get as C1
+//	    [true] reset()  [s'=0]                   reset deleted         reset deleted
+//
+// The abstract read-modify-write function f is fixed to f(s,x) = s+x, which
+// preserves the consensus power the paper relies on (rmw returns the new
+// state).
+
+// CounterVariant selects among the Table 1 counter rows.
+type CounterVariant int
+
+// Counter variants of Table 1.
+const (
+	C1 CounterVariant = iota + 1
+	C2
+	C3
+)
+
+// String returns the paper's label.
+func (v CounterVariant) String() string { return [...]string{"", "C1", "C2", "C3"}[v] }
+
+// Counter builds the counter data type for the given variant.
+func Counter(v CounterVariant) *DataType {
+	t := NewDataType(v.String(), &CounterState{})
+
+	t.AddOp("inc", func(...int) *Op {
+		op := &Op{Name: "inc", Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			n := s.(*CounterState).N + 1
+			if v == C3 { // blind increment: postcondition only fixes the state
+				return &CounterState{N: n}, Bottom
+			}
+			return &CounterState{N: n}, n
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			p, n := prev.(*CounterState), next.(*CounterState)
+			if n.N != p.N+1 {
+				return false
+			}
+			if v == C3 {
+				return true // return value unconstrained
+			}
+			return ValueEq(r, n.N)
+		}
+		return op
+	})
+
+	t.AddOp("get", func(...int) *Op {
+		op := &Op{Name: "get"}
+		op.Apply = func(s State) (State, Value) { return s, s.(*CounterState).N }
+		op.Post = func(prev, next State, r Value) bool {
+			return StateEq(prev, next) && ValueEq(r, prev.(*CounterState).N)
+		}
+		return op
+	})
+
+	t.AddOp("reset", func(...int) *Op {
+		op := &Op{Name: "reset", Writer: true}
+		if v != C1 { // deleted: precondition false, fails silently
+			op.Pre = func(State) bool { return false }
+		}
+		op.Apply = func(State) (State, Value) { return &CounterState{N: 0}, Bottom }
+		op.Post = func(prev, next State, r Value) bool {
+			if v != C1 {
+				return true
+			}
+			return next.(*CounterState).N == 0
+		}
+		return op
+	})
+
+	t.AddOp("rmw", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "rmw", Args: []int{x}, Writer: true}
+		if v == C1 {
+			op.Apply = func(s State) (State, Value) {
+				n := s.(*CounterState).N + int64(x)
+				return &CounterState{N: n}, n
+			}
+			op.Post = func(prev, next State, r Value) bool {
+				n := prev.(*CounterState).N + int64(x)
+				return next.(*CounterState).N == n && ValueEq(r, n)
+			}
+		} else {
+			// Voided postcondition [true] rmw [true]: fails silently.
+			op.Apply = func(s State) (State, Value) { return s, Bottom }
+		}
+		return op
+	})
+
+	return t.MarkReadable("get")
+}
+
+// ---------------------------------------------------------------------------
+// Sets
+//
+//	S1: add/remove return hit information; S2: add/remove blind;
+//	S3: add blind, remove voided ([true] remove [true]).
+
+// SetVariant selects among the Table 1 set rows.
+type SetVariant int
+
+// Set variants of Table 1.
+const (
+	S1 SetVariant = iota + 1
+	S2
+	S3
+)
+
+// String returns the paper's label.
+func (v SetVariant) String() string { return [...]string{"", "S1", "S2", "S3"}[v] }
+
+// Set builds the set data type for the given variant.
+func Set(v SetVariant) *DataType {
+	t := NewDataType(v.String(), NewSetState())
+
+	t.AddOp("add", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "add", Args: []int{x}, Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			st := s.Clone().(*SetState)
+			fresh := !st.Elems[x]
+			st.Elems[x] = true
+			if v == S1 {
+				return st, fresh
+			}
+			return st, Bottom
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			p, n := prev.(*SetState), next.(*SetState)
+			if !n.Elems[x] || len(n.Elems) != len(p.Elems)+boolToInt(!p.Elems[x]) {
+				return false
+			}
+			if v == S1 {
+				return ValueEq(r, !p.Elems[x])
+			}
+			return true
+		}
+		return op
+	})
+
+	t.AddOp("remove", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "remove", Args: []int{x}, Writer: true}
+		switch v {
+		case S3:
+			// Voided: [true] remove(x) [true] — fails silently.
+			op.Apply = func(s State) (State, Value) { return s, Bottom }
+		default:
+			op.Apply = func(s State) (State, Value) {
+				st := s.Clone().(*SetState)
+				hit := st.Elems[x]
+				delete(st.Elems, x)
+				if v == S1 {
+					return st, hit
+				}
+				return st, Bottom
+			}
+			op.Post = func(prev, next State, r Value) bool {
+				p, n := prev.(*SetState), next.(*SetState)
+				if n.Elems[x] || len(n.Elems) != len(p.Elems)-boolToInt(p.Elems[x]) {
+					return false
+				}
+				if v == S1 {
+					return ValueEq(r, p.Elems[x])
+				}
+				return true
+			}
+		}
+		return op
+	})
+
+	t.AddOp("contains", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "contains", Args: []int{x}}
+		op.Apply = func(s State) (State, Value) { return s, s.(*SetState).Elems[x] }
+		op.Post = func(prev, next State, r Value) bool {
+			return StateEq(prev, next) && ValueEq(r, prev.(*SetState).Elems[x])
+		}
+		return op
+	})
+
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Queue (Q1)
+
+// Queue builds the Q1 queue data type of Table 1.
+func Queue() *DataType {
+	t := NewDataType("Q1", NewQueueState())
+
+	t.AddOp("offer", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "offer", Args: []int{x}, Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			st := s.Clone().(*QueueState)
+			st.Items = append(st.Items, x)
+			return st, Bottom
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			p, n := prev.(*QueueState), next.(*QueueState)
+			return len(n.Items) == len(p.Items)+1 && n.Items[len(n.Items)-1] == x
+		}
+		return op
+	})
+
+	t.AddOp("poll", func(...int) *Op {
+		op := &Op{Name: "poll", Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			st := s.(*QueueState)
+			if len(st.Items) == 0 {
+				return s, Bottom
+			}
+			head := st.Items[0]
+			return &QueueState{Items: append([]int(nil), st.Items[1:]...)}, head
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			p, n := prev.(*QueueState), next.(*QueueState)
+			if len(p.Items) == 0 {
+				return StateEq(prev, next) && IsBottom(r)
+			}
+			return len(n.Items) == len(p.Items)-1 && ValueEq(r, p.Items[0])
+		}
+		return op
+	})
+
+	t.AddOp("contains", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "contains", Args: []int{x}}
+		op.Apply = func(s State) (State, Value) {
+			for _, e := range s.(*QueueState).Items {
+				if e == x {
+					return s, true
+				}
+			}
+			return s, false
+		}
+		return op
+	})
+
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// References (R1, R2)
+
+// RefVariant selects among the Table 1 reference rows.
+type RefVariant int
+
+// Reference variants of Table 1.
+const (
+	R1 RefVariant = iota + 1
+	R2
+)
+
+// String returns the paper's label.
+func (v RefVariant) String() string { return [...]string{"", "R1", "R2"}[v] }
+
+// Ref builds the reference data type for the given variant. Addresses are
+// modelled as strictly positive integers (x ∈ Addr ⇔ x > 0).
+func Ref(v RefVariant) *DataType {
+	t := NewDataType(v.String(), &RefState{})
+
+	t.AddOp("set", func(args ...int) *Op {
+		x := argAt(args, 0)
+		op := &Op{Name: "set", Args: []int{x}, Writer: true}
+		op.Pre = func(s State) bool {
+			if x <= 0 {
+				return false
+			}
+			if v == R2 { // write-once: s = ⊥
+				return !s.(*RefState).Set
+			}
+			return true
+		}
+		op.Apply = func(s State) (State, Value) {
+			return &RefState{Val: x, Set: true}, Bottom
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			n := next.(*RefState)
+			return n.Set && n.Val == x
+		}
+		return op
+	})
+
+	t.AddOp("get", func(...int) *Op {
+		op := &Op{Name: "get"}
+		op.Apply = func(s State) (State, Value) {
+			st := s.(*RefState)
+			if !st.Set {
+				return s, Bottom
+			}
+			return s, st.Val
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			p := prev.(*RefState)
+			if !StateEq(prev, next) {
+				return false
+			}
+			if !p.Set {
+				return IsBottom(r)
+			}
+			return ValueEq(r, p.Val)
+		}
+		return op
+	})
+
+	return t.MarkReadable("get")
+}
+
+// ---------------------------------------------------------------------------
+// Maps (M1, M2)
+
+// MapVariant selects among the Table 1 map rows.
+type MapVariant int
+
+// Map variants of Table 1.
+const (
+	M1 MapVariant = iota + 1
+	M2
+)
+
+// String returns the paper's label.
+func (v MapVariant) String() string { return [...]string{"", "M1", "M2"}[v] }
+
+// Map builds the map data type for the given variant.
+func Map(v MapVariant) *DataType {
+	t := NewDataType(v.String(), NewMapState())
+
+	old := func(s State, k int) Value {
+		if val, ok := s.(*MapState).Entries[k]; ok {
+			return val
+		}
+		return Bottom
+	}
+
+	t.AddOp("put", func(args ...int) *Op {
+		k, val := argAt(args, 0), argAt(args, 1)
+		op := &Op{Name: "put", Args: []int{k, val}, Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			st := s.Clone().(*MapState)
+			prev := old(s, k)
+			st.Entries[k] = val
+			if v == M1 {
+				return st, prev
+			}
+			return st, Bottom
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			n := next.(*MapState)
+			if got, ok := n.Entries[k]; !ok || got != val {
+				return false
+			}
+			if v == M1 {
+				return ValueEq(r, old(prev, k))
+			}
+			return true
+		}
+		return op
+	})
+
+	t.AddOp("remove", func(args ...int) *Op {
+		k := argAt(args, 0)
+		op := &Op{Name: "remove", Args: []int{k}, Writer: true}
+		op.Apply = func(s State) (State, Value) {
+			st := s.Clone().(*MapState)
+			prev := old(s, k)
+			delete(st.Entries, k)
+			if v == M1 {
+				return st, prev
+			}
+			return st, Bottom
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			n := next.(*MapState)
+			if _, still := n.Entries[k]; still {
+				return false
+			}
+			if v == M1 {
+				return ValueEq(r, old(prev, k))
+			}
+			return true
+		}
+		return op
+	})
+
+	t.AddOp("contains", func(args ...int) *Op {
+		k := argAt(args, 0)
+		op := &Op{Name: "contains", Args: []int{k}}
+		op.Apply = func(s State) (State, Value) {
+			_, ok := s.(*MapState).Entries[k]
+			return s, ok
+		}
+		op.Post = func(prev, next State, r Value) bool {
+			_, ok := prev.(*MapState).Entries[k]
+			return StateEq(prev, next) && ValueEq(r, ok)
+		}
+		return op
+	})
+
+	return t
+}
+
+// AllCatalogTypes returns every Table 1 data type, in table order.
+func AllCatalogTypes() []*DataType {
+	return []*DataType{
+		Counter(C1), Counter(C2), Counter(C3),
+		Set(S1), Set(S2), Set(S3),
+		Queue(),
+		Ref(R1), Ref(R2),
+		Map(M1), Map(M2),
+	}
+}
+
+func argAt(args []int, i int) int {
+	if i < len(args) {
+		return args[i]
+	}
+	return 0
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,338 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCounterVariantsSequential(t *testing.T) {
+	for _, v := range []CounterVariant{C1, C2, C3} {
+		c := Counter(v)
+		s := c.Init
+
+		s, r := c.Op("inc").Exec(s)
+		if s.(*CounterState).N != 1 {
+			t.Fatalf("%v: inc state = %d, want 1", v, s.(*CounterState).N)
+		}
+		if v == C3 {
+			if !IsBottom(r) {
+				t.Errorf("%v: blind inc returned %v, want ⊥", v, r)
+			}
+		} else if !ValueEq(r, int64(1)) {
+			t.Errorf("%v: inc returned %v, want 1", v, r)
+		}
+
+		if _, r = c.Op("get").Exec(s); !ValueEq(r, int64(1)) {
+			t.Errorf("%v: get = %v, want 1", v, r)
+		}
+
+		s2, _ := c.Op("reset").Exec(s)
+		switch v {
+		case C1:
+			if s2.(*CounterState).N != 0 {
+				t.Errorf("%v: reset did not zero the counter", v)
+			}
+		default: // reset deleted: fails silently
+			if s2.(*CounterState).N != 1 {
+				t.Errorf("%v: deleted reset changed the state", v)
+			}
+		}
+
+		s3, r3 := c.Op("rmw", 5).Exec(s)
+		if v == C1 {
+			if s3.(*CounterState).N != 6 || !ValueEq(r3, int64(6)) {
+				t.Errorf("%v: rmw(5) = (%d,%v), want (6,6)", v, s3.(*CounterState).N, r3)
+			}
+		} else if s3.(*CounterState).N != 1 || !IsBottom(r3) {
+			t.Errorf("%v: voided rmw must fail silently, got (%d,%v)", v, s3.(*CounterState).N, r3)
+		}
+	}
+}
+
+func TestSetVariantsSequential(t *testing.T) {
+	for _, v := range []SetVariant{S1, S2, S3} {
+		st := Set(v)
+		s := st.Init
+
+		s, r := st.Op("add", 7).Exec(s)
+		if !s.(*SetState).Elems[7] {
+			t.Fatalf("%v: add(7) did not insert", v)
+		}
+		if v == S1 {
+			if !ValueEq(r, true) {
+				t.Errorf("%v: first add(7) = %v, want true", v, r)
+			}
+		} else if !IsBottom(r) {
+			t.Errorf("%v: blind add returned %v", v, r)
+		}
+
+		_, r = st.Op("add", 7).Exec(s)
+		if v == S1 && !ValueEq(r, false) {
+			t.Errorf("%v: duplicate add(7) = %v, want false", v, r)
+		}
+
+		if _, r = st.Op("contains", 7).Exec(s); !ValueEq(r, true) {
+			t.Errorf("%v: contains(7) = %v, want true", v, r)
+		}
+
+		s2, r2 := st.Op("remove", 7).Exec(s)
+		switch v {
+		case S1:
+			if s2.(*SetState).Elems[7] || !ValueEq(r2, true) {
+				t.Errorf("%v: remove(7) = (%v,%v)", v, s2, r2)
+			}
+		case S2:
+			if s2.(*SetState).Elems[7] || !IsBottom(r2) {
+				t.Errorf("%v: blind remove(7) = (%v,%v)", v, s2, r2)
+			}
+		case S3: // remove voided: no-op
+			if !s2.(*SetState).Elems[7] || !IsBottom(r2) {
+				t.Errorf("%v: voided remove must be a silent no-op", v)
+			}
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := Queue()
+	s := q.Init
+	for _, x := range []int{4, 5, 6} {
+		s, _ = q.Op("offer", x).Exec(s)
+	}
+	if _, r := q.Op("contains", 5).Exec(s); !ValueEq(r, true) {
+		t.Error("contains(5) = false after offer")
+	}
+	if _, r := q.Op("contains", 9).Exec(s); !ValueEq(r, false) {
+		t.Error("contains(9) = true, want false")
+	}
+	for _, want := range []int{4, 5, 6} {
+		var r Value
+		s, r = q.Op("poll").Exec(s)
+		if !ValueEq(r, want) {
+			t.Fatalf("poll = %v, want %d", r, want)
+		}
+	}
+	s, r := q.Op("poll").Exec(s)
+	if !IsBottom(r) || len(s.(*QueueState).Items) != 0 {
+		t.Error("poll on empty queue must return ⊥ and leave it empty")
+	}
+}
+
+func TestRefWriteOnce(t *testing.T) {
+	r1, r2 := Ref(R1), Ref(R2)
+
+	// R1: second set overwrites.
+	s := r1.Init
+	s, _ = r1.Op("set", 1).Exec(s)
+	s, _ = r1.Op("set", 2).Exec(s)
+	if _, v := r1.Op("get").Exec(s); !ValueEq(v, 2) {
+		t.Errorf("R1: get = %v, want 2", v)
+	}
+
+	// R2: second set fails silently.
+	s = r2.Init
+	if _, v := r2.Op("get").Exec(s); !IsBottom(v) {
+		t.Errorf("R2: get on ⊥ = %v, want ⊥", v)
+	}
+	s, _ = r2.Op("set", 1).Exec(s)
+	s, _ = r2.Op("set", 2).Exec(s)
+	if _, v := r2.Op("get").Exec(s); !ValueEq(v, 1) {
+		t.Errorf("R2: get = %v, want 1 (write-once)", v)
+	}
+
+	// x ∉ Addr (non-positive) fails silently in both variants.
+	s = r2.Init
+	s, v := r2.Op("set", 0).Exec(s)
+	if !IsBottom(v) || s.(*RefState).Set {
+		t.Error("set(0) must fail silently: 0 ∉ Addr")
+	}
+}
+
+func TestMapVariantsSequential(t *testing.T) {
+	for _, v := range []MapVariant{M1, M2} {
+		m := Map(v)
+		s := m.Init
+
+		s, r := m.Op("put", 1, 10).Exec(s)
+		if v == M1 {
+			if !IsBottom(r) {
+				t.Errorf("%v: put on absent key returned %v, want ⊥", v, r)
+			}
+		} else if !IsBottom(r) {
+			t.Errorf("%v: blind put returned %v", v, r)
+		}
+
+		s, r = m.Op("put", 1, 20).Exec(s)
+		if v == M1 && !ValueEq(r, 10) {
+			t.Errorf("%v: put over existing = %v, want 10", v, r)
+		}
+
+		if _, r = m.Op("contains", 1).Exec(s); !ValueEq(r, true) {
+			t.Errorf("%v: contains(1) = %v", v, r)
+		}
+
+		s, r = m.Op("remove", 1).Exec(s)
+		if v == M1 && !ValueEq(r, 20) {
+			t.Errorf("%v: remove = %v, want 20", v, r)
+		}
+		if _, r = m.Op("contains", 1).Exec(s); !ValueEq(r, false) {
+			t.Errorf("%v: contains after remove = %v", v, r)
+		}
+	}
+}
+
+// TestApplySatisfiesPost checks the internal consistency of the catalog: the
+// canonical behaviour of every operation satisfies its own postcondition in
+// every reachable state. This is the glue that lets the same specs serve as
+// theory input and as test oracle.
+func TestApplySatisfiesPost(t *testing.T) {
+	types := AllCatalogTypes()
+	cfg := DefaultCheckConfig()
+	for _, dt := range types {
+		gens := dt.OpSpace(cfg.Vals)
+		states := dt.Reachable(gens, cfg.Depth, cfg.MaxStates)
+		for _, op := range gens {
+			for _, s := range states {
+				if !op.PreHolds(s) {
+					continue
+				}
+				next, r := op.Exec(s)
+				if !op.PostHolds(s, next, r) {
+					t.Errorf("%s: %s violates own post at state %s (next=%s, r=%s)",
+						dt.Name, op, s.Key(), next.Key(), FormatValue(r))
+				}
+			}
+		}
+	}
+}
+
+// TestRandomSequencesDeterministic checks τ is a function: replaying a
+// sequence yields identical traces.
+func TestRandomSequencesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dt := range AllCatalogTypes() {
+		gens := dt.OpSpace([]int{1, 2, 3})
+		for trial := 0; trial < 20; trial++ {
+			seq := make([]*Op, 8)
+			for i := range seq {
+				seq[i] = gens[rng.Intn(len(gens))]
+			}
+			s1, v1 := ExecSeq(dt.Init, seq)
+			s2, v2 := ExecSeq(dt.Init, seq)
+			if !StateEq(s1, s2) {
+				t.Fatalf("%s: non-deterministic final state", dt.Name)
+			}
+			for i := range v1 {
+				if !ValueEq(v1[i], v2[i]) {
+					t.Fatalf("%s: non-deterministic response at %d", dt.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestExecSeqHelpers(t *testing.T) {
+	c := Counter(C1)
+	seq := []*Op{c.Op("inc"), c.Op("inc"), c.Op("get")}
+	final, vals := ExecSeq(c.Init, seq)
+	if final.(*CounterState).N != 2 {
+		t.Fatalf("final = %d, want 2", final.(*CounterState).N)
+	}
+	if !ValueEq(vals[2], int64(2)) {
+		t.Fatalf("get response = %v, want 2", vals[2])
+	}
+	if r := Response(c.Init, seq, 1); !ValueEq(r, int64(2)) {
+		t.Fatalf("Response(1) = %v, want 2", r)
+	}
+	trace := StatesFrom(c.Init, seq)
+	if len(trace) != 3 || trace[0].(*CounterState).N != 1 || trace[2].(*CounterState).N != 2 {
+		t.Fatalf("StatesFrom trace wrong: %v", trace)
+	}
+}
+
+func TestReachableBounds(t *testing.T) {
+	c := Counter(C1)
+	gens := []*Op{c.Op("inc")}
+	states := c.Reachable(gens, 3, 100)
+	if len(states) != 4 { // 0,1,2,3
+		t.Fatalf("reachable = %d states, want 4", len(states))
+	}
+	states = c.Reachable(gens, 100, 5)
+	if len(states) != 5 {
+		t.Fatalf("maxStates cap not respected: %d", len(states))
+	}
+}
+
+func TestOpSpaceArities(t *testing.T) {
+	m := Map(M1)
+	ops := m.OpSpace([]int{1, 2})
+	// put: 2x2=4, remove: 2, contains: 2.
+	if len(ops) != 8 {
+		t.Fatalf("map op space = %d instances, want 8", len(ops))
+	}
+	c := Counter(C1)
+	ops = c.OpSpace([]int{1, 2})
+	// inc, get, reset nullary; rmw unary x2.
+	if len(ops) != 5 {
+		t.Fatalf("counter op space = %d instances, want 5", len(ops))
+	}
+}
+
+func TestOpStringAndSameInstance(t *testing.T) {
+	s := Set(S1)
+	a, b := s.Op("add", 1), s.Op("add", 1)
+	if a.String() != "add(1)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !a.SameInstance(b) {
+		t.Error("identical instances not recognized")
+	}
+	if a.SameInstance(s.Op("add", 2)) || a.SameInstance(s.Op("remove", 1)) {
+		t.Error("distinct instances conflated")
+	}
+	g := Counter(C1).Op("get")
+	if g.String() != "get()" {
+		t.Errorf("nullary String = %q", g.String())
+	}
+}
+
+func TestUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown op")
+		}
+	}()
+	Counter(C1).Op("nope")
+}
+
+func TestTriplesCoverCatalog(t *testing.T) {
+	// Every catalog type has one rendered Hoare triple per operation, and
+	// the triple's operation name matches a registered generator.
+	for _, dt := range AllCatalogTypes() {
+		triples := dt.Triples()
+		if len(triples) != len(dt.OpNames()) {
+			t.Errorf("%s: %d triples for %d ops", dt.Name, len(triples), len(dt.OpNames()))
+			continue
+		}
+		for _, tr := range triples {
+			base := tr.Op
+			if i := strings.IndexByte(base, '('); i >= 0 {
+				base = base[:i]
+			}
+			if !dt.HasOp(base) {
+				t.Errorf("%s: triple %q names unknown op", dt.Name, tr)
+			}
+			if tr.String() == "" || tr.String()[0] != '[' {
+				t.Errorf("%s: bad rendering %q", dt.Name, tr.String())
+			}
+		}
+	}
+	out := FormatTable1()
+	for _, want := range []string{"Counter", "Set", "Queue", "Reference", "Map",
+		"[true] inc() [s' = s+1]", "[x ∈ Addr ∧ s = ⊥] set(x) [s' = x]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 missing %q", want)
+		}
+	}
+}

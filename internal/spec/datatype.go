@@ -1,0 +1,157 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DataType is a sequential data type: an initial state plus a family of
+// operation generators indexed by name. Generators produce concrete *Op
+// instances for given arguments, so the same DataType value describes both
+// the automaton (via Reachable) and the operation bags fed to package igraph.
+type DataType struct {
+	// Name identifies the type, using the paper's labels ("C3", "S1", ...).
+	Name string
+	// Init is s0.
+	Init State
+	// Readable marks types offering an operation that returns the full
+	// state without changing it (Ruppert's readable class; a premise of
+	// Theorem 1).
+	Readable bool
+	// readOp names the state-reading operation when Readable.
+	readOp string
+
+	gens  map[string]func(args ...int) *Op
+	order []string
+}
+
+// NewDataType creates an empty data type; ops are attached with AddOp.
+func NewDataType(name string, init State) *DataType {
+	return &DataType{Name: name, Init: init, gens: map[string]func(args ...int) *Op{}}
+}
+
+// AddOp registers an operation generator under the given base name.
+func (t *DataType) AddOp(name string, gen func(args ...int) *Op) *DataType {
+	if _, dup := t.gens[name]; dup {
+		panic(fmt.Sprintf("spec: duplicate op %q on %s", name, t.Name))
+	}
+	t.gens[name] = gen
+	t.order = append(t.order, name)
+	return t
+}
+
+// MarkReadable records that op name reads the full state without changing it.
+func (t *DataType) MarkReadable(name string) *DataType {
+	if _, ok := t.gens[name]; !ok {
+		panic(fmt.Sprintf("spec: readable op %q not registered on %s", name, t.Name))
+	}
+	t.Readable = true
+	t.readOp = name
+	return t
+}
+
+// OpNames lists the base operation names in registration order.
+func (t *DataType) OpNames() []string { return append([]string(nil), t.order...) }
+
+// HasOp reports whether the type defines an operation with the base name.
+func (t *DataType) HasOp(name string) bool { _, ok := t.gens[name]; return ok }
+
+// Op instantiates the named operation with the given arguments. It panics on
+// unknown names — catalog misuse is a programming error.
+func (t *DataType) Op(name string, args ...int) *Op {
+	gen, ok := t.gens[name]
+	if !ok {
+		panic(fmt.Sprintf("spec: %s has no op %q", t.Name, name))
+	}
+	return gen(args...)
+}
+
+// ReadOp returns the state-reading operation of a Readable type.
+func (t *DataType) ReadOp() *Op {
+	if !t.Readable {
+		panic(fmt.Sprintf("spec: %s is not readable", t.Name))
+	}
+	return t.Op(t.readOp)
+}
+
+// OpSpace instantiates every operation over the small argument domain vals:
+// nullary ops once, unary ops once per value, binary ops once per ordered
+// pair. It is the generator set used for bounded searches (consensus-number
+// estimation, subtype checking).
+func (t *DataType) OpSpace(vals []int) []*Op {
+	var out []*Op
+	for _, name := range t.order {
+		gen := t.gens[name]
+		switch arityOf(t, name) {
+		case 0:
+			out = append(out, gen())
+		case 1:
+			for _, v := range vals {
+				out = append(out, gen(v))
+			}
+		default:
+			for _, a := range vals {
+				for _, b := range vals {
+					out = append(out, gen(a, b))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// arity is declared per catalog type via opArity; default heuristics keep
+// user-defined types working.
+var opArity = map[string]int{
+	"inc": 0, "get": 0, "reset": 0, "poll": 0,
+	"rmw": 1, "set": 1, "add": 1, "remove": 1, "contains": 1, "offer": 1,
+	"put": 2,
+}
+
+func arityOf(_ *DataType, name string) int {
+	if a, ok := opArity[name]; ok {
+		return a
+	}
+	return 1
+}
+
+// Reachable enumerates the states reachable from Init by applying operations
+// from gens, following edges breadth-first up to the given depth, capped at
+// maxStates states. The result always contains Init and is returned in a
+// deterministic order.
+func (t *DataType) Reachable(gens []*Op, depth, maxStates int) []State {
+	type entry struct {
+		s State
+		d int
+	}
+	seen := map[string]State{t.Init.Key(): t.Init}
+	queue := []entry{{t.Init, 0}}
+	for len(queue) > 0 && len(seen) < maxStates {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d >= depth {
+			continue
+		}
+		for _, op := range gens {
+			next, _ := op.Exec(cur.s)
+			k := next.Key()
+			if _, ok := seen[k]; !ok {
+				seen[k] = next
+				queue = append(queue, entry{next, cur.d + 1})
+				if len(seen) >= maxStates {
+					break
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]State, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package spec implements the paper's system model (§2, Appendix A):
+// sequential data types as deterministic automata (S, s0, C, V, τ), operation
+// specifications in Hoare logic with fail-silently semantics, the Table 1
+// catalog of adjusted data types (C1–C3, S1–S3, Q1, R1–R2, M1–M2), Liskov
+// behavioural subtyping (narrow subtypes), and the adjustment arrows of
+// Figure 3 (delete, precondition, return-void, commuting-writes, mode).
+//
+// The specifications are executable: the same automaton that grounds the
+// theory in package igraph also serves as the sequential oracle for the
+// concurrent implementations in the library packages.
+package spec

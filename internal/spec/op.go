@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is one operation instance of a data type: a Hoare triple [Pre] name(args)
+// [Post] together with a canonical executable behaviour Apply. Instances are
+// concrete — add(1) and add(2) are two distinct *Op values — so a bag of
+// operations (the B of an indistinguishability graph) is simply []*Op.
+//
+// Semantics follow Appendix A: when Pre does not hold in the current state,
+// the operation fails silently — the state is unchanged and ⊥ is returned.
+// Post constrains only what it mentions; Apply is the canonical
+// implementation behaviour and must satisfy Post whenever Pre holds.
+type Op struct {
+	// Name is the base operation name ("add", "poll", ...).
+	Name string
+	// Args are the instance arguments (may be empty).
+	Args []int
+	// Writer reports whether the operation may update the state. Reads are
+	// the non-writers.
+	Writer bool
+	// Pre is the precondition; nil means true.
+	Pre func(State) bool
+	// Apply is the canonical behaviour, invoked only when Pre holds. It must
+	// not mutate its argument.
+	Apply func(State) (State, Value)
+	// Post is the postcondition predicate over (pre-state, post-state,
+	// response); nil means true. Used by the subtype checker.
+	Post func(prev, next State, r Value) bool
+}
+
+// String renders the instance as name(arg1,arg2).
+func (o *Op) String() string {
+	if len(o.Args) == 0 {
+		return o.Name + "()"
+	}
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = strconv.Itoa(a)
+	}
+	return o.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// PreHolds reports whether the precondition holds in s.
+func (o *Op) PreHolds(s State) bool { return o.Pre == nil || o.Pre(s) }
+
+// Exec executes the operation with fail-silently semantics: if the
+// precondition does not hold, the state is returned unchanged with ⊥.
+func (o *Op) Exec(s State) (State, Value) {
+	if !o.PreHolds(s) {
+		return s, Bottom
+	}
+	return o.Apply(s)
+}
+
+// PostHolds reports whether the postcondition accepts the transition.
+func (o *Op) PostHolds(prev, next State, r Value) bool {
+	return o.Post == nil || o.Post(prev, next, r)
+}
+
+// SameInstance reports whether two instances denote the same operation (same
+// base name and arguments) — used to pair operations across a subtype and
+// its supertype.
+func (o *Op) SameInstance(p *Op) bool {
+	if o.Name != p.Name || len(o.Args) != len(p.Args) {
+		return false
+	}
+	for i := range o.Args {
+		if o.Args[i] != p.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecSeq applies the operations of seq in order from s, returning the final
+// state and each response. It is the τ+ of Appendix A.
+func ExecSeq(s State, seq []*Op) (State, []Value) {
+	vals := make([]Value, len(seq))
+	cur := s
+	for i, op := range seq {
+		cur, vals[i] = op.Exec(cur)
+	}
+	return cur, vals
+}
+
+// Response returns the response of seq[i] when seq is applied from s.
+func Response(s State, seq []*Op, i int) Value {
+	if i < 0 || i >= len(seq) {
+		panic(fmt.Sprintf("spec: response index %d out of range [0,%d)", i, len(seq)))
+	}
+	cur := s
+	var v Value
+	for j := 0; j <= i; j++ {
+		cur, v = seq[j].Exec(cur)
+	}
+	return v
+}
+
+// StatesFrom returns the trace of states visited when applying seq from s:
+// index 0 is the state after seq[0], etc. (s itself is not included).
+func StatesFrom(s State, seq []*Op) []State {
+	out := make([]State, len(seq))
+	cur := s
+	for i, op := range seq {
+		cur, _ = op.Exec(cur)
+		out[i] = cur
+	}
+	return out
+}

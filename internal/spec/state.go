@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// State is an automaton state. Implementations are immutable by convention:
+// Op.Apply clones before mutating, so states can be shared freely across the
+// permutation enumeration in package igraph.
+type State interface {
+	// Key returns a canonical encoding: two states are equal iff their keys
+	// are equal.
+	Key() string
+	// Clone returns a deep copy that may be mutated by the caller.
+	Clone() State
+}
+
+// StateEq reports whether two states are equal (by canonical key).
+func StateEq(a, b State) bool { return a.Key() == b.Key() }
+
+// ---------------------------------------------------------------------------
+// Counter state
+
+// CounterState is the state of the counter data types (C1–C3): one integer.
+type CounterState struct{ N int64 }
+
+// Key implements State.
+func (s *CounterState) Key() string { return "c:" + strconv.FormatInt(s.N, 10) }
+
+// Clone implements State.
+func (s *CounterState) Clone() State { c := *s; return &c }
+
+// ---------------------------------------------------------------------------
+// Reference state
+
+// RefState is the state of the reference data types (R1–R2): an address or ⊥.
+// Addresses are modelled as non-zero integers; Set=false is ⊥ (null).
+type RefState struct {
+	Val int
+	Set bool
+}
+
+// Key implements State.
+func (s *RefState) Key() string {
+	if !s.Set {
+		return "r:⊥"
+	}
+	return "r:" + strconv.Itoa(s.Val)
+}
+
+// Clone implements State.
+func (s *RefState) Clone() State { c := *s; return &c }
+
+// ---------------------------------------------------------------------------
+// Set state
+
+// SetState is the state of the set data types (S1–S3): a finite set of ints.
+type SetState struct{ Elems map[int]bool }
+
+// NewSetState returns a set state holding the given elements.
+func NewSetState(elems ...int) *SetState {
+	s := &SetState{Elems: make(map[int]bool, len(elems))}
+	for _, e := range elems {
+		s.Elems[e] = true
+	}
+	return s
+}
+
+// Key implements State.
+func (s *SetState) Key() string {
+	keys := make([]int, 0, len(s.Elems))
+	for e := range s.Elems {
+		keys = append(keys, e)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteString("s:{")
+	for i, e := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Clone implements State.
+func (s *SetState) Clone() State {
+	c := &SetState{Elems: make(map[int]bool, len(s.Elems))}
+	for e := range s.Elems {
+		c.Elems[e] = true
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Queue state
+
+// QueueState is the state of the queue data type (Q1): a FIFO sequence.
+type QueueState struct{ Items []int }
+
+// NewQueueState returns a queue state holding items in FIFO order.
+func NewQueueState(items ...int) *QueueState {
+	return &QueueState{Items: append([]int(nil), items...)}
+}
+
+// Key implements State.
+func (s *QueueState) Key() string {
+	var b strings.Builder
+	b.WriteString("q:[")
+	for i, e := range s.Items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Clone implements State.
+func (s *QueueState) Clone() State {
+	return &QueueState{Items: append([]int(nil), s.Items...)}
+}
+
+// ---------------------------------------------------------------------------
+// Map state
+
+// MapState is the state of the map data types (M1–M2): int keys to int
+// values; absent keys read as ⊥.
+type MapState struct{ Entries map[int]int }
+
+// NewMapState returns an empty map state.
+func NewMapState() *MapState { return &MapState{Entries: map[int]int{}} }
+
+// Key implements State.
+func (s *MapState) Key() string {
+	keys := make([]int, 0, len(s.Entries))
+	for k := range s.Entries {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteString("m:{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(k))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(s.Entries[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Clone implements State.
+func (s *MapState) Clone() State {
+	c := &MapState{Entries: make(map[int]int, len(s.Entries))}
+	for k, v := range s.Entries {
+		c.Entries[k] = v
+	}
+	return c
+}

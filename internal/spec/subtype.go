@@ -1,0 +1,118 @@
+package spec
+
+import "fmt"
+
+// This file implements the behavioural-subtyping side of §4.1: Liskov &
+// Wing's substitution principle specialized to the catalog (identity
+// abstraction function, as every Table 1 variant of a type shares one state
+// space), narrow subtypes, and Definition 1 (the Adjusts relation).
+
+// CheckConfig bounds the state enumeration used by the subtype checker.
+type CheckConfig struct {
+	// Vals is the argument domain for operation instantiation.
+	Vals []int
+	// Depth bounds the reachability exploration.
+	Depth int
+	// MaxStates caps the number of enumerated states.
+	MaxStates int
+}
+
+// DefaultCheckConfig is adequate for every catalog type: three distinct
+// values and enough depth to populate and drain small collections.
+func DefaultCheckConfig() CheckConfig {
+	return CheckConfig{Vals: []int{1, 2, 3}, Depth: 4, MaxStates: 512}
+}
+
+// SubtypeViolation describes why a subtype check failed.
+type SubtypeViolation struct {
+	Op     string
+	State  string
+	Rule   string // "missing-op", "pre", "post"
+	Detail string
+}
+
+// Error implements the error interface.
+func (v *SubtypeViolation) Error() string {
+	return fmt.Sprintf("spec: subtype violation at op %s, state %s: %s rule (%s)",
+		v.Op, v.State, v.Rule, v.Detail)
+}
+
+// IsSubtype reports whether sub is a behavioural subtype of super under the
+// identity abstraction, checking Liskov's pre-condition rule (the supertype's
+// precondition implies the subtype's) and post-condition rule (the subtype's
+// canonical behaviour satisfies the supertype's postcondition) over every
+// state reachable in the supertype within cfg's bounds. A nil error means
+// the check passed.
+func IsSubtype(sub, super *DataType, cfg CheckConfig) error {
+	gens := super.OpSpace(cfg.Vals)
+	states := super.Reachable(gens, cfg.Depth, cfg.MaxStates)
+	// Also explore the subtype's own reachable space: the constraint rule
+	// demands subtype state changes stay valid for the supertype, and the
+	// subtype may visit states the supertype's canonical runs do not.
+	subStates := sub.Reachable(sub.OpSpace(cfg.Vals), cfg.Depth, cfg.MaxStates)
+	states = mergeStates(states, subStates)
+
+	for _, superOp := range gens {
+		if !sub.HasOp(superOp.Name) {
+			return &SubtypeViolation{Op: superOp.Name, Rule: "missing-op",
+				Detail: sub.Name + " does not define the operation"}
+		}
+		subOp := sub.Op(superOp.Name, superOp.Args...)
+		for _, s := range states {
+			if superOp.PreHolds(s) && !subOp.PreHolds(s) {
+				return &SubtypeViolation{Op: superOp.String(), State: s.Key(), Rule: "pre",
+					Detail: "supertype precondition holds but subtype's does not"}
+			}
+			if !superOp.PreHolds(s) {
+				continue
+			}
+			next, r := subOp.Exec(s)
+			if !superOp.PostHolds(s, next, r) {
+				return &SubtypeViolation{Op: superOp.String(), State: s.Key(), Rule: "post",
+					Detail: fmt.Sprintf("subtype transition to %s with response %s breaks supertype postcondition",
+						next.Key(), FormatValue(r))}
+			}
+		}
+	}
+	return nil
+}
+
+// IsNarrowSubtype reports whether sub is a narrow subtype of super (§4.1):
+// sub is a subtype of super and super implements only the operations sub
+// defines (identical operation name sets).
+func IsNarrowSubtype(sub, super *DataType, cfg CheckConfig) error {
+	subNames := map[string]bool{}
+	for _, n := range sub.OpNames() {
+		subNames[n] = true
+	}
+	for _, n := range super.OpNames() {
+		if !subNames[n] {
+			return &SubtypeViolation{Op: n, Rule: "missing-op",
+				Detail: "narrowness requires identical operation sets"}
+		}
+		delete(subNames, n)
+	}
+	for n := range subNames {
+		return &SubtypeViolation{Op: n, Rule: "missing-op",
+			Detail: "subtype defines an operation the supertype lacks (not narrow)"}
+	}
+	return IsSubtype(sub, super, cfg)
+}
+
+func mergeStates(a, b []State) []State {
+	seen := map[string]bool{}
+	out := make([]State, 0, len(a)+len(b))
+	for _, s := range a {
+		if !seen[s.Key()] {
+			seen[s.Key()] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s.Key()] {
+			seen[s.Key()] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

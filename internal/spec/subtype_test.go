@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// The adjustment chains of Table 1 / Figure 3: the vanilla type must be a
+// (narrow) subtype of each adjusted version, never the other way around.
+
+func TestCounterSubtypeChain(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	c1, c2, c3 := Counter(C1), Counter(C2), Counter(C3)
+
+	if err := IsNarrowSubtype(c1, c2, cfg); err != nil {
+		t.Errorf("C1 must subtype C2: %v", err)
+	}
+	if err := IsNarrowSubtype(c2, c3, cfg); err != nil {
+		t.Errorf("C2 must subtype C3: %v", err)
+	}
+	if err := IsNarrowSubtype(c1, c3, cfg); err != nil {
+		t.Errorf("C1 must subtype C3 (transitivity): %v", err)
+	}
+
+	// Converse fails: C3's blind inc cannot satisfy C1's post (r = s').
+	err := IsSubtype(c3, c1, cfg)
+	if err == nil {
+		t.Fatal("C3 must not subtype C1")
+	}
+	var v *SubtypeViolation
+	if !errors.As(err, &v) || v.Rule != "post" {
+		t.Errorf("violation = %v, want a post-rule violation", err)
+	}
+}
+
+func TestSetSubtypeChain(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	s1, s2, s3 := Set(S1), Set(S2), Set(S3)
+
+	if err := IsNarrowSubtype(s1, s2, cfg); err != nil {
+		t.Errorf("S1 must subtype S2: %v", err)
+	}
+	if err := IsNarrowSubtype(s2, s3, cfg); err != nil {
+		t.Errorf("S2 must subtype S3: %v", err)
+	}
+	if err := IsSubtype(s2, s1, cfg); err == nil {
+		t.Error("S2 must not subtype S1 (blind add cannot report membership)")
+	}
+	// S3's voided remove leaves elements behind: not a subtype of S2, whose
+	// post requires x ∉ s'.
+	if err := IsSubtype(s3, s2, cfg); err == nil {
+		t.Error("S3 must not subtype S2")
+	}
+}
+
+func TestRefSubtype(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	r1, r2 := Ref(R1), Ref(R2)
+	if err := IsNarrowSubtype(r1, r2, cfg); err != nil {
+		t.Errorf("R1 must subtype R2: %v", err)
+	}
+	// R2 is a subtype of R1 too: its set does strictly less, and a silent
+	// failure satisfies... no — R1's post requires s' = x after set, which a
+	// failed write-once set violates. Direction matters.
+	if err := IsSubtype(r2, r1, cfg); err == nil {
+		t.Error("R2 must not subtype R1: a second set must take effect under R1")
+	}
+}
+
+func TestMapSubtype(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	if err := IsNarrowSubtype(Map(M1), Map(M2), cfg); err != nil {
+		t.Errorf("M1 must subtype M2: %v", err)
+	}
+	if err := IsSubtype(Map(M2), Map(M1), cfg); err == nil {
+		t.Error("M2 must not subtype M1")
+	}
+}
+
+func TestSubtypeReflexive(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	for _, dt := range AllCatalogTypes() {
+		fresh := dt // same constructor output; identity abstraction
+		if err := IsNarrowSubtype(fresh, dt, cfg); err != nil {
+			t.Errorf("%s must subtype itself: %v", dt.Name, err)
+		}
+	}
+}
+
+func TestNarrownessRejectsDifferentInterfaces(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	err := IsNarrowSubtype(Counter(C1), Set(S1), cfg)
+	if err == nil {
+		t.Fatal("counter must not be a narrow subtype of set")
+	}
+	var v *SubtypeViolation
+	if !errors.As(err, &v) || v.Rule != "missing-op" {
+		t.Errorf("violation = %v, want missing-op", err)
+	}
+}
+
+func TestAdjustsDefinition1(t *testing.T) {
+	cfg := DefaultCheckConfig()
+	adjusted := Object{Type: Set(S3), Mode: core.ModeCWSR}
+	vanilla := Object{Type: Set(S1), Mode: core.ModeAll}
+
+	if err := Adjusts(adjusted, vanilla, cfg); err != nil {
+		t.Errorf("(S3,CWSR) must adjust (S1,ALL): %v", err)
+	}
+	// Reversed roles must fail on both clauses.
+	if err := Adjusts(vanilla, adjusted, cfg); err == nil {
+		t.Error("(S1,ALL) must not adjust (S3,CWSR)")
+	}
+	// Mode-only violation: same type, wrong mode direction.
+	wide := Object{Type: Set(S3), Mode: core.ModeAll}
+	narrow := Object{Type: Set(S3), Mode: core.ModeCWSR}
+	if err := Adjusts(wide, narrow, cfg); err == nil {
+		t.Error("(S3,ALL) must not adjust (S3,CWSR): ALL does not restrict CWSR")
+	}
+	if err := Adjusts(narrow, wide, cfg); err != nil {
+		t.Errorf("(S3,CWSR) must adjust (S3,ALL): %v", err)
+	}
+}
+
+func TestFigure3LatticeVerifies(t *testing.T) {
+	l := Figure3()
+	if err := l.Verify(DefaultCheckConfig()); err != nil {
+		t.Fatalf("Figure 3 lattice failed verification: %v", err)
+	}
+	nodes := l.Nodes()
+	// Figure 3 has 4 reference nodes, 5 set nodes, 4 counter nodes.
+	if len(nodes) != 13 {
+		t.Errorf("lattice has %d nodes, want 13", len(nodes))
+	}
+	if len(l.Edges) != 11 {
+		t.Errorf("lattice has %d edges, want 11", len(l.Edges))
+	}
+}
+
+func TestAdjustKindStrings(t *testing.T) {
+	want := map[AdjustKind]string{
+		AdjustDelete: "d", AdjustPre: "p", AdjustReturn: "r",
+		AdjustCommute: "c", AdjustMode: "m",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	e := Edge{
+		From: Object{Type: Set(S1), Mode: core.ModeAll},
+		To:   Object{Type: Set(S2), Mode: core.ModeAll},
+		Kind: AdjustReturn,
+	}
+	if e.String() != "(S1, ALL) -r-> (S2, ALL)" {
+		t.Errorf("edge String = %q", e.String())
+	}
+}
+
+// TestProposition5Substitution is the executable form of Proposition 5: a
+// program written against the adjusted object runs, with identical observable
+// behaviour where specified, against the vanilla object. We run a small
+// deterministic "task" against S2 (blind set) and S1 and compare the
+// responses the adjusted spec constrains.
+func TestProposition5Substitution(t *testing.T) {
+	program := func(dt *DataType) []Value {
+		s := dt.Init
+		var out []Value
+		for _, op := range []*Op{
+			dt.Op("add", 1), dt.Op("add", 2), dt.Op("contains", 1),
+			dt.Op("remove", 1), dt.Op("contains", 1), dt.Op("contains", 2),
+		} {
+			var v Value
+			s, v = op.Exec(s)
+			// The program was written against S2: it ignores write
+			// responses (they are ⊥ there), so only read responses count.
+			if op.Name == "contains" {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	gotAdjusted := program(Set(S2))
+	gotVanilla := program(Set(S1))
+	if len(gotAdjusted) != len(gotVanilla) {
+		t.Fatal("response counts differ")
+	}
+	for i := range gotAdjusted {
+		if !ValueEq(gotAdjusted[i], gotVanilla[i]) {
+			t.Errorf("response %d: adjusted=%v vanilla=%v", i, gotAdjusted[i], gotVanilla[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders the catalog as Hoare triples, reproducing the notation
+// of Table 1: [P] op(args) [Q]. The triples are stored declaratively per
+// catalog type (they are documentation of the executable Pre/Apply/Post
+// fields, kept adjacent so the rendered table matches the code).
+
+// Triple is one rendered Hoare triple.
+type Triple struct {
+	Pre  string
+	Op   string
+	Post string
+}
+
+// String renders the triple in the paper's notation.
+func (t Triple) String() string {
+	return fmt.Sprintf("[%s] %s [%s]", t.Pre, t.Op, t.Post)
+}
+
+// triplesByType holds the Table 1 rows verbatim.
+var triplesByType = map[string][]Triple{
+	"C1": {
+		{"true", "rmw(f,x)", "s' = f(s,x) ∧ r = s'"},
+		{"true", "inc()", "s' = s+1 ∧ r = s'"},
+		{"true", "get()", "r = s"},
+		{"true", "reset()", "s' = 0"},
+	},
+	"C2": {
+		{"true", "rmw(f,x)", "true"},
+		{"true", "inc()", "s' = s+1 ∧ r = s'"},
+		{"true", "get()", "r = s"},
+		{"false", "reset()", "s' = 0"},
+	},
+	"C3": {
+		{"true", "rmw(f,x)", "true"},
+		{"true", "inc()", "s' = s+1"},
+		{"true", "get()", "r = s"},
+		{"false", "reset()", "s' = 0"},
+	},
+	"S1": {
+		{"true", "add(x)", "s' = s ∪ {x} ∧ r = x ∉ s"},
+		{"true", "remove(x)", "s' = s \\ {x} ∧ r = x ∈ s"},
+		{"true", "contains(x)", "r = x ∈ s"},
+	},
+	"S2": {
+		{"true", "add(x)", "s' = s ∪ {x}"},
+		{"true", "remove(x)", "s' = s \\ {x}"},
+		{"true", "contains(x)", "r = x ∈ s"},
+	},
+	"S3": {
+		{"true", "add(x)", "s' = s ∪ {x}"},
+		{"true", "remove(x)", "true"},
+		{"true", "contains(x)", "r = x ∈ s"},
+	},
+	"Q1": {
+		{"true", "offer(x)", "s' = s ◦ x"},
+		{"true", "poll()", "if |s| = 0 then r = ⊥ else r = head(s) ∧ s' = s \\ {head(s)}"},
+		{"true", "contains(x)", "r = x ∈ s"},
+	},
+	"R1": {
+		{"x ∈ Addr", "set(x)", "s' = x"},
+		{"true", "get()", "r = s"},
+	},
+	"R2": {
+		{"x ∈ Addr ∧ s = ⊥", "set(x)", "s' = x"},
+		{"true", "get()", "r = s"},
+	},
+	"M1": {
+		{"true", "put(k,v)", "s'[k] = v ∧ r = s[k]"},
+		{"true", "remove(k)", "s'[k] = ⊥ ∧ r = s[k]"},
+		{"true", "contains(k)", "r = (s[k] ≠ ⊥)"},
+	},
+	"M2": {
+		{"true", "put(k,v)", "s'[k] = v"},
+		{"true", "remove(k)", "s'[k] = ⊥"},
+		{"true", "contains(k)", "r = (s[k] ≠ ⊥)"},
+	},
+}
+
+// Triples returns the Table 1 rows for the data type, or nil for
+// user-defined types.
+func (t *DataType) Triples() []Triple {
+	return append([]Triple(nil), triplesByType[t.Name]...)
+}
+
+// FormatTable1 renders the whole catalog in the paper's layout.
+func FormatTable1() string {
+	var b strings.Builder
+	groups := []struct {
+		heading string
+		names   []string
+	}{
+		{"Counter", []string{"C1", "C2", "C3"}},
+		{"Set", []string{"S1", "S2", "S3"}},
+		{"Queue", []string{"Q1"}},
+		{"Reference", []string{"R1", "R2"}},
+		{"Map", []string{"M1", "M2"}},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g.heading)
+		for _, name := range g.names {
+			for i, tr := range triplesByType[name] {
+				label := "  "
+				if i == len(triplesByType[name])-1 {
+					label = name
+				}
+				fmt.Fprintf(&b, "  %-70s %s\n", tr, label)
+			}
+		}
+	}
+	return b.String()
+}

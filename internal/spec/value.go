@@ -1,0 +1,33 @@
+package spec
+
+import "fmt"
+
+// Value is an operation response. Concrete responses are small comparable Go
+// values (int, bool, string); the distinguished Bottom models the paper's ⊥
+// — the empty response of a void operation, a failed precondition, or an
+// absent map entry.
+type Value any
+
+type bottomValue struct{}
+
+func (bottomValue) String() string { return "⊥" }
+
+// Bottom is the ⊥ response value.
+var Bottom Value = bottomValue{}
+
+// IsBottom reports whether v is the ⊥ value.
+func IsBottom(v Value) bool {
+	_, ok := v.(bottomValue)
+	return ok
+}
+
+// ValueEq compares two response values. All catalog values are comparable.
+func ValueEq(a, b Value) bool { return a == b }
+
+// FormatValue renders a value the way Table 1 renders responses.
+func FormatValue(v Value) string {
+	if IsBottom(v) {
+		return "⊥"
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := StdDev(xs); !almost(sd, 2.138, 1e-3) {
+		t.Errorf("StdDev = %v, want ≈2.138", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5.5}, {25, 3.25}, {90, 9.1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive and negative correlations.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if r, err := Pearson(a, b); err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v (%v), want 1", r, err)
+	}
+	c := []float64{50, 40, 30, 20, 10}
+	if r, err := Pearson(a, c); err != nil || !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v (%v), want -1", r, err)
+	}
+	// The paper's key shape: throughput falls as stalls rise — strongly
+	// negative but not exactly -1 with noise.
+	thr := []float64{100, 80, 65, 40, 20, 12}
+	stl := []float64{5, 20, 31, 60, 80, 95}
+	r, err := Pearson(thr, stl)
+	if err != nil || r > -0.9 {
+		t.Errorf("noisy anti-correlation r = %v (%v), want < -0.9", r, err)
+	}
+	// Error paths.
+	if _, err := Pearson(a, a[:3]); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("short series must error")
+	}
+	if _, err := Pearson([]float64{3, 3, 3}, a[:3]); err == nil {
+		t.Error("constant series must error")
+	}
+}
+
+func TestPearsonBoundsQuick(t *testing.T) {
+	prop := func(pairs [8][2]float64) bool {
+		a := make([]float64, len(pairs))
+		b := make([]float64, len(pairs))
+		for i, p := range pairs {
+			// Fold the generated values into a measurement-like range;
+			// astronomically large inputs overflow the sums by design.
+			a[i], b[i] = math.Remainder(p[0], 1e9), math.Remainder(p[1], 1e9)
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+				return true
+			}
+		}
+		r, err := Pearson(a, b)
+		if err != nil {
+			return true // constant series etc. are fine
+		}
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n, samples = 1000, 200000
+	biased := NewZipfian(n, 1, 1)
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		v := biased.Next()
+		if v < 0 || v >= n {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate: far above the uniform share.
+	if counts[0] < 10*samples/n {
+		t.Errorf("rank 0 drew %d of %d; not skewed", counts[0], samples)
+	}
+
+	uniform := NewZipfian(n, 0, 1)
+	counts = make([]int, n)
+	for i := 0; i < samples; i++ {
+		counts[uniform.Next()]++
+	}
+	// Under uniformity no rank should exceed 3x its share.
+	for v, c := range counts {
+		if c > 3*samples/n {
+			t.Fatalf("uniform sampler rank %d drew %d; too skewed", v, c)
+		}
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	degs := PowerLawDegrees(50000, 500, 2.0, 42)
+	if len(degs) != 50000 {
+		t.Fatalf("len = %d", len(degs))
+	}
+	ones, big := 0, 0
+	for _, d := range degs {
+		if d < 1 || d > 500 {
+			t.Fatalf("degree %d out of range", d)
+		}
+		if d == 1 {
+			ones++
+		}
+		if d >= 100 {
+			big++
+		}
+	}
+	// Power law: most mass at degree 1, a non-empty tail.
+	if ones < len(degs)/2 {
+		t.Errorf("degree-1 count %d; want a majority", ones)
+	}
+	if big == 0 {
+		t.Error("no heavy tail at all")
+	}
+	if ones > big*10000 && big == 0 {
+		t.Error("tail vanished")
+	}
+}
+
+func TestHash64Distribution(t *testing.T) {
+	// Low bits of sequential keys must spread across buckets.
+	const buckets = 64
+	counts := make([]int, buckets)
+	for i := uint64(0); i < 64*100; i++ {
+		counts[Hash64(i)%buckets]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty: bad mixing", b)
+		}
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Error("trivial collision")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("alice") == HashString("bob") {
+		t.Error("collision on distinct strings")
+	}
+	if HashString("x") != HashString("x") {
+		t.Error("not deterministic")
+	}
+}
+
+func TestZipfianPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n = 0")
+		}
+	}()
+	NewZipfian(0, 1, 1)
+}

@@ -1,0 +1,281 @@
+// Package universal implements the executable constructions from the
+// paper's appendix:
+//
+//   - Construction 1 (proof of Theorem 1, ≥ direction): weak consensus from
+//     any shared object whose indistinguishability graph has two classes —
+//     each thread applies its operation, reads the state, locates its
+//     indistinguishability class, and decides the class's value.
+//   - Construction 2 (Proposition 3): an update-conflict-free implementation
+//     for operations that left-move — per-thread logs stamped with a global
+//     clock; readers merge the logs.
+//   - Construction 3 (Proposition 4): an implementation where right-movers
+//     (reads) are invisible — updates are announced in a shared append-only
+//     log; reads replay the prefix they observed without writing anything.
+//
+// The constructions are generic over the sequential specifications of
+// package spec, so the same automaton that grounds the theory drives the
+// executable object; their linearizability is verified with package linz.
+package universal
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/adjusted-objects/dego/internal/igraph"
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// LockedObject is a trivially linearizable shared object driven by a
+// sequential specification: one mutex, one state. It is the strongly
+// consistent substrate Construction 1 assumes ("we use a single shared
+// object O of type T").
+type LockedObject struct {
+	mu sync.Mutex
+	st spec.State
+}
+
+// NewLockedObject creates an object in the given state.
+func NewLockedObject(init spec.State) *LockedObject {
+	return &LockedObject{st: init}
+}
+
+// Apply executes op atomically and returns its response.
+func (o *LockedObject) Apply(op *spec.Op) spec.Value {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var v spec.Value
+	o.st, v = op.Exec(o.st)
+	return v
+}
+
+// ReadState returns the current state (the read step of Construction 1;
+// legal because the theorem's types are readable).
+func (o *LockedObject) ReadState() spec.State {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.st
+}
+
+// ---------------------------------------------------------------------------
+// Construction 1: weak consensus
+
+// Consensus solves weak consensus among len(bag) threads using an object of
+// the given type. Each thread p is mapped to bag[p]; the decision map d
+// assigns a value to each indistinguishability class of G(bag, init) — it
+// must be surjective onto the proposals, which is possible exactly when the
+// graph has ≥ 2 classes (Theorem 1).
+type Consensus struct {
+	graph  *igraph.Graph
+	obj    *LockedObject
+	bag    []*spec.Op
+	values []int // per-class decision values
+}
+
+// NewConsensus builds the protocol. values[i] is the decision assigned to
+// class i of the graph; it errors when the graph has fewer classes than
+// distinct values demand.
+func NewConsensus(bag []*spec.Op, init spec.State, values []int) (*Consensus, error) {
+	g := igraph.New(bag, init)
+	classes := g.NumClasses()
+	if len(values) != classes {
+		return nil, fmt.Errorf("universal: %d classes but %d values", classes, len(values))
+	}
+	return &Consensus{
+		graph:  g,
+		obj:    NewLockedObject(init),
+		bag:    bag,
+		values: values,
+	}, nil
+}
+
+// Propose runs thread p's side of the protocol: apply c_p, read the state,
+// find a permutation consistent with the observation, decide that
+// permutation's class value.
+func (c *Consensus) Propose(p int) (int, error) {
+	op := c.bag[p]
+	r := c.obj.Apply(op)
+	st := c.obj.ReadState()
+
+	// "There must exist x ∈ perm(B) such that c_p returns r in τ(s,x) and
+	// state s' follows c_p in τ(s,x)."
+	for xi, perm := range c.graph.Perms {
+		pos := -1
+		for i, e := range perm {
+			if e == p {
+				pos = i
+				break
+			}
+		}
+		seq := make([]*spec.Op, len(perm))
+		for i, e := range perm {
+			seq[i] = c.bag[e]
+		}
+		if !spec.ValueEq(spec.Response(c.graph.Start, seq, pos), r) {
+			continue
+		}
+		states := spec.StatesFrom(c.graph.Start, seq)
+		for _, s := range states[pos:] {
+			if spec.StateEq(s, st) {
+				return c.values[c.graph.ClassOf(xi)], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("universal: no permutation consistent with observation (r=%s, s'=%s)",
+		spec.FormatValue(r), st.Key())
+}
+
+// ---------------------------------------------------------------------------
+// Construction 2: update-conflict-free left-movers
+
+// logEntry is the (operation, timestamp) pair of Construction 2. Entries are
+// immutable once linked; a thread's log is single-writer.
+type logEntry struct {
+	op *spec.Op
+	t  int64
+}
+
+// MoverLog implements an object whose update operations all left-move
+// (Proposition 3): each thread appends its updates to a private log stamped
+// with a read of the global clock — no two threads ever write the same
+// location, so updates are free of update conflicts. An operation that does
+// not left-move (a read, in this restricted executable form) advances the
+// clock and merges the logs.
+//
+// This executable form restricts non-movers to read-only operations: the
+// paper's full construction also logs non-movers and adds a helping protocol
+// for their timestamps; with read-only non-movers the helping machinery is
+// unnecessary (nothing downstream ever waits on a read's timestamp).
+type MoverLog struct {
+	init spec.State
+
+	clockMu sync.Mutex
+	clock   int64
+
+	logs []threadLog
+}
+
+type threadLog struct {
+	mu      sync.Mutex // excludes only the reader snapshotting this log
+	entries []logEntry
+}
+
+// NewMoverLog creates the construction for n threads.
+func NewMoverLog(init spec.State, n int) *MoverLog {
+	return &MoverLog{init: init, logs: make([]threadLog, n)}
+}
+
+// Update appends a left-moving update for thread p. Left-movers return the
+// response computed on the thread's local view; for the blind updates that
+// left-move in practice this is ⊥ (their response never depends on order —
+// that is what left-moving means).
+func (m *MoverLog) Update(p int, op *spec.Op) spec.Value {
+	m.clockMu.Lock()
+	t := m.clock // read, not increment: movers share a tick
+	m.clockMu.Unlock()
+
+	lg := &m.logs[p]
+	lg.mu.Lock()
+	lg.entries = append(lg.entries, logEntry{op: op, t: t})
+	lg.mu.Unlock()
+	return spec.Bottom
+}
+
+// Read executes a read-only operation: it advances the clock, merges every
+// log up to its tick, applies the entries in (timestamp, thread) order to a
+// fresh copy, and runs the read on the result.
+func (m *MoverLog) Read(op *spec.Op) spec.Value {
+	m.clockMu.Lock()
+	m.clock++
+	t := m.clock
+	m.clockMu.Unlock()
+
+	var merged []struct {
+		e logEntry
+		p int
+	}
+	for p := range m.logs {
+		lg := &m.logs[p]
+		lg.mu.Lock()
+		for _, e := range lg.entries {
+			if e.t < t {
+				merged = append(merged, struct {
+					e logEntry
+					p int
+				}{e, p})
+			}
+		}
+		lg.mu.Unlock()
+	}
+	// Sort by (timestamp, thread): left-movers commute, so any order
+	// consistent across reads is a valid linearization; (t, p) is
+	// deterministic.
+	for i := 1; i < len(merged); i++ {
+		for j := i; j > 0; j-- {
+			a, b := merged[j-1], merged[j]
+			if b.e.t < a.e.t || (b.e.t == a.e.t && b.p < a.p) {
+				merged[j-1], merged[j] = merged[j], merged[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	st := m.init
+	for _, me := range merged {
+		st, _ = me.e.op.Exec(st)
+	}
+	_, v := op.Exec(st)
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Construction 3: invisible right-movers
+
+// AnnounceLog implements an object whose reads right-move and are therefore
+// invisible (Proposition 4): updates append themselves to a shared
+// append-only array (the paper's wait-free queue arr with offer/last/get);
+// reads observe the last announced index and replay the prefix locally,
+// writing nothing shared.
+type AnnounceLog struct {
+	init spec.State
+
+	mu  sync.Mutex // models the linearizable offer of the shared array
+	arr []*spec.Op
+}
+
+// NewAnnounceLog creates the construction.
+func NewAnnounceLog(init spec.State) *AnnounceLog {
+	return &AnnounceLog{init: init}
+}
+
+// Update announces op and returns its response computed at its position in
+// the log.
+func (a *AnnounceLog) Update(op *spec.Op) spec.Value {
+	a.mu.Lock()
+	a.arr = append(a.arr, op)
+	pos := len(a.arr)
+	snapshot := a.arr[:pos]
+	a.mu.Unlock()
+
+	st := a.init
+	var v spec.Value
+	for _, o := range snapshot {
+		st, v = o.Exec(st)
+	}
+	return v
+}
+
+// Read replays the announced prefix and applies op locally — invisible: no
+// shared write of any kind.
+func (a *AnnounceLog) Read(op *spec.Op) spec.Value {
+	a.mu.Lock()
+	last := len(a.arr)
+	snapshot := a.arr[:last]
+	a.mu.Unlock()
+
+	st := a.init
+	for _, o := range snapshot {
+		st, _ = o.Exec(st)
+	}
+	_, v := op.Exec(st)
+	return v
+}

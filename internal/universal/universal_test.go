@@ -1,0 +1,255 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/igraph"
+	"github.com/adjusted-objects/dego/internal/linz"
+	"github.com/adjusted-objects/dego/internal/spec"
+)
+
+// --- Construction 1 ---------------------------------------------------------
+
+func TestConsensusTwoThreadsViaQueue(t *testing.T) {
+	// The classic: two threads race to dequeue the head of a non-empty
+	// queue; the indistinguishability graph of {poll, poll} from [99] has
+	// two classes, so Construction 1 yields 2-consensus.
+	q := spec.Queue()
+	bag := []*spec.Op{q.Op("poll"), q.Op("poll")}
+	init := spec.NewQueueState(99)
+	if got := igraph.New(bag, init).NumClasses(); got != 2 {
+		t.Fatalf("classes = %d, want 2", got)
+	}
+
+	sawValue := map[int]bool{}
+	for trial := 0; trial < 300; trial++ {
+		c, err := NewConsensus(bag, init, []int{10, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions := make([]int, 2)
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				d, err := c.Propose(p)
+				if err != nil {
+					t.Errorf("propose %d: %v", p, err)
+					return
+				}
+				decisions[p] = d
+			}(p)
+		}
+		wg.Wait()
+		if decisions[0] != decisions[1] {
+			t.Fatalf("trial %d: agreement violated: %v", trial, decisions)
+		}
+		sawValue[decisions[0]] = true
+	}
+	// Weak validity: both outcomes must be reachable across trials (the
+	// race must actually go both ways on a multicore box).
+	if len(sawValue) != 2 {
+		t.Logf("only outcomes %v observed; scheduling never flipped the race", sawValue)
+	}
+}
+
+func TestConsensusThreeThreadsViaStickyRegister(t *testing.T) {
+	// The write-once register (R2) is a sticky register: three blind sets
+	// from ⊥ split perm(B) into three classes (one per first writer), so
+	// Construction 1 solves 3-consensus — matching CN(R2) = ∞.
+	r2 := spec.Ref(spec.R2)
+	bag := []*spec.Op{r2.Op("set", 1), r2.Op("set", 2), r2.Op("set", 3)}
+	g := igraph.New(bag, r2.Init)
+	classes := g.NumClasses()
+	if classes != 3 {
+		t.Fatalf("classes = %d, want 3", classes)
+	}
+	values := []int{100, 200, 300}
+
+	for trial := 0; trial < 200; trial++ {
+		c, err := NewConsensus(bag, r2.Init, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions := make([]int, 3)
+		var wg sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				d, err := c.Propose(p)
+				if err != nil {
+					t.Errorf("propose %d: %v", p, err)
+					return
+				}
+				decisions[p] = d
+			}(p)
+		}
+		wg.Wait()
+		if decisions[0] != decisions[1] || decisions[1] != decisions[2] {
+			t.Fatalf("trial %d: agreement violated: %v", trial, decisions)
+		}
+	}
+}
+
+func TestConsensusRejectsWrongValueCount(t *testing.T) {
+	q := spec.Queue()
+	bag := []*spec.Op{q.Op("poll"), q.Op("poll")}
+	if _, err := NewConsensus(bag, spec.NewQueueState(9), []int{1, 2, 3}); err == nil {
+		t.Fatal("mismatched value count accepted")
+	}
+}
+
+func TestConsensusImpossibleOnConnectedGraph(t *testing.T) {
+	// A register's {set, set} graph has one class: Construction 1 cannot
+	// even be instantiated with two values — the executable face of
+	// CN(register) = 1.
+	r1 := spec.Ref(spec.R1)
+	bag := []*spec.Op{r1.Op("set", 1), r1.Op("set", 2)}
+	if _, err := NewConsensus(bag, r1.Init, []int{1, 2}); err == nil {
+		t.Fatal("two-valued consensus instantiated on a single-class graph")
+	}
+}
+
+// --- Construction 2 ---------------------------------------------------------
+
+func TestMoverLogCounterLinearizable(t *testing.T) {
+	c3 := spec.Counter(spec.C3)
+	for trial := 0; trial < 30; trial++ {
+		m := NewMoverLog(c3.Init, 3)
+		rec := linz.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					op := c3.Op("inc")
+					s := rec.Begin()
+					v := m.Update(p, op)
+					rec.End(p, op, v, s)
+				}
+			}(p)
+		}
+		// A concurrent reader.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				op := c3.Op("get")
+				s := rec.Begin()
+				v := m.Read(op)
+				rec.End(3, op, v, s)
+			}
+		}()
+		wg.Wait()
+		if err := linz.Check(c3.Init, rec.History()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMoverLogSetLinearizable(t *testing.T) {
+	// Blind adds (S2) left-move among adds; contains is the read.
+	s2 := spec.Set(spec.S2)
+	for trial := 0; trial < 30; trial++ {
+		m := NewMoverLog(s2.Init, 2)
+		rec := linz.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					op := s2.Op("add", p*10+i)
+					s := rec.Begin()
+					v := m.Update(p, op)
+					rec.End(p, op, v, s)
+				}
+			}(p)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				op := s2.Op("contains", i)
+				s := rec.Begin()
+				v := m.Read(op)
+				rec.End(2, op, v, s)
+			}
+		}()
+		wg.Wait()
+		if err := linz.Check(s2.Init, rec.History()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMoverLogSequentialSemantics(t *testing.T) {
+	c3 := spec.Counter(spec.C3)
+	m := NewMoverLog(c3.Init, 2)
+	for i := 0; i < 5; i++ {
+		m.Update(0, c3.Op("inc"))
+	}
+	for i := 0; i < 3; i++ {
+		m.Update(1, c3.Op("inc"))
+	}
+	if v := m.Read(c3.Op("get")); !spec.ValueEq(v, int64(8)) {
+		t.Fatalf("get = %v, want 8", v)
+	}
+}
+
+// --- Construction 3 ---------------------------------------------------------
+
+func TestAnnounceLogLinearizable(t *testing.T) {
+	// C1's inc returns the new value: announcing updates keeps those
+	// responses consistent while gets stay invisible.
+	c1 := spec.Counter(spec.C1)
+	for trial := 0; trial < 30; trial++ {
+		a := NewAnnounceLog(c1.Init)
+		rec := linz.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					op := c1.Op("inc")
+					s := rec.Begin()
+					v := a.Update(op)
+					rec.End(p, op, v, s)
+				}
+			}(p)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				op := c1.Op("get")
+				s := rec.Begin()
+				v := a.Read(op)
+				rec.End(3, op, v, s)
+			}
+		}()
+		wg.Wait()
+		if err := linz.Check(c1.Init, rec.History()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnnounceLogSequentialSemantics(t *testing.T) {
+	c1 := spec.Counter(spec.C1)
+	a := NewAnnounceLog(c1.Init)
+	if v := a.Update(c1.Op("inc")); !spec.ValueEq(v, int64(1)) {
+		t.Fatalf("first inc = %v", v)
+	}
+	if v := a.Update(c1.Op("inc")); !spec.ValueEq(v, int64(2)) {
+		t.Fatalf("second inc = %v", v)
+	}
+	if v := a.Read(c1.Op("get")); !spec.ValueEq(v, int64(2)) {
+		t.Fatalf("get = %v", v)
+	}
+}
