@@ -1,0 +1,36 @@
+# CI and humans run the same commands: .github/workflows/ci.yml invokes
+# these targets verbatim.
+
+GO ?= go
+
+# Packages covered by the race-detector job: the adaptive machine and the
+# objects it migrates between.
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/...
+
+# Tiny configuration for the bench-smoke job: catches harness bit-rot
+# without burning CI minutes; the JSON lands as a workflow artifact.
+BENCH_SMOKE_FLAGS = -fig all -threads 1,2 -duration 25ms -warmup 5ms -items 1024 -range 2048
+BENCH_SMOKE_JSON  = bench-smoke.json
+
+.PHONY: build test race bench-smoke fmt fmt-check vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+bench-smoke:
+	$(GO) run ./cmd/dego-bench $(BENCH_SMOKE_FLAGS) -json $(BENCH_SMOKE_JSON)
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

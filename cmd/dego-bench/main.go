@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func run(args []string) error {
 	keyRange := fs.Int("range", 32<<10, "key range (paper: 32768)")
 	pearson := fs.Bool("pearson", false, "print Pearson(throughput, stalls) per object")
 	ablation := fs.Bool("ablation", false, "also run the segmentation/padding/guard ablations")
+	jsonPath := fs.String("json", "", "also write the raw figure sweep results as JSON to this file (CI artifact; -ablation output is print-only and not included)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,25 +60,56 @@ func run(args []string) error {
 	cfg.InitialItems = *items
 	cfg.KeyRange = *keyRange
 
+	figures := map[string]map[string]map[string][]bench.Result{}
 	switch *fig {
 	case "none":
 	case "6":
-		bench.Figure6(os.Stdout, cfg, threads, *pearson)
+		figures["figure6"] = bench.Figure6(os.Stdout, cfg, threads, *pearson)
 	case "7":
-		bench.Figure7(os.Stdout, cfg, threads, ratios)
+		figures["figure7"] = bench.Figure7(os.Stdout, cfg, threads, ratios)
 	case "8":
-		bench.Figure8(os.Stdout, cfg, threads)
+		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
 	case "all":
-		bench.Figure6(os.Stdout, cfg, threads, *pearson)
-		bench.Figure7(os.Stdout, cfg, threads, ratios)
-		bench.Figure8(os.Stdout, cfg, threads)
+		figures["figure6"] = bench.Figure6(os.Stdout, cfg, threads, *pearson)
+		figures["figure7"] = bench.Figure7(os.Stdout, cfg, threads, ratios)
+		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
 	default:
 		return fmt.Errorf("unknown figure %q (want 6, 7, 8 or all)", *fig)
 	}
 	if *ablation {
 		bench.Ablations(os.Stdout, cfg, threads)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, cfg, threads, figures); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+	}
 	return nil
+}
+
+// writeJSON persists the raw sweep results. The CI bench-smoke job uploads
+// the file as a workflow artifact, so harness bit-rot shows up as a missing
+// or empty artifact even when the tables printed fine.
+func writeJSON(path string, cfg bench.Config, threads []int,
+	figures map[string]map[string]map[string][]bench.Result) error {
+	blob, err := json.MarshalIndent(struct {
+		// BaseConfig is the CLI configuration the figures started from, not
+		// what every series ran with: figure sections override it (figure7
+		// varies UpdateRatio, figure8 varies InitialItems/KeyRange — the
+		// section titles name the override) and the swept thread count of
+		// each point is in that Result's own Threads field, never in here.
+		BaseConfig bench.Config
+		Note       string
+		Threads    []int
+		Figures    map[string]map[string]map[string][]bench.Result
+	}{cfg, "figure sections override BaseConfig (figure7: UpdateRatio; " +
+		"figure8: InitialItems/KeyRange; see section titles); " +
+		"per-point thread counts are in each Result.Threads",
+		threads, figures}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -35,6 +35,10 @@
 //   - SegmentedMap / SegmentedSkipList / SegmentedSet — commuting-writers
 //     collections over extended segmentations (CWMR).
 //   - StripedMap / StripedSet — lock-striped baselines.
+//   - AdaptiveCounter / AdaptiveMap — contention-adaptive wrappers: the
+//     unadjusted representation until the windowed stall rate says
+//     otherwise, the adjusted one while contention lasts, switching back
+//     when it subsides (readers never block on a switch).
 //
 // The theory toolkit (sequential specifications, indistinguishability
 // graphs, consensus-number analysis) lives in internal packages and is
@@ -44,6 +48,7 @@ package dego
 import (
 	"cmp"
 
+	"github.com/adjusted-objects/dego/internal/adaptive"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
 	"github.com/adjusted-objects/dego/internal/counter"
@@ -119,6 +124,69 @@ type AtomicCounter = counter.Atomic
 
 // NewAtomicCounter creates the baseline counter.
 func NewAtomicCounter() *AtomicCounter { return counter.NewAtomic(nil) }
+
+// ---------------------------------------------------------------------------
+// Adaptive objects
+
+// AdaptiveState is a position in the adaptive state machine (quiescent →
+// migrating → promoted → demoting).
+type AdaptiveState = adaptive.State
+
+// Adaptive state machine positions.
+const (
+	AdaptiveQuiescent = adaptive.StateQuiescent
+	AdaptiveMigrating = adaptive.StateMigrating
+	AdaptivePromoted  = adaptive.StatePromoted
+	AdaptiveDemoting  = adaptive.StateDemoting
+)
+
+// AdaptivePolicy tunes when adaptive objects switch representation; the zero
+// value of any field selects its default.
+type AdaptivePolicy = adaptive.Policy
+
+// DefaultAdaptivePolicy returns the tuning used by the adaptive
+// constructors.
+func DefaultAdaptivePolicy() AdaptivePolicy { return adaptive.DefaultPolicy() }
+
+// AdaptiveCounter is the contention-adaptive counter: an atomic shared cell
+// that promotes itself to per-thread cells (the C3 adjustment) when its
+// windowed CAS-failure rate crosses the policy threshold, and demotes when
+// writer concurrency subsides. Increment-only, like Counter.
+type AdaptiveCounter = adaptive.Counter
+
+// NewAdaptiveCounter creates an adaptive counter on the default registry
+// with the default policy.
+func NewAdaptiveCounter() *AdaptiveCounter {
+	return adaptive.NewCounter(core.Default, adaptive.DefaultPolicy())
+}
+
+// NewAdaptiveCounterOn creates an adaptive counter on a specific registry
+// with a specific policy.
+func NewAdaptiveCounterOn(r *Registry, p AdaptivePolicy) *AdaptiveCounter {
+	return adaptive.NewCounter(r, p)
+}
+
+// AdaptiveMap is the contention-adaptive hash map: lock-striped until its
+// windowed lock-wait rate crosses the policy threshold, extended-segmented
+// (the M2 adjustment) while contention lasts. It requires the
+// commuting-writers contract in every state: distinct threads write
+// distinct keys.
+type AdaptiveMap[K comparable, V any] = adaptive.Map[K, V]
+
+// NewAdaptiveMap creates an adaptive map on the default registry with the
+// default policy.
+func NewAdaptiveMap[K comparable, V any](capacity int, hash func(K) uint64) *AdaptiveMap[K, V] {
+	return adaptive.NewMap[K, V](core.Default, 256, capacity, capacity*2, hash,
+		adaptive.DefaultPolicy())
+}
+
+// NewAdaptiveMapOn creates an adaptive map on a specific registry: stripes
+// sizes the cheap representation's lock array, capacity the tables,
+// dirBuckets the segmented directory.
+func NewAdaptiveMapOn[K comparable, V any](r *Registry, stripes, capacity, dirBuckets int,
+	hash func(K) uint64, p AdaptivePolicy) *AdaptiveMap[K, V] {
+	return adaptive.NewMap[K, V](r, stripes, capacity, dirBuckets, hash, p)
+}
 
 // ---------------------------------------------------------------------------
 // References

@@ -1,0 +1,3 @@
+module github.com/adjusted-objects/dego
+
+go 1.24

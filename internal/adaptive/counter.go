@@ -1,0 +1,130 @@
+package adaptive
+
+import (
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/counter"
+)
+
+// Counter is the contention-adaptive counter. It starts as the unadjusted
+// shared cell (counter.Atomic, one CAS per increment) and promotes to the
+// adjusted per-thread representation (counter.IncrementOnly, plain stores,
+// C3/CWSR) when the windowed CAS-failure rate crosses the policy threshold;
+// it demotes when writer concurrency subsides. What demotion buys is a
+// quieter read path, not a faster write: Get always sums both
+// representations (see below), but while promoted the per-thread cells are
+// hot — every Get pulls HighWater cache lines the writers keep
+// invalidating — whereas after demotion those cells freeze (cache-resident
+// in shared state everywhere) and only the single shared cell stays hot. A
+// lone writer's uncontended CAS costs about the same as the promoted plain
+// store, so concentrating the traffic back onto one line is all demotion
+// is for.
+//
+// The counter exploits commutativity to make migration trivial: BOTH
+// representations stay live for the counter's whole lifetime, the view only
+// routes where writes land, and Get always sums the two. An increment
+// therefore lands in exactly one always-counted cell no matter how it
+// interleaves with a transition — no drain, no writer quiescing, and no
+// update can ever be lost. Transitions are a single CAS of the view pointer,
+// so neither readers nor writers ever block on one (the machine's migrating
+// states are never published for counters).
+//
+// Like the adjusted counter it narrows the interface per Table 1: no reset,
+// no decrement, no read-modify-write. Unlike the pure C3 object any thread
+// may call Get: the read is two monotone sums, linearizable for a counter
+// whose updates are all increments.
+type Counter struct {
+	mach  *machine[struct{}]
+	cheap *counter.Atomic        // live in every state; the promoted phase's frozen base
+	adj   *counter.IncrementOnly // live in every state; written only when promoted
+}
+
+// NewCounter creates an adaptive counter over a registry. Pass a zero Policy
+// for the defaults.
+func NewCounter(r *core.Registry, p Policy) *Counter {
+	probe := contention.NewProbe()
+	return &Counter{
+		mach:  newMachine(r, probe, p, struct{}{}, false),
+		cheap: counter.NewAtomic(probe),
+		adj:   counter.NewIncrementOnly(r, false),
+	}
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc(h *core.Handle) { c.Add(h, 1) }
+
+// Add adds delta (≥ 0) to the counter. Increment-only, as the adjusted
+// representation demands; negative deltas panic.
+func (c *Counter) Add(h *core.Handle, delta int64) {
+	if delta < 0 {
+		panic("adaptive: Counter cannot decrement")
+	}
+	var tally int64
+	if c.mach.view().state == StatePromoted {
+		tally = c.adj.AddLocal(h, delta)
+	} else {
+		tally = c.cheap.AddAndGet(delta)
+	}
+	// Sample when the tally crosses a SampleEvery boundary — the count the
+	// operation already produced doubles as the sampling trigger, so the
+	// fast path carries no extra shared state. (In the cheap state the
+	// shared value triggers globally; promoted, each thread triggers on its
+	// own cell.)
+	if tally&c.mach.mask < delta {
+		c.sample(h)
+	}
+}
+
+// Get returns the counter's value: the sum of both representations. Any
+// thread may read; the value is exact whenever no increment is in flight.
+func (c *Counter) Get(h *core.Handle) int64 {
+	return c.cheap.Get() + c.adj.Get(h)
+}
+
+// sample runs the controller and applies its verdict.
+func (c *Counter) sample(h *core.Handle) {
+	total := func() int64 { return c.Get(h) }
+	switch c.mach.evaluate(total, c.adj.SnapshotCells) {
+	case actPromote:
+		c.ForcePromote()
+	case actDemote:
+		c.ForceDemote()
+	}
+}
+
+// ForcePromote switches writes to the adjusted representation regardless of
+// policy, reporting whether the transition happened (false when not
+// quiescent or when a concurrent transition won). Tests and programs with
+// out-of-band knowledge of an imminent contention phase use it; normal
+// promotion is policy-driven.
+func (c *Counter) ForcePromote() bool {
+	old := c.mach.view()
+	if old.state != StateQuiescent {
+		return false
+	}
+	final := &view[struct{}]{state: StatePromoted}
+	return c.mach.swap(old, final, final, nil)
+}
+
+// ForceDemote switches writes back to the shared cell regardless of policy,
+// reporting whether the transition happened. The per-thread cells keep their
+// tallies (they stay part of every read), so no drain is needed.
+func (c *Counter) ForceDemote() bool {
+	old := c.mach.view()
+	if old.state != StatePromoted {
+		return false
+	}
+	final := &view[struct{}]{state: StateQuiescent}
+	return c.mach.swap(old, final, final, nil)
+}
+
+// State returns the counter's current state (StateQuiescent or
+// StatePromoted; the migrating states never surface on counters).
+func (c *Counter) State() State { return c.mach.state() }
+
+// Transitions returns the number of representation switches so far.
+func (c *Counter) Transitions() int64 { return c.mach.transitions.Load() }
+
+// Probe returns the contention probe observing the cheap representation
+// (CAS failures) and the machine (transition spins).
+func (c *Counter) Probe() *contention.Probe { return c.mach.probe }

@@ -202,14 +202,16 @@ func TestPearsonNegativeOnContendedCounter(t *testing.T) {
 	cfg.Duration = 60 * time.Millisecond
 	cfg.Warmup = 10 * time.Millisecond
 	results := Sweep(CounterJUC(), cfg, []int{1, 2, 4, 8})
-	anyStalls := false
+	// Below a noise floor of stall events the correlation is meaningless: a
+	// serial machine (1 CPU, or a starved CI runner) produces a handful of
+	// CAS failures from preemption timing, not from cache-line contention.
+	// Real multicore contention yields millions of failures in this sweep.
+	var totalStalls int64
 	for _, r := range results {
-		if r.Stalls > 0 {
-			anyStalls = true
-		}
+		totalStalls += r.Stalls
 	}
-	if !anyStalls {
-		t.Skip("no CAS failures observed; machine too serial for this check")
+	if totalStalls < 10_000 {
+		t.Skipf("only %d CAS failures observed; machine too serial for this check", totalStalls)
 	}
 	r, err := PearsonThroughputStalls(results)
 	if err != nil {

@@ -6,13 +6,18 @@ import (
 )
 
 // This file regenerates the data behind Figures 6, 7 and 8 of the paper.
+// Each Figure function prints the human-readable tables to w and returns the
+// measured series (section title → object name → one Result per thread
+// count) so callers — the CI bench-smoke job in particular — can persist the
+// raw data as JSON.
 
 // Figure6 runs the five object families under high contention (100%
 // updates for the data structures) across the thread sweep and prints one
 // table per family. With pearson set, it also prints the correlation
 // between throughput and the stall proxy for the probed (JUC) objects.
-func Figure6(w io.Writer, base Config, threads []int, pearson bool) {
+func Figure6(w io.Writer, base Config, threads []int, pearson bool) map[string]map[string][]Result {
 	base.UpdateRatio = 100
+	out := map[string]map[string][]Result{}
 	fmt.Fprintf(w, "=== Figure 6: DEGO vs JUC under high contention ===\n")
 	fmt.Fprintf(w, "(initial=%d items, range=%d, duration=%v/point)\n\n",
 		base.InitialItems, base.KeyRange, base.Duration)
@@ -21,6 +26,7 @@ func Figure6(w io.Writer, base Config, threads []int, pearson bool) {
 		for _, wl := range Figure6Families()[family] {
 			series[wl.Name] = Sweep(wl, base, threads)
 		}
+		out[family] = series
 		fmt.Fprint(w, FormatTable(family, series, threads))
 		if pearson {
 			for name, results := range series {
@@ -31,11 +37,13 @@ func Figure6(w io.Writer, base Config, threads []int, pearson bool) {
 		}
 		fmt.Fprintln(w)
 	}
+	return out
 }
 
 // Figure7 varies the update ratio for the hash table (Unordered) and the
 // skip list (Ordered), printing one table per ratio.
-func Figure7(w io.Writer, base Config, threads []int, ratios []int) {
+func Figure7(w io.Writer, base Config, threads []int, ratios []int) map[string]map[string][]Result {
+	out := map[string]map[string][]Result{}
 	fmt.Fprintf(w, "=== Figure 7: varying the update ratio ===\n\n")
 	for _, ratio := range ratios {
 		cfg := base
@@ -44,14 +52,18 @@ func Figure7(w io.Writer, base Config, threads []int, ratios []int) {
 		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO(), SkipListJUC(), SkipListDEGO()} {
 			series[wl.Name] = Sweep(wl, cfg, threads)
 		}
-		fmt.Fprint(w, FormatTable(fmt.Sprintf("%d%% updates", ratio), series, threads))
+		title := fmt.Sprintf("%d%% updates", ratio)
+		out[title] = series
+		fmt.Fprint(w, FormatTable(title, series, threads))
 		fmt.Fprintln(w)
 	}
+	return out
 }
 
 // Figure8 varies the working set of the hash tables at 75% updates:
 // 16K/32K, 32K/64K and 64K/128K initial items / key range.
-func Figure8(w io.Writer, base Config, threads []int) {
+func Figure8(w io.Writer, base Config, threads []int) map[string]map[string][]Result {
+	out := map[string]map[string][]Result{}
 	fmt.Fprintf(w, "=== Figure 8: varying the working set (75%% updates) ===\n\n")
 	for _, scale := range []int{1, 2, 4} {
 		cfg := base
@@ -62,7 +74,10 @@ func Figure8(w io.Writer, base Config, threads []int) {
 		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO()} {
 			series[wl.Name] = Sweep(wl, cfg, threads)
 		}
-		fmt.Fprint(w, FormatTable(fmt.Sprintf("%dK initial items", cfg.InitialItems>>10), series, threads))
+		title := fmt.Sprintf("%dK initial items", cfg.InitialItems>>10)
+		out[title] = series
+		fmt.Fprint(w, FormatTable(title, series, threads))
 		fmt.Fprintln(w)
 	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"github.com/adjusted-objects/dego/internal/adaptive"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
 	"github.com/adjusted-objects/dego/internal/counter"
@@ -64,6 +65,20 @@ func CounterIncrementOnly() Workload {
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.Inc(h)
 		}, nil
+	}}
+}
+
+// AdaptiveCounter is the contention-adaptive counter: the unadjusted shared
+// cell until the windowed stall rate crosses the promotion threshold, the
+// adjusted per-thread cells afterwards. Single-threaded it should track
+// CounterJUC (one CAS plus a view load); at high thread counts it should
+// track CounterIncrementOnly after its first promotion.
+func AdaptiveCounter() Workload {
+	return Workload{Name: "AdaptiveCounter", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		c := adaptive.NewCounter(reg, adaptive.DefaultPolicy())
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			c.Inc(h)
+		}, c.Probe()
 	}}
 }
 
@@ -154,6 +169,26 @@ func HashMapDEGO() Workload {
 			func(h *core.Handle, k int) { m.Remove(h, k) },
 			func(k int) { m.GetRef(k) },
 		), nil
+	}}
+}
+
+// AdaptiveMap is the contention-adaptive hash map: lock-striped until the
+// windowed lock-wait rate crosses the promotion threshold, extended-segmented
+// afterwards. Population goes through a single priming handle — it stays in
+// the cheap striped representation, and each key is re-homed by its owning
+// partition's worker on its first post-promotion write (the lazy drain).
+func AdaptiveMap() Workload {
+	return Workload{Name: "AdaptiveMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		m := adaptive.NewMap[int, int](reg, 256, cfg.InitialItems, cfg.KeyRange*2,
+			intHash, adaptive.DefaultPolicy())
+		boxes := valueBoxes(cfg)
+		prime := reg.MustRegister()
+		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
+		return mapOps(cfg,
+			func(h *core.Handle, k int) { m.PutRef(h, k, boxes[k]) },
+			func(h *core.Handle, k int) { m.Remove(h, k) },
+			func(k int) { m.Get(k) },
+		), m.Probe()
 	}}
 }
 
@@ -268,11 +303,13 @@ func QueueDEGO() Workload {
 	}}
 }
 
-// Figure6Families lists the five object families of Figure 6, DEGO last.
+// Figure6Families lists the five object families of Figure 6, DEGO last,
+// with the contention-adaptive variants alongside so the sweeps compare
+// static-adjusted against adaptive.
 func Figure6Families() map[string][]Workload {
 	return map[string][]Workload{
-		"Counter":     {CounterJUC(), LongAdder(), CounterIncrementOnly()},
-		"HashMap":     {HashMapJUC(), HashMapDEGO()},
+		"Counter":     {CounterJUC(), LongAdder(), CounterIncrementOnly(), AdaptiveCounter()},
+		"HashMap":     {HashMapJUC(), HashMapDEGO(), AdaptiveMap()},
 		"SkipListMap": {SkipListJUC(), SkipListDEGO()},
 		"Reference":   {ReferenceJUC(), ReferenceDEGO()},
 		"Queue":       {QueueJUC(), QueueDEGO()},

@@ -1,0 +1,79 @@
+package contention
+
+// Window is a sliding window of (operations, stalls) samples used to turn
+// the cumulative Probe counters into a *recent* stall rate. The adaptive
+// objects (internal/adaptive) feed it one sample per evaluation period and
+// act on Rate — the fraction of recent operations that stalled — rather than
+// on lifetime totals, so a burst of contention an hour ago cannot keep an
+// object promoted forever.
+//
+// A Window is not safe for concurrent use: callers serialize behind their
+// own sampling lock (the adaptive controller admits one sampler at a time
+// through a try-lock, so the write path never blocks on it).
+type Window struct {
+	samples []windowSample
+	idx     int
+	n       int
+	ops     int64 // running sum over retained samples
+	stalls  int64
+}
+
+type windowSample struct {
+	ops    int64
+	stalls int64
+}
+
+// NewWindow creates a window retaining the last capacity samples
+// (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{samples: make([]windowSample, capacity)}
+}
+
+// Observe pushes one sample: ops operations were performed since the last
+// sample, of which stalls stalled. The oldest sample falls out once the
+// window is full. Negative deltas (a probe reset mid-window) are clamped to
+// zero so the running sums stay meaningful.
+func (w *Window) Observe(ops, stalls int64) {
+	if ops < 0 {
+		ops = 0
+	}
+	if stalls < 0 {
+		stalls = 0
+	}
+	old := w.samples[w.idx]
+	w.ops += ops - old.ops
+	w.stalls += stalls - old.stalls
+	w.samples[w.idx] = windowSample{ops: ops, stalls: stalls}
+	w.idx = (w.idx + 1) % len(w.samples)
+	if w.n < len(w.samples) {
+		w.n++
+	}
+}
+
+// Len returns the number of samples currently retained.
+func (w *Window) Len() int { return w.n }
+
+// Totals returns the operation and stall sums over the retained samples.
+func (w *Window) Totals() (ops, stalls int64) { return w.ops, w.stalls }
+
+// Rate returns stalls per operation over the retained samples — the
+// windowed analogue of the §6.2 stall proxy, in [0, ∞) (a CAS retry loop
+// can stall more than once per operation). It returns 0 while the window
+// has seen no operations.
+func (w *Window) Rate() float64 {
+	if w.ops <= 0 {
+		return 0
+	}
+	return float64(w.stalls) / float64(w.ops)
+}
+
+// Reset discards every sample. The adaptive objects call it on each
+// representation switch so the next decision is based purely on behavior
+// under the new representation.
+func (w *Window) Reset() {
+	clear(w.samples)
+	w.idx, w.n, w.ops, w.stalls = 0, 0, 0, 0
+}

@@ -1,0 +1,76 @@
+package contention
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("Rate of empty window = %v, want 0", r)
+	}
+}
+
+func TestWindowRate(t *testing.T) {
+	w := NewWindow(4)
+	w.Observe(100, 10)
+	w.Observe(100, 30)
+	if ops, stalls := w.Totals(); ops != 200 || stalls != 40 {
+		t.Fatalf("Totals = %d, %d, want 200, 40", ops, stalls)
+	}
+	if r := w.Rate(); math.Abs(r-0.2) > 1e-9 {
+		t.Fatalf("Rate = %v, want 0.2", r)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(2)
+	w.Observe(100, 100) // will fall out
+	w.Observe(100, 0)
+	w.Observe(100, 0)
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("Rate = %v, want 0 once the stalled sample slid out", r)
+	}
+}
+
+func TestWindowClampsNegativeDeltas(t *testing.T) {
+	w := NewWindow(4)
+	w.Observe(-50, -10)
+	w.Observe(100, 50)
+	if r := w.Rate(); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("Rate = %v, want 0.5", r)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(3)
+	w.Observe(10, 10)
+	w.Reset()
+	if w.Len() != 0 || w.Rate() != 0 {
+		t.Fatalf("Reset left Len=%d Rate=%v", w.Len(), w.Rate())
+	}
+	// Reusable after reset.
+	w.Observe(10, 5)
+	if r := w.Rate(); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("Rate after reuse = %v, want 0.5", r)
+	}
+}
+
+func TestWindowMinimumCapacity(t *testing.T) {
+	w := NewWindow(0)
+	w.Observe(10, 1)
+	w.Observe(10, 2)
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+	if ops, stalls := w.Totals(); ops != 10 || stalls != 2 {
+		t.Fatalf("Totals = %d, %d, want only the newest sample", ops, stalls)
+	}
+}

@@ -150,12 +150,43 @@ func (c *IncrementOnly) Inc(h *core.Handle) {
 // Add adds delta (≥ 0) to the caller's cell. Increment-only: negative
 // deltas panic, as they would violate the adjusted specification.
 func (c *IncrementOnly) Add(h *core.Handle, delta int64) {
+	c.AddLocal(h, delta)
+}
+
+// AddLocal adds delta (≥ 0) to the caller's cell and returns the cell's new
+// local tally. The tally is NOT the counter's value — it is the caller's own
+// contribution, which only the caller writes, so returning it creates no
+// sharing and keeps the operation blind with respect to other threads. The
+// adaptive wrappers (internal/adaptive) piggyback their sampling cadence on
+// it: the tally's low bits decide when to evaluate the contention window,
+// with zero additional shared state on the write path.
+func (c *IncrementOnly) AddLocal(h *core.Handle, delta int64) int64 {
 	if delta < 0 {
 		panic("counter: IncrementOnly cannot decrement")
 	}
 	c.guard.MustCheck(h, core.Write)
 	cell := &c.cells[h.ID()].V
-	cell.Store(cell.Load() + delta)
+	n := cell.Load() + delta
+	cell.Store(n)
+	return n
+}
+
+// SnapshotCells copies the per-thread cells (up to the registry's high-water
+// mark) into dst, growing it if needed, and returns the filled slice. It is
+// the snapshot hook for migration and sampling (internal/adaptive): a demoter
+// reads the cells after quiescing writers to drain them, and the adaptive
+// controller diffs consecutive snapshots to count recently active writers.
+// Concurrent with writers the snapshot is weakly consistent, like Get.
+func (c *IncrementOnly) SnapshotCells(dst []int64) []int64 {
+	hw := min(c.registry.HighWater(), len(c.cells))
+	if cap(dst) < hw {
+		dst = make([]int64, hw)
+	}
+	dst = dst[:hw]
+	for i := range dst {
+		dst[i] = c.cells[i].V.Load()
+	}
+	return dst
 }
 
 // Get sums all cells. Under CWSR a single designated thread reads; the

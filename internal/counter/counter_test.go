@@ -198,3 +198,52 @@ func TestCountersAgreeQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIncrementOnlyAddLocalTally(t *testing.T) {
+	r := core.NewRegistry(4)
+	c := NewIncrementOnly(r, false)
+	h1 := r.MustRegister()
+	h2 := r.MustRegister()
+	if got := c.AddLocal(h1, 3); got != 3 {
+		t.Fatalf("AddLocal = %d, want 3", got)
+	}
+	if got := c.AddLocal(h1, 2); got != 5 {
+		t.Fatalf("AddLocal = %d, want 5", got)
+	}
+	// The tally is per-thread, not the counter value.
+	if got := c.AddLocal(h2, 1); got != 1 {
+		t.Fatalf("AddLocal(h2) = %d, want 1", got)
+	}
+	if got := c.Get(h1); got != 6 {
+		t.Fatalf("Get = %d, want 6", got)
+	}
+}
+
+func TestIncrementOnlySnapshotCells(t *testing.T) {
+	r := core.NewRegistry(8)
+	c := NewIncrementOnly(r, false)
+	h1 := r.MustRegister()
+	h2 := r.MustRegister()
+	c.Add(h1, 10)
+	c.Add(h2, 20)
+	cells := c.SnapshotCells(nil)
+	if len(cells) != 2 {
+		t.Fatalf("len(cells) = %d, want 2 (high-water)", len(cells))
+	}
+	if cells[h1.ID()] != 10 || cells[h2.ID()] != 20 {
+		t.Fatalf("cells = %v", cells)
+	}
+	var sum int64
+	for _, v := range cells {
+		sum += v
+	}
+	if sum != c.Get(h1) {
+		t.Fatalf("cell sum %d != Get %d", sum, c.Get(h1))
+	}
+	// Reuses dst when it has capacity.
+	dst := make([]int64, 0, 8)
+	again := c.SnapshotCells(dst)
+	if &again[0] != &dst[:1][0] {
+		t.Fatal("SnapshotCells did not reuse dst")
+	}
+}

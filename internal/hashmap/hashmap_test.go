@@ -464,3 +464,57 @@ func TestHashSegmentedMap(t *testing.T) {
 		t.Fatalf("early stop visited %d", n)
 	}
 }
+
+func TestSWMRRangeRefSeesBoxIdentity(t *testing.T) {
+	m := NewSWMR[int, int](16, intHash, false)
+	tomb := new(int)
+	box := new(int)
+	*box = 7
+	m.PutRef(nil, 1, box)
+	m.PutRef(nil, 2, tomb)
+	seen := map[int]*int{}
+	m.RangeRef(func(k int, v *int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 2 || seen[1] != box || seen[2] != tomb {
+		t.Fatalf("RangeRef boxes = %v (box=%p tomb=%p)", seen, box, tomb)
+	}
+}
+
+func TestSegmentedRangeRefDrains(t *testing.T) {
+	r := core.NewRegistry(4)
+	m := NewSegmented[int, int](r, 64, 128, intHash, false)
+	h1 := r.MustRegister()
+	h2 := r.MustRegister()
+	boxes := map[int]*int{}
+	for k := 0; k < 10; k++ {
+		v := k * k
+		box := &v
+		boxes[k] = box
+		if k%2 == 0 {
+			m.PutRef(h1, k, box)
+		} else {
+			m.PutRef(h2, k, box)
+		}
+	}
+	got := map[int]*int{}
+	m.RangeRef(func(k int, v *int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("RangeRef saw %d entries, want 10", len(got))
+	}
+	for k, box := range boxes {
+		if got[k] != box {
+			t.Fatalf("key %d: box %p, want %p", k, got[k], box)
+		}
+	}
+	// Early stop is honored.
+	n := 0
+	m.RangeRef(func(int, *int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop RangeRef visited %d entries", n)
+	}
+}

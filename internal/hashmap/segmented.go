@@ -89,12 +89,14 @@ func (m *Segmented[K, V]) Len() int {
 	return n
 }
 
-// Range calls f for every entry until it returns false; weakly consistent,
-// segment by segment.
-func (m *Segmented[K, V]) Range(f func(key K, val V) bool) {
+// RangeRef calls f with the stored value box of every entry until it returns
+// false; weakly consistent, segment by segment. See SWMR.RangeRef — this is
+// the drain hook internal/adaptive uses to migrate entries (and recognize its
+// tombstone boxes) when demoting an adaptive map.
+func (m *Segmented[K, V]) RangeRef(f func(key K, val *V) bool) {
 	stop := false
 	m.ext.ForEach(func(_ int, seg *SWMR[K, V]) bool {
-		seg.Range(func(k K, v V) bool {
+		seg.RangeRef(func(k K, v *V) bool {
 			if !f(k, v) {
 				stop = true
 			}
@@ -102,4 +104,10 @@ func (m *Segmented[K, V]) Range(f func(key K, val V) bool) {
 		})
 		return !stop
 	})
+}
+
+// Range calls f for every entry until it returns false; weakly consistent,
+// segment by segment.
+func (m *Segmented[K, V]) Range(f func(key K, val V) bool) {
+	m.RangeRef(func(k K, v *V) bool { return f(k, *v) })
 }

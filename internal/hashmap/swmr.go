@@ -156,10 +156,19 @@ func (m *SWMR[K, V]) Len() int { return int(m.size.Load()) }
 // java.util.concurrent collection, the view is weakly consistent: concurrent
 // updates may or may not be observed.
 func (m *SWMR[K, V]) Range(f func(key K, val V) bool) {
+	m.RangeRef(func(k K, v *V) bool { return f(k, *v) })
+}
+
+// RangeRef calls f with the stored value box of every entry until it returns
+// false. It is the snapshot hook for migration (internal/adaptive): wrappers
+// that overlay one map on another use sentinel boxes as tombstones, and only
+// the box identity — not the value — can distinguish them. Weakly consistent,
+// like Range.
+func (m *SWMR[K, V]) RangeRef(f func(key K, val *V) bool) {
 	t := m.table.Load()
 	for i := range t.bins {
 		for n := t.bins[i].Load(); n != nil; n = n.next.Load() {
-			if !f(n.key, *n.val.Load()) {
+			if !f(n.key, n.val.Load()) {
 				return
 			}
 		}
