@@ -5,14 +5,20 @@ GO ?= go
 
 # Packages covered by the race-detector job: the adaptive machine and the
 # objects it migrates between.
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/...
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
-# without burning CI minutes; the JSON lands as a workflow artifact.
+# without burning CI minutes; the JSON lands as a workflow artifact. The
+# "all" figure set includes the AdaptiveSkipList workload (Figures 6 and 7),
+# so the adaptive engine's promotion path is exercised on every CI run. CI
+# overrides BENCH_SMOKE_JSON with a bench-<short-sha>.json name so artifacts
+# from different commits are diffable side by side.
 BENCH_SMOKE_FLAGS = -fig all -threads 1,2 -duration 25ms -warmup 5ms -items 1024 -range 2048
 BENCH_SMOKE_JSON  = bench-smoke.json
 
-.PHONY: build test race bench-smoke fmt fmt-check vet
+COVER_PROFILE = coverage.out
+
+.PHONY: build test race bench-smoke cover fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -25,6 +31,13 @@ race:
 
 bench-smoke:
 	$(GO) run ./cmd/dego-bench $(BENCH_SMOKE_FLAGS) -json $(BENCH_SMOKE_JSON)
+
+# The full test suite with coverage, atomic mode so the concurrent tests
+# count correctly; prints the total line into the log. CI runs this as its
+# one test pass (a separate `make test` would run the suite twice).
+cover:
+	$(GO) test -covermode=atomic -coverprofile=$(COVER_PROFILE) ./...
+	$(GO) tool cover -func=$(COVER_PROFILE) | tail -n 1
 
 fmt:
 	gofmt -l -w .

@@ -35,10 +35,11 @@
 //   - SegmentedMap / SegmentedSkipList / SegmentedSet — commuting-writers
 //     collections over extended segmentations (CWMR).
 //   - StripedMap / StripedSet — lock-striped baselines.
-//   - AdaptiveCounter / AdaptiveMap — contention-adaptive wrappers: the
-//     unadjusted representation until the windowed stall rate says
-//     otherwise, the adjusted one while contention lasts, switching back
-//     when it subsides (readers never block on a switch).
+//   - AdaptiveCounter / AdaptiveMap / AdaptiveSkipList — contention-adaptive
+//     wrappers: the unadjusted representation until the windowed stall rate
+//     says otherwise, the adjusted one while contention lasts, switching
+//     back when it subsides (readers never block on a switch). All three
+//     share one generic adjustment engine (internal/adaptive).
 //
 // The theory toolkit (sequential specifications, indistinguishability
 // graphs, consensus-number analysis) lives in internal packages and is
@@ -186,6 +187,30 @@ func NewAdaptiveMap[K comparable, V any](capacity int, hash func(K) uint64) *Ada
 func NewAdaptiveMapOn[K comparable, V any](r *Registry, stripes, capacity, dirBuckets int,
 	hash func(K) uint64, p AdaptivePolicy) *AdaptiveMap[K, V] {
 	return adaptive.NewMap[K, V](r, stripes, capacity, dirBuckets, hash, p)
+}
+
+// AdaptiveSkipList is the contention-adaptive ordered map: the lock-free CAS
+// skip list until its windowed CAS-failure rate crosses the policy threshold,
+// extended-segmented (the M2 adjustment) while contention lasts. Range and
+// RangeFrom stay strictly key-ordered in every state — while promoted they
+// merge the segmented shadow with the frozen backing, suppressing
+// tombstones. Like AdaptiveMap it requires the commuting-writers contract in
+// every state: distinct threads write distinct keys.
+type AdaptiveSkipList[K cmp.Ordered, V any] = adaptive.SortedMap[K, V]
+
+// NewAdaptiveSkipList creates an adaptive skip list on the default registry
+// with the default policy; dirBuckets sizes the segmented directory
+// installed on promotion.
+func NewAdaptiveSkipList[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64) *AdaptiveSkipList[K, V] {
+	return adaptive.NewSortedMap[K, V](core.Default, dirBuckets, hash,
+		adaptive.DefaultPolicy())
+}
+
+// NewAdaptiveSkipListOn creates an adaptive skip list on a specific registry
+// with a specific policy.
+func NewAdaptiveSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
+	hash func(K) uint64, p AdaptivePolicy) *AdaptiveSkipList[K, V] {
+	return adaptive.NewSortedMap[K, V](r, dirBuckets, hash, p)
 }
 
 // ---------------------------------------------------------------------------

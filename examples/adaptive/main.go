@@ -1,19 +1,23 @@
 // Adaptive: a workload whose contention phase-shifts mid-run, driving the
 // contention-adaptive objects through their whole state machine:
 //
-//  1. a lone writer warms the counter and map — the cheap unadjusted
-//     representations (atomic cell, striped map) win, so they stay quiescent;
+//  1. a lone writer warms the counter, the map and the sorted map — the
+//     cheap unadjusted representations (atomic cell, striped map, lock-free
+//     skip list) win, so they stay quiescent;
 //  2. a burst of writers arrives — CAS failures and lock waits push the
-//     windowed stall rate over the promotion threshold and both objects
+//     windowed stall rate over the promotion threshold and the objects
 //     promote themselves to the adjusted representations (per-thread cells,
-//     extended segmentation);
-//  3. the burst drains away — the lone survivor's samples show writer
-//     concurrency collapsed, and both objects demote again.
+//     extended segmentations);
+//  3. while the sorted map is promoted, an ordered range scan runs over it —
+//     the merge iterator interleaves the live segmented shadow with the
+//     frozen backing, and the keys still come out strictly ascending;
+//  4. the burst drains away — the lone survivor's samples show writer
+//     concurrency collapsed, and the objects demote again.
 //
 // Readers run through every phase: representation switches never block them.
 // The counter is exact at every quiesce point no matter how often it
-// switched — increments land in representations that stay live and readable
-// for the counter's whole lifetime.
+// switched. At the end the demo prints the state-transition trace each
+// object was observed to walk.
 package main
 
 import (
@@ -31,6 +35,57 @@ const (
 	phaseOps     = 400_000
 )
 
+// tracer records each object's state every time a worker passes an
+// observation point, deduplicating consecutive repeats — the demo's
+// state-transition trace. Observing from the workers (rather than a polling
+// goroutine) guarantees the trace sees every phase the workers lived
+// through, even on a single-CPU host where a background poller might never
+// be scheduled inside a short promoted window. The short-lived
+// migrating/demoting states only show up when an observation lands inside
+// one; the trace is what was observed, not a transition log.
+type tracer struct {
+	mu   sync.Mutex
+	objs []tracedObj
+	seqs [][]dego.AdaptiveState
+}
+
+type tracedObj struct {
+	name  string
+	state func() dego.AdaptiveState
+}
+
+func newTracer(objs ...tracedObj) *tracer {
+	t := &tracer{objs: objs, seqs: make([][]dego.AdaptiveState, len(objs))}
+	t.observe()
+	return t
+}
+
+func (t *tracer) observe() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, o := range t.objs {
+		s := o.state()
+		if seq := t.seqs[i]; len(seq) == 0 || seq[len(seq)-1] != s {
+			t.seqs[i] = append(seq, s)
+		}
+	}
+}
+
+func (t *tracer) print() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, o := range t.objs {
+		out := o.name + " trace: "
+		for j, s := range t.seqs[i] {
+			if j > 0 {
+				out += " → "
+			}
+			out += s.String()
+		}
+		fmt.Println(out)
+	}
+}
+
 func main() {
 	reg := dego.NewRegistry(burstWriters + 8)
 	// An eager policy so the demo converges in fractions of a second; the
@@ -38,14 +93,21 @@ func main() {
 	policy := dego.AdaptivePolicy{SampleEvery: 64, MinSamples: 2, DemoteSamples: 4}
 	counter := dego.NewAdaptiveCounterOn(reg, policy)
 	m := dego.NewAdaptiveMapOn[int, int](reg, 8, keyRange, keyRange*2, dego.HashInt, policy)
+	sl := dego.NewAdaptiveSkipListOn[int, int](reg, keyRange*2, dego.HashInt, policy)
+
+	traces := newTracer(
+		tracedObj{"map     ", m.State},
+		tracedObj{"skiplist", sl.State},
+	)
 
 	var totalIncs atomic.Int64
 	report := func(phase string) {
+		traces.observe()
 		h := reg.MustRegister()
 		defer h.Release()
-		fmt.Printf("%-28s counter=%-9v map=%-9v transitions=%d/%d count=%d len=%d\n",
-			phase+":", counter.State(), m.State(),
-			counter.Transitions(), m.Transitions(), counter.Get(h), m.Len())
+		fmt.Printf("%-28s counter=%-9v map=%-9v skiplist=%-9v transitions=%d/%d/%d count=%d\n",
+			phase+":", counter.State(), m.State(), sl.State(),
+			counter.Transitions(), m.Transitions(), sl.Transitions(), counter.Get(h))
 	}
 
 	// A reader runs through every phase; switches never block it.
@@ -62,6 +124,7 @@ func main() {
 			default:
 				counter.Get(h)
 				m.Get(int(counter.Get(h)) % keyRange)
+				sl.Get(int(counter.Get(h)) % keyRange)
 			}
 		}
 	}()
@@ -75,8 +138,13 @@ func main() {
 			k := (i%(keyRange/burstWriters))*burstWriters + w
 			if i%3 == 0 {
 				m.Remove(h, k)
+				sl.Remove(h, k)
 			} else {
 				m.Put(h, k, i)
+				sl.Put(h, k, i)
+			}
+			if i&63 == 0 {
+				traces.observe()
 			}
 		}
 		totalIncs.Add(int64(ops))
@@ -86,7 +154,7 @@ func main() {
 	work(0, phaseOps)
 	report("phase 1 (lone writer)")
 
-	// Phase 2: contention arrives — the stall rate promotes both objects.
+	// Phase 2: contention arrives — the stall rate promotes the objects.
 	var wg sync.WaitGroup
 	for w := 0; w < burstWriters; w++ {
 		wg.Add(1)
@@ -105,14 +173,35 @@ func main() {
 		for i := 0; i < 50_000; i++ {
 			counter.Probe().RecordCASFailure()
 			m.Probe().RecordLockWait()
+			sl.Probe().RecordCASFailure()
 		}
 		work(0, 256) // just enough boundaries to promote, not to re-demote
 	}
 	report("phase 2 (contention burst)")
 
-	// Phase 3: the burst is gone — the lone survivor demotes both objects.
+	// Phase 3: an ordered range over the (ideally promoted) sorted map. The
+	// scan merges the segmented shadow with the frozen lock-free backing and
+	// must stay strictly ascending whatever state the flap left us in.
+	low := keyRange / 2
+	prev, scanned := -1, 0
+	var firstFew []int
+	sl.RangeFrom(low, func(k, v int) bool {
+		if k < low || k <= prev {
+			panic(fmt.Sprintf("ordered range violated: %d after %d", k, prev))
+		}
+		prev = k
+		if len(firstFew) < 6 {
+			firstFew = append(firstFew, k)
+		}
+		scanned++
+		return true
+	})
+	fmt.Printf("%-28s state=%v keys≥%d: %d, ascending, first %v\n",
+		"phase 3 (ordered range):", sl.State(), low, scanned, firstFew)
+
+	// Phase 4: the burst is gone — the lone survivor demotes the objects.
 	work(0, phaseOps)
-	report("phase 3 (burst subsided)")
+	report("phase 4 (burst subsided)")
 
 	close(stopReader)
 	<-readerDone
@@ -125,6 +214,7 @@ func main() {
 		fmt.Printf("exact across every switch: counter=%d after %d transitions\n",
 			got, counter.Transitions())
 	}
+	traces.print()
 	stalls := counter.Probe().Snapshot()
 	fmt.Printf("counter stall proxy: %d CAS failures, %d transition spins\n",
 		stalls.CASFailures, stalls.SpinWaits)

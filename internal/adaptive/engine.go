@@ -1,0 +1,320 @@
+package adaptive
+
+import (
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/counter"
+)
+
+// This file is the representation-agnostic core of every adaptive key-value
+// object: the quiescent→migrating→promoted→demoting machine combined with
+// the frozen-backing + tombstone-shadow overlay, extracted from the original
+// adaptive.Map so that any pair of (cheap, adjusted) KV representations can
+// be made adaptive without duplicating the transition logic. adaptive.Map
+// instantiates it over the hash maps (map.go), adaptive.SortedMap over the
+// skip lists (sortedmap.go); internal/adaptive/README.md documents the rep
+// contract and the state-machine invariants the engine preserves.
+
+// cheapKV is the engine's view of an unadjusted representation: handle-free
+// operations, safe for any thread in any interleaving. In StateQuiescent and
+// StateMigrating it is the live store; after promotion it is frozen — the
+// engine never mutates it again — and serves as the read-through backing
+// until the demotion drain replaces it wholesale.
+type cheapKV[K comparable, V any] interface {
+	Put(key K, val V)
+	Get(key K) (V, bool)
+	Contains(key K) bool
+	Remove(key K) bool
+	Len() int
+	Range(f func(key K, val V) bool)
+}
+
+// adjustedKV is the engine's view of an adjusted representation: operations
+// are handle-routed (the commuting-writers contract) and value access is
+// box-level, because the overlay distinguishes live entries from tombstones
+// by box identity alone. It shadows the frozen cheap rep: a key present here
+// overrides the backing; a tombstone box masks a backed key as deleted.
+type adjustedKV[K comparable, V any] interface {
+	PutRef(h *core.Handle, key K, val *V)
+	GetRef(key K) (*V, bool)
+	Remove(h *core.Handle, key K) bool
+	RangeRef(f func(key K, val *V) bool)
+}
+
+// kvReps is the representation payload of an engine view. cheap is set in
+// every state; adj only in StatePromoted and StateDemoting (views are
+// immutable, so the state field — not a nil check — says which reps are
+// valid: C and A are constrained by interfaces and need not be nilable).
+type kvReps[C, A any] struct {
+	cheap C
+	adj   A
+}
+
+// kvEngine is the generic contention-adaptive key-value machine. K and V are
+// the map's key and value types; C and A the concrete cheap and adjusted
+// representation types (static dispatch — the engine adds no interface-call
+// overhead to the hot paths).
+//
+// # Migration
+//
+// Promotion is O(1) and drains nothing: after writers quiesce, the cheap rep
+// is frozen and becomes a read-through backing store under a fresh, empty
+// adjusted rep. Eagerly draining would be wrong, not just slow: the extended
+// segmentation binds each key, on first insert, to the segment of the thread
+// that inserted it — a bulk drain by one migrator thread would bind every
+// key to the migrator's segment and later writers of those keys would break
+// the segment's single-writer contract. Instead each key is lazily re-homed
+// by its own first post-promotion write (the writer that owns it under
+// CWMR), which is exactly the binding the extended segmentation wants. Reads
+// check the adjusted rep, then fall back to the frozen backing; removals of
+// backed keys write a tombstone box so the backing cannot resurrect them.
+// Demotion is the real drain: writers quiesce, the shadow entries are
+// overlaid on the backing (tombstones dropping keys, shadows winning), and
+// the merge lands in a fresh cheap rep.
+//
+// During both transitions readers never block — they keep reading the stable
+// source representations of the old view. Writers arriving mid-transition
+// spin (recorded in the probe); promotion's window is just the quiesce,
+// demotion's also covers the merge.
+//
+// # Sampling rides the write path
+//
+// Contention samples are taken by writers (every SampleEvery-th operation of
+// a thread); reads deliberately carry no shared sampling state, since a
+// per-read shared counter would reintroduce exactly the cache-line traffic
+// promotion removes. The consequence: a workload that stops writing keeps
+// whatever representation it last had. A promoted object that turns
+// read-only stays promoted — correct, but every miss in the adjusted rep
+// pays the second lookup in the frozen backing until the next write burst
+// resumes sampling (an incremental scavenger for the backing is a ROADMAP
+// item).
+type kvEngine[K comparable, V any, C cheapKV[K, V], A adjustedKV[K, V]] struct {
+	mach *machine[kvReps[C, A]]
+	// newCheap builds a fresh cheap rep (construction and the demotion
+	// drain); newAdj a fresh adjusted rep (promotion). Both must wire the
+	// engine's probe themselves if their rep reports stalls.
+	newCheap func() C
+	newAdj   func() A
+	// tomb is the sentinel box marking a backed key as deleted, recognized
+	// by pointer identity. It must point INTO this struct (tombStore), not
+	// at a separate allocation: for zero-size V the runtime gives every
+	// heap-allocated value one shared address, so a `new(V)` sentinel would
+	// alias every user box and classify live entries as deleted. An
+	// interior pointer to an unexported field can never equal a box a
+	// caller could hand us.
+	tomb      *V
+	tombStore struct {
+		v V
+		_ byte // keeps the enclosing field non-zero-size so &v stays interior
+	}
+	// ops counts operations per thread — an unchecked IncrementOnly reused
+	// as the sampling substrate: AddLocal's tally is the boundary trigger,
+	// SnapshotCells the writer-activity source for demotion.
+	ops *counter.IncrementOnly
+}
+
+// newKVEngine creates an engine in StateQuiescent over a fresh cheap rep.
+func newKVEngine[K comparable, V any, C cheapKV[K, V], A adjustedKV[K, V]](
+	r *core.Registry, probe *contention.Probe, p Policy,
+	newCheap func() C, newAdj func() A) *kvEngine[K, V, C, A] {
+	e := &kvEngine[K, V, C, A]{
+		newCheap: newCheap,
+		newAdj:   newAdj,
+		ops:      counter.NewIncrementOnly(r, false),
+	}
+	e.tomb = &e.tombStore.v
+	e.mach = newMachine(r, probe, p, kvReps[C, A]{cheap: newCheap()}, true)
+	return e
+}
+
+// putRef inserts or updates key with a caller-provided value box: once
+// promoted the box is stored directly (no allocation on the update path); in
+// the cheap state its value is copied. The box must not be mutated after the
+// call.
+func (e *kvEngine[K, V, C, A]) putRef(h *core.Handle, key K, val *V) {
+	v := e.mach.enter(h)
+	if v.state == StateQuiescent {
+		v.reps.cheap.Put(key, *val)
+	} else {
+		v.reps.adj.PutRef(h, key, val)
+	}
+	e.mach.exit(h)
+	e.tick(h)
+}
+
+// remove deletes key, reporting whether it was present.
+func (e *kvEngine[K, V, C, A]) remove(h *core.Handle, key K) bool {
+	v := e.mach.enter(h)
+	var present bool
+	if v.state == StateQuiescent {
+		present = v.reps.cheap.Remove(key)
+	} else {
+		// The caller owns key (CWMR), so this read-modify-write races with
+		// no other writer of key.
+		box, ok := v.reps.adj.GetRef(key)
+		switch {
+		case ok && box == e.tomb:
+			present = false
+		case ok:
+			present = true
+			if v.reps.cheap.Contains(key) {
+				v.reps.adj.PutRef(h, key, e.tomb) // mask the backed copy
+			} else {
+				v.reps.adj.Remove(h, key)
+			}
+		default:
+			if v.reps.cheap.Contains(key) {
+				v.reps.adj.PutRef(h, key, e.tomb)
+				present = true
+			}
+		}
+	}
+	e.mach.exit(h)
+	e.tick(h)
+	return present
+}
+
+// get returns the value for key. Any thread may call it; it never blocks,
+// even mid-transition.
+func (e *kvEngine[K, V, C, A]) get(key K) (V, bool) {
+	v := e.mach.view()
+	switch v.state {
+	case StateQuiescent, StateMigrating:
+		return v.reps.cheap.Get(key)
+	default: // StatePromoted, StateDemoting: shadow, then backing.
+		if box, ok := v.reps.adj.GetRef(key); ok {
+			if box == e.tomb {
+				var zero V
+				return zero, false
+			}
+			return *box, true
+		}
+		return v.reps.cheap.Get(key)
+	}
+}
+
+// rangeOverlay iterates the promoted-phase contents of reps — shadow entries
+// overlaid on the frozen backing, tombstones masking backed keys. It is the
+// single definition of "what a promoted object contains", shared by len,
+// rangeAny and the demotion drain. The order is whatever the reps produce —
+// wrappers with an ordered contract (SortedMap) build their own merge
+// iterator on the same overlay rules instead.
+//
+// The pass order matters for the live (non-quiesced) callers: the backing
+// is frozen, so "k is backed" is stable for the whole iteration. Walking
+// the backing first and consulting each key's shadow at emit time means a
+// backed key is emitted exactly once with its freshest visible value —
+// iterating the shadows first instead would let a concurrent put shadow a
+// backed key between the passes and drop it from both.
+func (e *kvEngine[K, V, C, A]) rangeOverlay(reps kvReps[C, A], f func(key K, val V) bool) {
+	stop := false
+	reps.cheap.Range(func(k K, val V) bool {
+		if box, ok := reps.adj.GetRef(k); ok {
+			if box == e.tomb {
+				return true
+			}
+			val = *box
+		}
+		if !f(k, val) {
+			stop = true
+		}
+		return !stop
+	})
+	if stop {
+		return
+	}
+	// Keys living only in the adjusted rep (never backed).
+	reps.adj.RangeRef(func(k K, box *V) bool {
+		if box == e.tomb || reps.cheap.Contains(k) {
+			return true
+		}
+		if !f(k, *box) {
+			stop = true
+		}
+		return !stop
+	})
+}
+
+// len returns the number of entries; weakly consistent, like the underlying
+// reps (and O(n) while promoted, where backed keys must be checked against
+// their shadows).
+func (e *kvEngine[K, V, C, A]) len() int {
+	v := e.mach.view()
+	if v.state == StateQuiescent || v.state == StateMigrating {
+		return v.reps.cheap.Len()
+	}
+	n := 0
+	e.rangeOverlay(v.reps, func(K, V) bool { n++; return true })
+	return n
+}
+
+// rangeAny calls f for every entry until it returns false; weakly
+// consistent, in no particular order.
+func (e *kvEngine[K, V, C, A]) rangeAny(f func(key K, val V) bool) {
+	v := e.mach.view()
+	if v.state == StateQuiescent || v.state == StateMigrating {
+		v.reps.cheap.Range(f)
+		return
+	}
+	e.rangeOverlay(v.reps, f)
+}
+
+// tick advances the caller's operation tally and samples on window
+// boundaries.
+func (e *kvEngine[K, V, C, A]) tick(h *core.Handle) {
+	if e.ops.AddLocal(h, 1)&e.mach.mask == 0 {
+		e.sample()
+	}
+}
+
+// sample runs the controller and applies its verdict.
+func (e *kvEngine[K, V, C, A]) sample() {
+	// ops is unchecked, so its guard accepts the nil handle on the read.
+	total := func() int64 { return e.ops.Get(nil) }
+	switch e.mach.evaluate(total, e.ops.SnapshotCells) {
+	case actPromote:
+		e.forcePromote()
+	case actDemote:
+		e.forceDemote()
+	}
+}
+
+// forcePromote freezes the cheap rep as the backing store and installs a
+// fresh adjusted rep over it, regardless of policy. It reports whether the
+// transition happened (false when not quiescent or when a concurrent
+// transition won). The call blocks only for the writer quiesce — no data
+// moves.
+func (e *kvEngine[K, V, C, A]) forcePromote() bool {
+	old := e.mach.view()
+	if old.state != StateQuiescent {
+		return false
+	}
+	adj := e.newAdj()
+	mid := &view[kvReps[C, A]]{state: StateMigrating,
+		reps: kvReps[C, A]{cheap: old.reps.cheap}}
+	final := &view[kvReps[C, A]]{state: StatePromoted,
+		reps: kvReps[C, A]{cheap: old.reps.cheap, adj: adj}}
+	return e.mach.swap(old, mid, final, nil)
+}
+
+// forceDemote drains the promoted representation (shadow entries overlaid on
+// the frozen backing, tombstones dropping keys) into a fresh cheap rep,
+// regardless of policy. Writers pause for the drain; readers keep reading
+// the old view throughout.
+func (e *kvEngine[K, V, C, A]) forceDemote() bool {
+	old := e.mach.view()
+	if old.state != StatePromoted {
+		return false
+	}
+	mid := &view[kvReps[C, A]]{state: StateDemoting, reps: old.reps}
+	fresh := e.newCheap()
+	drain := func() {
+		e.rangeOverlay(old.reps, func(k K, val V) bool {
+			fresh.Put(k, val)
+			return true
+		})
+	}
+	final := &view[kvReps[C, A]]{state: StateQuiescent,
+		reps: kvReps[C, A]{cheap: fresh}}
+	return e.mach.swap(old, mid, final, drain)
+}

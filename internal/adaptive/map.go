@@ -3,63 +3,18 @@ package adaptive
 import (
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
-	"github.com/adjusted-objects/dego/internal/counter"
 	"github.com/adjusted-objects/dego/internal/hashmap"
 )
 
-// mapReps is the representation payload of a Map view.
-type mapReps[K comparable, V any] struct {
-	// striped is the cheap representation. In StateQuiescent and
-	// StateMigrating it is the live map; in StatePromoted and StateDemoting
-	// it is the frozen read-through backing store from before promotion.
-	striped *hashmap.Striped[K, V]
-	// seg is the adjusted representation (nil outside
-	// StatePromoted/StateDemoting). It shadows striped: a key present here
-	// overrides the backing, and a tombstone box here masks a backed key as
-	// deleted.
-	seg *hashmap.Segmented[K, V]
-}
-
-// Map is the contention-adaptive hash map. It starts as the lock-striped
-// baseline (hashmap.Striped, the ConcurrentHashMap stand-in) and promotes to
-// the adjusted representation (hashmap.Segmented, the paper's
-// ExtendedSegmentedHashMap, M2/CWMR) when the windowed lock-wait rate
-// crosses the policy threshold; it demotes when writer concurrency
-// subsides.
-//
-// # Migration
-//
-// Promotion is O(1) and drains nothing: after writers quiesce, the striped
-// map is frozen and becomes a read-through backing store under a fresh,
-// empty segmented map. Eagerly draining would be wrong, not just slow: the
-// extended segmentation binds each key, on first insert, to the segment of
-// the thread that inserted it — a bulk drain by one migrator thread would
-// bind every key to the migrator's segment and later writers of those keys
-// would break the segment's single-writer contract. Instead each key is
-// lazily re-homed by its own first post-promotion write (the writer that
-// owns it under CWMR), which is exactly the binding the extended
-// segmentation wants. Reads check the segmented map, then fall back to the
-// frozen backing; removals of backed keys write a tombstone box so the
-// backing cannot resurrect them. Demotion is the real drain: writers
-// quiesce, the segmented entries are overlaid on the backing (tombstones
-// dropping keys, shadows winning), and the merge lands in a fresh striped
-// map.
-//
-// During both transitions readers never block — they keep reading the
-// stable source representations of the old view. Writers arriving
-// mid-transition spin (recorded in the probe); promotion's window is just
-// the quiesce, demotion's also covers the merge.
-//
-// # Sampling rides the write path
-//
-// Contention samples are taken by writers (every SampleEvery-th operation
-// of a thread); reads deliberately carry no shared sampling state, since a
-// per-read shared counter would reintroduce exactly the cache-line traffic
-// promotion removes. The consequence: a workload that stops writing keeps
-// whatever representation it last had. A promoted map that turns read-only
-// stays promoted — correct, but every miss in the segmented map pays the
-// second lookup in the frozen backing until the next write burst resumes
-// sampling (an incremental scavenger for the backing is a ROADMAP item).
+// Map is the contention-adaptive hash map: the generic kvEngine (engine.go)
+// instantiated over the hash-map representations. It starts as the
+// lock-striped baseline (hashmap.Striped, the ConcurrentHashMap stand-in)
+// and promotes to the adjusted representation (hashmap.Segmented, the
+// paper's ExtendedSegmentedHashMap, M2/CWMR) when the windowed lock-wait
+// rate crosses the policy threshold; it demotes when writer concurrency
+// subsides. The migration mechanics — O(1) promotion freezing the striped
+// map as a read-through backing, tombstone shadowing, the lazy per-owner
+// re-homing, the demotion drain — are the engine's; see engine.go.
 //
 // # Contract
 //
@@ -69,29 +24,7 @@ type mapReps[K comparable, V any] struct {
 // the contract load-bearing — it is what makes the lazy re-homing and the
 // read-modify-write in Remove safe. Reads are unrestricted.
 type Map[K comparable, V any] struct {
-	mach *machine[mapReps[K, V]]
-	reg  *core.Registry
-	hash func(K) uint64
-	// tomb is the sentinel box marking a backed key as deleted, recognized
-	// by pointer identity. It must point INTO this struct (tombStore), not
-	// at a separate allocation: for zero-size V the runtime gives every
-	// heap-allocated value one shared address, so a `new(V)` sentinel would
-	// alias every user box and classify live entries as deleted. An
-	// interior pointer to an unexported field can never equal a box a
-	// caller could hand us.
-	tomb      *V
-	tombStore struct {
-		v V
-		_ byte // keeps the enclosing field non-zero-size so &v stays interior
-	}
-	// ops counts operations per thread — an unchecked IncrementOnly reused
-	// as the sampling substrate: AddLocal's tally is the boundary trigger,
-	// SnapshotCells the writer-activity source for demotion.
-	ops *counter.IncrementOnly
-
-	stripes    int
-	capacity   int
-	dirBuckets int
+	eng *kvEngine[K, V, *hashmap.Striped[K, V], *hashmap.Segmented[K, V]]
 }
 
 // NewMap creates an adaptive map over a registry. stripes and capacity size
@@ -101,23 +34,18 @@ type Map[K comparable, V any] struct {
 func NewMap[K comparable, V any](r *core.Registry, stripes, capacity, dirBuckets int,
 	hash func(K) uint64, p Policy) *Map[K, V] {
 	probe := contention.NewProbe()
-	m := &Map[K, V]{
-		reg:        r,
-		hash:       hash,
-		ops:        counter.NewIncrementOnly(r, false),
-		stripes:    stripes,
-		capacity:   capacity,
-		dirBuckets: dirBuckets,
-	}
-	m.tomb = &m.tombStore.v
-	initial := mapReps[K, V]{striped: hashmap.NewStriped[K, V](stripes, capacity, hash, probe)}
-	m.mach = newMachine(r, probe, p, initial, true)
-	return m
+	return &Map[K, V]{eng: newKVEngine[K, V](r, probe, p,
+		func() *hashmap.Striped[K, V] {
+			return hashmap.NewStriped[K, V](stripes, capacity, hash, probe)
+		},
+		func() *hashmap.Segmented[K, V] {
+			return hashmap.NewSegmented[K, V](r, capacity, dirBuckets, hash, false)
+		})}
 }
 
 // Put inserts or updates key. Blind, like both underlying maps.
 func (m *Map[K, V]) Put(h *core.Handle, key K, val V) {
-	m.PutRef(h, key, &val)
+	m.eng.putRef(h, key, &val)
 }
 
 // PutRef is Put with a caller-provided value box: once promoted the box is
@@ -125,200 +53,51 @@ func (m *Map[K, V]) Put(h *core.Handle, key K, val V) {
 // the cheap state its value is copied into the striped map. The box must
 // not be mutated after the call.
 func (m *Map[K, V]) PutRef(h *core.Handle, key K, val *V) {
-	v := m.mach.enter(h)
-	if v.state == StateQuiescent {
-		v.reps.striped.Put(key, *val)
-	} else {
-		v.reps.seg.PutRef(h, key, val)
-	}
-	m.mach.exit(h)
-	m.tick(h)
+	m.eng.putRef(h, key, val)
 }
 
 // Remove deletes key, reporting whether it was present.
 func (m *Map[K, V]) Remove(h *core.Handle, key K) bool {
-	v := m.mach.enter(h)
-	var present bool
-	if v.state == StateQuiescent {
-		present = v.reps.striped.Remove(key)
-	} else {
-		// The caller owns key (CWMR), so this read-modify-write races with
-		// no other writer of key.
-		box, ok := v.reps.seg.GetRef(key)
-		switch {
-		case ok && box == m.tomb:
-			present = false
-		case ok:
-			present = true
-			if v.reps.striped.Contains(key) {
-				v.reps.seg.PutRef(h, key, m.tomb) // mask the backed copy
-			} else {
-				v.reps.seg.Remove(h, key)
-			}
-		default:
-			if v.reps.striped.Contains(key) {
-				v.reps.seg.PutRef(h, key, m.tomb)
-				present = true
-			}
-		}
-	}
-	m.mach.exit(h)
-	m.tick(h)
-	return present
+	return m.eng.remove(h, key)
 }
 
 // Get returns the value for key. Any thread may call it; it never blocks,
 // even mid-transition.
-func (m *Map[K, V]) Get(key K) (V, bool) {
-	v := m.mach.view()
-	switch v.state {
-	case StateQuiescent, StateMigrating:
-		return v.reps.striped.Get(key)
-	default: // StatePromoted, StateDemoting: shadow, then backing.
-		if box, ok := v.reps.seg.GetRef(key); ok {
-			if box == m.tomb {
-				var zero V
-				return zero, false
-			}
-			return *box, true
-		}
-		return v.reps.striped.Get(key)
-	}
-}
+func (m *Map[K, V]) Get(key K) (V, bool) { return m.eng.get(key) }
 
 // Contains reports whether key is present.
 func (m *Map[K, V]) Contains(key K) bool {
-	_, ok := m.Get(key)
+	_, ok := m.eng.get(key)
 	return ok
-}
-
-// rangeOverlay iterates the promoted-phase contents of reps — segmented
-// shadows overlaid on the frozen backing, tombstones masking backed keys.
-// It is the single definition of "what a promoted map contains", shared by
-// Len, Range and the demotion drain.
-//
-// The pass order matters for the live (non-quiesced) callers: the backing
-// is frozen, so "k is backed" is stable for the whole iteration. Walking
-// the backing first and consulting each key's shadow at emit time means a
-// backed key is emitted exactly once with its freshest visible value —
-// iterating the shadows first instead would let a concurrent Put shadow a
-// backed key between the passes and drop it from both.
-func (m *Map[K, V]) rangeOverlay(reps mapReps[K, V], f func(key K, val V) bool) {
-	stop := false
-	reps.striped.Range(func(k K, val V) bool {
-		if box, ok := reps.seg.GetRef(k); ok {
-			if box == m.tomb {
-				return true
-			}
-			val = *box
-		}
-		if !f(k, val) {
-			stop = true
-		}
-		return !stop
-	})
-	if stop {
-		return
-	}
-	// Keys living only in the segmented map (never backed).
-	reps.seg.RangeRef(func(k K, box *V) bool {
-		if box == m.tomb || reps.striped.Contains(k) {
-			return true
-		}
-		if !f(k, *box) {
-			stop = true
-		}
-		return !stop
-	})
 }
 
 // Len returns the number of entries; weakly consistent, like the underlying
 // maps (and O(n) while promoted, where backed keys must be checked against
 // their shadows).
-func (m *Map[K, V]) Len() int {
-	v := m.mach.view()
-	if v.reps.seg == nil {
-		return v.reps.striped.Len()
-	}
-	n := 0
-	m.rangeOverlay(v.reps, func(K, V) bool { n++; return true })
-	return n
-}
+func (m *Map[K, V]) Len() int { return m.eng.len() }
 
 // Range calls f for every entry until it returns false; weakly consistent.
-func (m *Map[K, V]) Range(f func(key K, val V) bool) {
-	v := m.mach.view()
-	if v.reps.seg == nil {
-		v.reps.striped.Range(f)
-		return
-	}
-	m.rangeOverlay(v.reps, f)
-}
-
-// tick advances the caller's operation tally and samples on window
-// boundaries.
-func (m *Map[K, V]) tick(h *core.Handle) {
-	if m.ops.AddLocal(h, 1)&m.mach.mask == 0 {
-		m.sample()
-	}
-}
-
-// sample runs the controller and applies its verdict.
-func (m *Map[K, V]) sample() {
-	// ops is unchecked, so its guard accepts the nil handle on the read.
-	total := func() int64 { return m.ops.Get(nil) }
-	switch m.mach.evaluate(total, m.ops.SnapshotCells) {
-	case actPromote:
-		m.ForcePromote()
-	case actDemote:
-		m.ForceDemote()
-	}
-}
+func (m *Map[K, V]) Range(f func(key K, val V) bool) { m.eng.rangeAny(f) }
 
 // ForcePromote freezes the striped map as the backing store and installs a
 // fresh segmented map over it, regardless of policy. It reports whether the
 // transition happened (false when not quiescent or when a concurrent
 // transition won). The call blocks only for the writer quiesce — no data
 // moves.
-func (m *Map[K, V]) ForcePromote() bool {
-	old := m.mach.view()
-	if old.state != StateQuiescent {
-		return false
-	}
-	seg := hashmap.NewSegmented[K, V](m.reg, m.capacity, m.dirBuckets, m.hash, false)
-	mid := &view[mapReps[K, V]]{state: StateMigrating, reps: mapReps[K, V]{striped: old.reps.striped}}
-	final := &view[mapReps[K, V]]{state: StatePromoted,
-		reps: mapReps[K, V]{striped: old.reps.striped, seg: seg}}
-	return m.mach.swap(old, mid, final, nil)
-}
+func (m *Map[K, V]) ForcePromote() bool { return m.eng.forcePromote() }
 
 // ForceDemote drains the promoted representation (segmented shadows overlaid
 // on the frozen backing, tombstones dropping keys) into a fresh striped map,
 // regardless of policy. Writers pause for the drain; readers keep reading
 // the old view throughout.
-func (m *Map[K, V]) ForceDemote() bool {
-	old := m.mach.view()
-	if old.state != StatePromoted {
-		return false
-	}
-	mid := &view[mapReps[K, V]]{state: StateDemoting, reps: old.reps}
-	fresh := hashmap.NewStriped[K, V](m.stripes, m.capacity, m.hash, m.mach.probe)
-	drain := func() {
-		m.rangeOverlay(old.reps, func(k K, val V) bool {
-			fresh.Put(k, val)
-			return true
-		})
-	}
-	final := &view[mapReps[K, V]]{state: StateQuiescent, reps: mapReps[K, V]{striped: fresh}}
-	return m.mach.swap(old, mid, final, drain)
-}
+func (m *Map[K, V]) ForceDemote() bool { return m.eng.forceDemote() }
 
 // State returns the map's current state.
-func (m *Map[K, V]) State() State { return m.mach.state() }
+func (m *Map[K, V]) State() State { return m.eng.mach.state() }
 
 // Transitions returns the number of representation switches so far.
-func (m *Map[K, V]) Transitions() int64 { return m.mach.transitions.Load() }
+func (m *Map[K, V]) Transitions() int64 { return m.eng.mach.transitions.Load() }
 
 // Probe returns the contention probe observing the striped representation
 // (lock waits) and the machine (transition spins).
-func (m *Map[K, V]) Probe() *contention.Probe { return m.mach.probe }
+func (m *Map[K, V]) Probe() *contention.Probe { return m.eng.mach.probe }

@@ -1,0 +1,228 @@
+package adaptive
+
+import (
+	"cmp"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/skiplist"
+)
+
+// SortedMap is the contention-adaptive ordered map: the generic kvEngine
+// (engine.go) instantiated over the skip-list representations. It starts as
+// the lock-free CAS baseline (skiplist.Concurrent, the ConcurrentSkipListMap
+// stand-in) and promotes to the adjusted representation
+// (skiplist.Segmented, the paper's ExtendedSegmentedSkipListMap, M2/CWMR)
+// when the windowed CAS-failure rate crosses the policy threshold; it
+// demotes when writer concurrency subsides.
+//
+// Point operations (Put, Get, Remove, Len) are the engine's overlay,
+// identical to Map. The ordered iteration is the one piece the hash-map
+// overlay could not express: while promoted, Range and RangeFrom run a merge
+// iterator over the (live, sorted) shadow and the (frozen, sorted) backing —
+// a shadowed key wins over its backed copy, a tombstone suppresses it, and
+// the merged stream stays strictly ascending.
+//
+// # Contract
+//
+// Like Map, SortedMap requires the commuting-writers contract in every
+// state: distinct threads write distinct keys. The lock-free phase would
+// tolerate more, but promotion makes the contract load-bearing. Reads are
+// unrestricted.
+type SortedMap[K cmp.Ordered, V any] struct {
+	eng *kvEngine[K, V, *skiplist.Concurrent[K, V], *skiplist.Segmented[K, V]]
+}
+
+// NewSortedMap creates an adaptive sorted map over a registry. dirBuckets
+// sizes the segmented directory installed on promotion; hash routes keys to
+// directory buckets. Pass a zero Policy for the defaults.
+func NewSortedMap[K cmp.Ordered, V any](r *core.Registry, dirBuckets int,
+	hash func(K) uint64, p Policy) *SortedMap[K, V] {
+	probe := contention.NewProbe()
+	return &SortedMap[K, V]{eng: newKVEngine[K, V](r, probe, p,
+		func() *skiplist.Concurrent[K, V] {
+			return skiplist.NewConcurrent[K, V](probe)
+		},
+		func() *skiplist.Segmented[K, V] {
+			return skiplist.NewSegmented[K, V](r, dirBuckets, hash, false)
+		})}
+}
+
+// Put inserts or updates key. Blind, like both underlying lists.
+func (m *SortedMap[K, V]) Put(h *core.Handle, key K, val V) {
+	m.eng.putRef(h, key, &val)
+}
+
+// PutRef is Put with a caller-provided value box; see Map.PutRef.
+func (m *SortedMap[K, V]) PutRef(h *core.Handle, key K, val *V) {
+	m.eng.putRef(h, key, val)
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *SortedMap[K, V]) Remove(h *core.Handle, key K) bool {
+	return m.eng.remove(h, key)
+}
+
+// Get returns the value for key. Any thread may call it; it never blocks,
+// even mid-transition.
+func (m *SortedMap[K, V]) Get(key K) (V, bool) { return m.eng.get(key) }
+
+// Contains reports whether key is present.
+func (m *SortedMap[K, V]) Contains(key K) bool {
+	_, ok := m.eng.get(key)
+	return ok
+}
+
+// Len returns the number of entries; weakly consistent (and O(n) while
+// promoted).
+func (m *SortedMap[K, V]) Len() int { return m.eng.len() }
+
+// Range calls f for every entry in strictly ascending key order until it
+// returns false; weakly consistent, like the underlying lists.
+func (m *SortedMap[K, V]) Range(f func(key K, val V) bool) {
+	var from K
+	m.rangeMerged(from, false, nil, f)
+}
+
+// RangeFrom is Range starting at the first key ≥ from. While promoted, the
+// shadow suffix ≥ from is snapshotted up front — callers scanning a bounded
+// key interval should use RangeBetween, which pushes the upper bound into
+// the snapshot.
+func (m *SortedMap[K, V]) RangeFrom(from K, f func(key K, val V) bool) {
+	m.rangeMerged(from, true, nil, f)
+}
+
+// RangeBetween is Range over the half-open key interval [from, to). Unlike
+// stopping a RangeFrom callback early, the bound limits the work done up
+// front: the promoted-phase shadow snapshot collects only entries inside
+// the interval (skiplist.Segmented.RangeRefBetween), so the cost is
+// proportional to the interval, not to the whole map.
+func (m *SortedMap[K, V]) RangeBetween(from, to K, f func(key K, val V) bool) {
+	if to <= from {
+		return
+	}
+	m.rangeMerged(from, true, &to, f)
+}
+
+// rangeMerged iterates in ascending key order, starting at from when bounded
+// (a zero K is not the minimum for signed or string keys, so Range cannot
+// just delegate to RangeFrom with the zero value) and stopping before *to
+// when to is non-nil.
+//
+// While promoted (or demoting) this is the ordered analogue of the engine's
+// rangeOverlay, with the same single definition of visibility — shadow wins,
+// tombstone suppresses, backing fills the rest — but merge-ordered: the
+// shadow is snapshotted into a sorted slice of (key, box) pairs, then the
+// frozen backing is walked in order while shadow entries interleave at their
+// key positions. Both streams are individually sorted, so the merge is
+// strictly ascending with each key emitted at most once. Snapshotting the
+// shadow first is safe for the same reason the engine's backing-first pass
+// is: the backing is frozen, so a key's "backed" status cannot change
+// mid-iteration, and a put racing the snapshot at worst leaves the backed
+// copy visible — the weakly-consistent contract every JUC iterator has.
+func (m *SortedMap[K, V]) rangeMerged(from K, bounded bool, to *K, f func(key K, val V) bool) {
+	v := m.eng.mach.view()
+	if v.state == StateQuiescent || v.state == StateMigrating {
+		switch {
+		case to != nil:
+			// The lock-free walk is lazy, so the upper bound is just an
+			// early exit.
+			v.reps.cheap.RangeFrom(from, func(k K, val V) bool {
+				return k < *to && f(k, val)
+			})
+		case bounded:
+			v.reps.cheap.RangeFrom(from, f)
+		default:
+			v.reps.cheap.Range(f)
+		}
+		return
+	}
+
+	type kb struct {
+		k K
+		b *V
+	}
+	var shadow []kb
+	collect := func(k K, b *V) bool {
+		shadow = append(shadow, kb{k, b})
+		return true
+	}
+	switch {
+	case to != nil:
+		v.reps.adj.RangeRefBetween(from, *to, collect)
+	case bounded:
+		v.reps.adj.RangeRefFrom(from, collect)
+	default:
+		v.reps.adj.RangeRef(collect)
+	}
+
+	// emitShadow flushes shadow entries with keys below bound (or all of
+	// them when done), skipping tombstones.
+	i := 0
+	stop := false
+	emitShadow := func(bound K, all bool) {
+		for i < len(shadow) && (all || shadow[i].k < bound) {
+			e := shadow[i]
+			i++
+			if e.b == m.eng.tomb {
+				continue
+			}
+			if !f(e.k, *e.b) {
+				stop = true
+				return
+			}
+		}
+	}
+
+	walk := func(k K, val V) bool {
+		if to != nil && k >= *to {
+			// Backing left the interval. The pending shadow entries are all
+			// < *to (collection was bounded) and > every key emitted so far,
+			// so the final flush below completes the merge in order.
+			return false
+		}
+		emitShadow(k, false)
+		if stop {
+			return false
+		}
+		if i < len(shadow) && shadow[i].k == k {
+			e := shadow[i]
+			i++
+			if e.b == m.eng.tomb {
+				return true // deleted under the shadow
+			}
+			val = *e.b // shadowed value wins over the backed copy
+		}
+		if !f(k, val) {
+			stop = true
+		}
+		return !stop
+	}
+	if bounded {
+		v.reps.cheap.RangeFrom(from, walk)
+	} else {
+		v.reps.cheap.Range(walk)
+	}
+	if !stop {
+		var zero K
+		emitShadow(zero, true)
+	}
+}
+
+// ForcePromote freezes the lock-free list as the backing store and installs
+// a fresh segmented list over it, regardless of policy; see Map.ForcePromote.
+func (m *SortedMap[K, V]) ForcePromote() bool { return m.eng.forcePromote() }
+
+// ForceDemote drains the promoted representation into a fresh lock-free
+// list, regardless of policy; see Map.ForceDemote.
+func (m *SortedMap[K, V]) ForceDemote() bool { return m.eng.forceDemote() }
+
+// State returns the map's current state.
+func (m *SortedMap[K, V]) State() State { return m.eng.mach.state() }
+
+// Transitions returns the number of representation switches so far.
+func (m *SortedMap[K, V]) Transitions() int64 { return m.eng.mach.transitions.Load() }
+
+// Probe returns the contention probe observing the lock-free representation
+// (CAS failures) and the machine (transition spins).
+func (m *SortedMap[K, V]) Probe() *contention.Probe { return m.eng.mach.probe }

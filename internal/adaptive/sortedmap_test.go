@@ -1,0 +1,398 @@
+package adaptive
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func newTestSortedMap(r *core.Registry, p Policy) *SortedMap[int, int] {
+	return NewSortedMap[int, int](r, 512, intHash, p)
+}
+
+// collectSorted drains a Range into key/value slices and asserts the keys
+// arrive in strictly ascending order.
+func collectSorted(t *testing.T, m *SortedMap[int, int]) ([]int, map[int]int) {
+	t.Helper()
+	var keys []int
+	vals := map[int]int{}
+	m.Range(func(k, v int) bool {
+		if n := len(keys); n > 0 && keys[n-1] >= k {
+			t.Fatalf("Range order violated: %d then %d", keys[n-1], k)
+		}
+		keys = append(keys, k)
+		vals[k] = v
+		return true
+	})
+	return keys, vals
+}
+
+func TestSortedMapBasicOpsPerState(t *testing.T) {
+	r := core.NewRegistry(8)
+	m := newTestSortedMap(r, Policy{SampleEvery: 1 << 62})
+	h := r.MustRegister()
+
+	check := func(stage string, k, want int, wantOK bool) {
+		t.Helper()
+		got, ok := m.Get(k)
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("%s: Get(%d) = %d, %v; want %d, %v", stage, k, got, ok, want, wantOK)
+		}
+		if m.Contains(k) != wantOK {
+			t.Fatalf("%s: Contains(%d) != %v", stage, k, wantOK)
+		}
+	}
+
+	// Quiescent.
+	m.Put(h, 1, 10)
+	m.Put(h, 2, 20)
+	m.Put(h, 3, 30)
+	if !m.Remove(h, 3) || m.Remove(h, 3) {
+		t.Fatal("quiescent Remove misreported presence")
+	}
+	check("quiescent", 1, 10, true)
+	check("quiescent", 3, 0, false)
+	if keys, _ := collectSorted(t, m); len(keys) != 2 {
+		t.Fatalf("quiescent keys = %v, want [1 2]", keys)
+	}
+
+	// Promoted: backed keys readable, updates shadow, removes tombstone.
+	if !m.ForcePromote() {
+		t.Fatal("ForcePromote failed")
+	}
+	check("promoted/backed", 1, 10, true)
+	m.Put(h, 1, 11) // shadow a backed key
+	check("promoted/shadowed", 1, 11, true)
+	m.Put(h, 4, 40) // fresh key, lives only in the segmented list
+	check("promoted/fresh", 4, 40, true)
+	if !m.Remove(h, 2) { // backed key -> tombstone
+		t.Fatal("promoted Remove of backed key misreported")
+	}
+	check("promoted/tombstoned", 2, 0, false)
+	if m.Remove(h, 2) {
+		t.Fatal("promoted Remove saw a tombstoned key as present")
+	}
+	if !m.Remove(h, 4) { // segment-only key -> plain removal
+		t.Fatal("promoted Remove of fresh key misreported")
+	}
+	m.Put(h, 2, 22) // resurrect through the tombstone
+	check("promoted/resurrected", 2, 22, true)
+	keys, vals := collectSorted(t, m)
+	if len(keys) != 2 || vals[1] != 11 || vals[2] != 22 {
+		t.Fatalf("promoted contents = %v %v, want {1:11 2:22}", keys, vals)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("promoted Len = %d, want 2", m.Len())
+	}
+
+	// Demoted: merge must apply shadows and tombstones.
+	m.Put(h, 5, 50)
+	if !m.Remove(h, 5) {
+		t.Fatal("Remove(5) misreported")
+	}
+	if !m.ForceDemote() {
+		t.Fatal("ForceDemote failed")
+	}
+	check("demoted", 1, 11, true)
+	check("demoted", 2, 22, true)
+	check("demoted", 5, 0, false)
+	keys, vals = collectSorted(t, m)
+	if len(keys) != 2 || vals[1] != 11 || vals[2] != 22 {
+		t.Fatalf("demoted contents = %v %v", keys, vals)
+	}
+}
+
+// TestSortedMapOrderedRangeWhilePromoted pins the merge iterator: shadowed,
+// tombstoned, fresh and backed keys interleave and the output must be the
+// exact overlay in strictly ascending order, for both Range and RangeFrom.
+func TestSortedMapOrderedRangeWhilePromoted(t *testing.T) {
+	r := core.NewRegistry(8)
+	m := newTestSortedMap(r, Policy{SampleEvery: 1 << 62})
+	h := r.MustRegister()
+	for k := 0; k < 20; k += 2 {
+		m.Put(h, k, k) // backed evens 0..18
+	}
+	m.ForcePromote()
+	m.Put(h, 4, 400)  // shadow a backed key
+	m.Remove(h, 6)    // tombstone a backed key
+	m.Put(h, 7, 70)   // fresh key between backed keys
+	m.Put(h, 21, 210) // fresh key past the backing
+	m.Remove(h, 21)   // ...removed again (never backed: plain remove)
+	m.Put(h, 23, 230) // fresh tail key
+
+	want := map[int]int{0: 0, 2: 2, 4: 400, 7: 70, 8: 8, 10: 10, 12: 12,
+		14: 14, 16: 16, 18: 18, 23: 230}
+	keys, vals := collectSorted(t, m)
+	if len(keys) != len(want) {
+		t.Fatalf("Range emitted %d keys (%v), want %d", len(keys), keys, len(want))
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, vals[k], v)
+		}
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+	}
+
+	// RangeFrom starts inclusive at the first key ≥ from and keeps the
+	// overlay rules (7 is shadow-only, 6 stays suppressed).
+	var got []int
+	m.RangeFrom(5, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	wantFrom := []int{7, 8, 10, 12, 14, 16, 18, 23}
+	if len(got) != len(wantFrom) {
+		t.Fatalf("RangeFrom(5) = %v, want %v", got, wantFrom)
+	}
+	for i := range wantFrom {
+		if got[i] != wantFrom[i] {
+			t.Fatalf("RangeFrom(5) = %v, want %v", got, wantFrom)
+		}
+	}
+
+	// RangeBetween bounds both streams: [4, 17) sees the shadowed 4, the
+	// shadow-only 7, the backed evens, and nothing at or past 17 — with the
+	// tombstoned 6 still suppressed.
+	got = nil
+	m.RangeBetween(4, 17, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	wantBetween := []int{4, 7, 8, 10, 12, 14, 16}
+	if len(got) != len(wantBetween) {
+		t.Fatalf("RangeBetween(4,17) = %v, want %v", got, wantBetween)
+	}
+	for i := range wantBetween {
+		if got[i] != wantBetween[i] {
+			t.Fatalf("RangeBetween(4,17) = %v, want %v", got, wantBetween)
+		}
+	}
+	// A shadow-only tail inside the bound is flushed after the backing walk
+	// exits the interval.
+	got = nil
+	m.RangeBetween(20, 24, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1 || got[0] != 23 {
+		t.Fatalf("RangeBetween(20,24) = %v, want [23]", got)
+	}
+	// Empty and inverted intervals emit nothing.
+	m.RangeBetween(5, 5, func(k, v int) bool {
+		t.Fatalf("RangeBetween(5,5) emitted %d", k)
+		return false
+	})
+	m.RangeBetween(9, 3, func(k, v int) bool {
+		t.Fatalf("RangeBetween(9,3) emitted %d", k)
+		return false
+	})
+
+	// Early stop works in both the backing walk and the shadow flush.
+	n := 0
+	m.Range(func(int, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop Range visited %d", n)
+	}
+	n = 0
+	m.RangeFrom(19, func(k, _ int) bool { n++; return false }) // 23 is shadow-only
+	if n != 1 {
+		t.Fatalf("early-stop RangeFrom visited %d", n)
+	}
+}
+
+// TestSortedMapZeroSizeValues is the tombstone-sentinel regression for the
+// skip-list instantiation (see TestMapZeroSizeValues).
+func TestSortedMapZeroSizeValues(t *testing.T) {
+	r := core.NewRegistry(8)
+	m := NewSortedMap[int, struct{}](r, 512, intHash, Policy{SampleEvery: 1 << 62})
+	h := r.MustRegister()
+	m.Put(h, 1, struct{}{})
+	m.ForcePromote()
+	m.Put(h, 2, struct{}{})
+	if !m.Contains(2) {
+		t.Fatal("promoted zero-size entry reads as absent (tombstone aliasing)")
+	}
+	if !m.Remove(h, 1) || m.Contains(1) {
+		t.Fatal("tombstoned backed key still visible")
+	}
+	m.ForceDemote()
+	if m.Len() != 1 || !m.Contains(2) || m.Contains(1) {
+		t.Fatalf("after demote: Len=%d Contains(2)=%v Contains(1)=%v",
+			m.Len(), m.Contains(2), m.Contains(1))
+	}
+}
+
+func TestSortedMapPromotesOnStallRate(t *testing.T) {
+	r := core.NewRegistry(8)
+	p := aggressive()
+	p.DemoteSamples = 1000
+	m := newTestSortedMap(r, p)
+	h := r.MustRegister()
+	for i := 0; i < 1000; i++ {
+		m.Probe().RecordCASFailure()
+	}
+	for i := 0; i < 256; i++ {
+		m.Put(h, i, i)
+	}
+	if m.State() != StatePromoted {
+		t.Fatalf("state = %v, want promoted after stall burst", m.State())
+	}
+	keys, _ := collectSorted(t, m)
+	if len(keys) != 256 {
+		t.Fatalf("promoted Range saw %d keys, want 256", len(keys))
+	}
+}
+
+func TestSortedMapDemotesWhenContentionSubsides(t *testing.T) {
+	r := core.NewRegistry(8)
+	m := newTestSortedMap(r, aggressive())
+	h := r.MustRegister()
+	if !m.ForcePromote() {
+		t.Fatal("ForcePromote failed")
+	}
+	for i := 0; i < 64*8; i++ {
+		m.Put(h, i%100, i)
+	}
+	if m.State() != StateQuiescent {
+		t.Fatalf("state = %v, want quiescent after single-writer phase", m.State())
+	}
+	if keys, _ := collectSorted(t, m); len(keys) != 100 {
+		t.Fatalf("demoted Range saw %d keys, want 100", len(keys))
+	}
+}
+
+// TestSortedMapMigrationNoLostUpdates hammers the adaptive sorted map across
+// forced promote and demote boundaries under the commuting-writers contract
+// and asserts the exact final contents AND the sorted iteration order — the
+// satellite race test of the issue. Writers bias toward removing keys they
+// know are present, so backed keys get deleted under tombstone shadow while
+// the flapper migrates. A dedicated reader asserts every mid-flight Range is
+// strictly ascending. Run under -race.
+func TestSortedMapMigrationNoLostUpdates(t *testing.T) {
+	const writers = 4
+	const keyRange = 1024
+	opsPerWriter := 60_000
+	if testing.Short() {
+		opsPerWriter = 8_000
+	}
+	r := core.NewRegistry(writers + 4)
+	m := NewSortedMap[int, int](r, 2*keyRange, intHash, Policy{SampleEvery: 1 << 62})
+
+	var (
+		wg     sync.WaitGroup
+		stop   atomic.Bool
+		models [writers]map[int]int
+	)
+	flapped := make(chan struct{})
+	go func() {
+		defer close(flapped)
+		for !stop.Load() {
+			m.ForcePromote()
+			m.ForceDemote()
+		}
+	}()
+	// Ordered reader: a Range observed mid-transition must still be strictly
+	// ascending, whatever mix of shadow and backing it merged.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		rng := rand.New(rand.NewSource(99))
+		for !stop.Load() {
+			last, first := 0, true
+			m.Range(func(k, v int) bool {
+				if !first && k <= last {
+					t.Errorf("mid-flight Range order violated: %d then %d", last, k)
+					return false
+				}
+				first = false
+				last = k
+				return true
+			})
+			from := rng.Intn(keyRange)
+			m.RangeFrom(from, func(k, v int) bool {
+				if k < from {
+					t.Errorf("RangeFrom(%d) emitted %d", from, k)
+					return false
+				}
+				return true
+			})
+			m.Get(rng.Intn(keyRange))
+		}
+	}()
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			defer h.Release()
+			model := make(map[int]int)
+			models[w] = model
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWriter; i++ {
+				// CWMR contract: writer w owns keys with k % writers == w.
+				k := rng.Intn(keyRange/writers)*writers + w
+				if rng.Intn(3) == 0 {
+					wantPresent := func() bool { _, ok := model[k]; return ok }()
+					if got := m.Remove(h, k); got != wantPresent {
+						t.Errorf("Remove(%d) = %v, want %v", k, got, wantPresent)
+						return
+					}
+					delete(model, k)
+				} else {
+					m.Put(h, k, i)
+					model[k] = i
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-flapped
+	<-readerDone
+	if m.Transitions() == 0 {
+		t.Fatal("flapper produced no transitions; test exercised nothing")
+	}
+
+	want := map[int]int{}
+	for _, model := range models {
+		for k, v := range model {
+			want[k] = v
+		}
+	}
+	for k := 0; k < keyRange; k++ {
+		wantV, wantOK := want[k]
+		gotV, gotOK := m.Get(k)
+		if gotOK != wantOK || (gotOK && gotV != wantV) {
+			t.Fatalf("key %d: Get = %d, %v; want %d, %v (after %d transitions, state %v)",
+				k, gotV, gotOK, wantV, wantOK, m.Transitions(), m.State())
+		}
+	}
+	// The settled iteration is the exact model, in sorted order.
+	keys, vals := collectSorted(t, m)
+	wantKeys := make([]int, 0, len(want))
+	for k := range want {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Ints(wantKeys)
+	if len(keys) != len(wantKeys) {
+		t.Fatalf("Range emitted %d keys, want %d", len(keys), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if keys[i] != k || vals[k] != want[k] {
+			t.Fatalf("entry %d: got key %d val %d, want key %d val %d",
+				i, keys[i], vals[keys[i]], k, want[k])
+		}
+	}
+	// One more full cycle on the settled map must change nothing.
+	m.ForcePromote()
+	m.ForceDemote()
+	if got := m.Len(); got != len(want) {
+		t.Fatalf("Len after settle cycle = %d, want %d", got, len(want))
+	}
+}

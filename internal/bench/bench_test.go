@@ -121,7 +121,8 @@ func TestFigurePrinters(t *testing.T) {
 	Figure6(&sb, cfg, threads, true)
 	out := sb.String()
 	for _, want := range []string{"Figure 6", "CounterIncrementOnly", "QueueMASP",
-		"AtomicWriteOnceReference", "ExtendedSegmentedHashMap", "ConcurrentSkipListMap"} {
+		"AtomicWriteOnceReference", "ExtendedSegmentedHashMap", "ConcurrentSkipListMap",
+		"AdaptiveSkipList"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Figure6 output missing %q", want)
 		}

@@ -49,7 +49,8 @@ func Figure7(w io.Writer, base Config, threads []int, ratios []int) map[string]m
 		cfg := base
 		cfg.UpdateRatio = ratio
 		series := map[string][]Result{}
-		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO(), SkipListJUC(), SkipListDEGO()} {
+		for _, wl := range []Workload{HashMapJUC(), HashMapDEGO(), AdaptiveMap(),
+			SkipListJUC(), SkipListDEGO(), AdaptiveSkipList()} {
 			series[wl.Name] = Sweep(wl, cfg, threads)
 		}
 		title := fmt.Sprintf("%d%% updates", ratio)

@@ -232,6 +232,27 @@ func SkipListDEGO() Workload {
 	}}
 }
 
+// AdaptiveSkipList is the contention-adaptive ordered map: the lock-free CAS
+// skip list until the windowed CAS-failure rate crosses the promotion
+// threshold, extended-segmented afterwards. As with AdaptiveMap, population
+// goes through a single priming handle (the cheap lock-free representation
+// accepts any writer) and each key is re-homed by its owning partition's
+// worker on its first post-promotion write.
+func AdaptiveSkipList() Workload {
+	return Workload{Name: "AdaptiveSkipList", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		m := adaptive.NewSortedMap[int, int](reg, cfg.KeyRange*2, intHash,
+			adaptive.DefaultPolicy())
+		boxes := valueBoxes(cfg)
+		prime := reg.MustRegister()
+		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
+		return mapOps(cfg,
+			func(h *core.Handle, k int) { m.PutRef(h, k, boxes[k]) },
+			func(h *core.Handle, k int) { m.Remove(h, k) },
+			func(k int) { m.Get(k) },
+		), m.Probe()
+	}}
+}
+
 // --- References (Figure 6: continuous gets once initialized) ---------------
 
 // ReferenceJUC is the AtomicReference baseline.
@@ -310,7 +331,7 @@ func Figure6Families() map[string][]Workload {
 	return map[string][]Workload{
 		"Counter":     {CounterJUC(), LongAdder(), CounterIncrementOnly(), AdaptiveCounter()},
 		"HashMap":     {HashMapJUC(), HashMapDEGO(), AdaptiveMap()},
-		"SkipListMap": {SkipListJUC(), SkipListDEGO()},
+		"SkipListMap": {SkipListJUC(), SkipListDEGO(), AdaptiveSkipList()},
 		"Reference":   {ReferenceJUC(), ReferenceDEGO()},
 		"Queue":       {QueueJUC(), QueueDEGO()},
 	}

@@ -1,5 +1,7 @@
 package contention
 
+import "math"
+
 // Window is a sliding window of (operations, stalls) samples used to turn
 // the cumulative Probe counters into a *recent* stall rate. The adaptive
 // objects (internal/adaptive) feed it one sample per evaluation period and
@@ -34,15 +36,19 @@ func NewWindow(capacity int) *Window {
 
 // Observe pushes one sample: ops operations were performed since the last
 // sample, of which stalls stalled. The oldest sample falls out once the
-// window is full. Negative deltas (a probe reset mid-window) are clamped to
-// zero so the running sums stay meaningful.
+// window is full.
+//
+// Hostile inputs are tamed at insertion so the running sums stay an exact
+// invariant (sum == Σ retained samples) for any input: negative deltas (a
+// cumulative counter that wrapped after a very long run, or a probe reset
+// mid-window) clamp to zero, and oversized deltas clamp to MaxInt64/capacity
+// — the largest value whose sum across a full window cannot overflow. A
+// clamped sample degrades only its own magnitude; once it slides out, the
+// sums are exact again with no residual drift.
 func (w *Window) Observe(ops, stalls int64) {
-	if ops < 0 {
-		ops = 0
-	}
-	if stalls < 0 {
-		stalls = 0
-	}
+	limit := math.MaxInt64 / int64(len(w.samples))
+	ops = min(max(ops, 0), limit)
+	stalls = min(max(stalls, 0), limit)
 	old := w.samples[w.idx]
 	w.ops += ops - old.ops
 	w.stalls += stalls - old.stalls

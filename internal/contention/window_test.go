@@ -63,6 +63,104 @@ func TestWindowReset(t *testing.T) {
 	}
 }
 
+// TestWindowZeroOpSamples: an idle evaluation period contributes a sample
+// with no operations. It must count toward Len (the window saw it) without
+// disturbing the rate — and a window that has only ever seen idle samples
+// must report rate 0, not NaN or a division artifact.
+func TestWindowZeroOpSamples(t *testing.T) {
+	w := NewWindow(4)
+	w.Observe(0, 0)
+	w.Observe(0, 0)
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (idle samples are samples)", w.Len())
+	}
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("Rate of idle-only window = %v, want 0", r)
+	}
+	// Stalls with zero ops (pure transition spins in an idle period): still
+	// no rate, because the denominator never moved.
+	w.Observe(0, 50)
+	if r := w.Rate(); r != 0 {
+		t.Fatalf("Rate with zero ops = %v, want 0", r)
+	}
+	// The first real sample restores a meaningful ratio over the window.
+	w.Observe(100, 10)
+	if ops, stalls := w.Totals(); ops != 100 || stalls != 60 {
+		t.Fatalf("Totals = %d, %d, want 100, 60", ops, stalls)
+	}
+	if r := w.Rate(); math.Abs(r-0.6) > 1e-9 {
+		t.Fatalf("Rate = %v, want 0.6", r)
+	}
+}
+
+// TestWindowRateExactlyAtThreshold pins the boundary arithmetic the adaptive
+// controller depends on: promotion fires at Rate() >= PromoteStallRate, so a
+// window whose stalls/ops quotient lands exactly on the default 5% threshold
+// must compare equal — not a hair under from a lossy intermediate.
+func TestWindowRateExactlyAtThreshold(t *testing.T) {
+	const threshold = 0.05 // DefaultPolicy().PromoteStallRate
+	w := NewWindow(8)
+	w.Observe(1000, 50)
+	w.Observe(3000, 150)
+	if r := w.Rate(); r != threshold {
+		t.Fatalf("Rate = %v, want exactly %v", r, threshold)
+	}
+	if !(w.Rate() >= threshold) {
+		t.Fatal("rate exactly at threshold must satisfy the >= promotion test")
+	}
+	// One stall less across the same ops falls strictly below.
+	w2 := NewWindow(8)
+	w2.Observe(4000, 199)
+	if !(w2.Rate() < threshold) {
+		t.Fatalf("Rate = %v, want < %v", w2.Rate(), threshold)
+	}
+}
+
+// TestWindowCounterWraparound: after a long enough run a cumulative int64
+// counter can wrap, which reaches the window as a negative or absurdly large
+// delta. Negative deltas clamp to zero; huge deltas clamp to the per-sample
+// limit (MaxInt64/capacity), so the running sums can never overflow into
+// negative territory (where Rate would silently report 0 and promotion could
+// never fire again).
+func TestWindowCounterWraparound(t *testing.T) {
+	w := NewWindow(4)
+	w.Observe(math.MaxInt64, 10) // wrapped ops counter produced a giant delta
+	w.Observe(math.MaxInt64, 10) // the raw sum would overflow int64
+	ops, _ := w.Totals()
+	if ops != 2*(math.MaxInt64/4) {
+		t.Fatalf("ops sum = %d, want two samples clamped at MaxInt64/4", ops)
+	}
+	if r := w.Rate(); r < 0 || math.IsNaN(r) {
+		t.Fatalf("Rate after clamping = %v, want finite and non-negative", r)
+	}
+	// Even a full window of maximal samples stays positive.
+	w.Observe(math.MaxInt64, 10)
+	w.Observe(math.MaxInt64, 10)
+	if ops, _ := w.Totals(); ops != 4*(math.MaxInt64/4) {
+		t.Fatalf("full-window ops sum = %d, want 4x the clamp", ops)
+	}
+	// The wrap itself: counter jumps backwards -> negative delta -> clamped,
+	// window still usable afterwards.
+	w2 := NewWindow(2)
+	w2.Observe(-math.MaxInt64, -5)
+	if w2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w2.Len())
+	}
+	w2.Observe(200, 100)
+	if r := w2.Rate(); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("Rate after wrap recovery = %v, want 0.5", r)
+	}
+	// Clamped samples eventually slide out and the sums recover exactly,
+	// with no residual drift.
+	w3 := NewWindow(2)
+	w3.Observe(math.MaxInt64, math.MaxInt64)
+	w3.Observe(100, 10)
+	w3.Observe(100, 10) // the clamped sample falls out of the 2-slot window
+	if ops, stalls := w3.Totals(); ops != 200 || stalls != 20 {
+		t.Fatalf("Totals after slide-out = %d, %d, want 200, 20", ops, stalls)
+	}
+}
+
 func TestWindowMinimumCapacity(t *testing.T) {
 	w := NewWindow(0)
 	w.Observe(10, 1)

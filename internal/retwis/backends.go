@@ -1,6 +1,9 @@
 package retwis
 
 import (
+	"sort"
+
+	"github.com/adjusted-objects/dego/internal/adaptive"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
 	"github.com/adjusted-objects/dego/internal/hashmap"
@@ -243,6 +246,203 @@ func (b *degoBackend) Followers(u UserID) int {
 }
 
 func (b *degoBackend) Users() int { return b.profiles.Len() }
+
+// ---------------------------------------------------------------------------
+// ADAPTIVE backend
+
+// adaptivePostLog bounds how many posts an author retains in the shared post
+// log: on each post the author prunes its own oldest entries past this cap
+// (pruning by the author keeps the commuting-writers contract — only the
+// thread that inserted a key ever removes it).
+const adaptivePostLog = 64
+
+// postSeqBits is the width of the per-author sequence field inside a post
+// key; the author id occupies the bits above it. A retwis run is bounded
+// (seconds, or OpsPerThread), so both fields are far from overflow at any
+// paper-scale configuration (≤ 2^36 users, ≤ 2^28 posts per author).
+const postSeqBits = 28
+
+// postKey orders the shared post log by (author, seq): all of an author's
+// posts are contiguous, ascending in sequence number.
+func postKey(author UserID, seq int64) uint64 {
+	return uint64(author)<<postSeqBits | uint64(seq)&(1<<postSeqBits-1)
+}
+
+// tlCursor is a user's timeline read position: the last-seen sequence number
+// per followee. It is an immutable snapshot, replaced wholesale by the
+// user's owner thread on each timeline read (the same RCU-style profile
+// idiom both other backends use).
+type tlCursor struct {
+	seen map[UserID]int64
+}
+
+// adaptiveBackend runs every shared structure on the contention-adaptive
+// objects: the per-user maps (followers, following, profiles, community,
+// cursors) are adaptive.Map — lock-striped until contention promotes them to
+// the extended segmentation — and the timelines are one shared
+// adaptive.SortedMap used as a pull-model post log.
+//
+// The timeline design differs from JUC/DEGO by necessity: push-model fan-out
+// (author writes into each follower's queue) is MWSR, which the sorted map's
+// commuting-writers contract cannot express. Instead the backend fans out on
+// read: Post appends to the author's own contiguous key range of the log
+// (keys are (author, seq), so distinct threads write distinct keys in every
+// state), and Timeline merges the caller's followees' recent ranges with
+// RangeFrom, remembering per-followee cursors so a message is delivered
+// once. Reads may therefore see posts made before the follow edge existed,
+// and — like Post's FanoutLimit in the push backends — a reader scans at
+// most FanoutLimit followees per refresh.
+type adaptiveBackend struct {
+	followers *adaptive.Map[UserID, *set.Locked[UserID]]
+	following *adaptive.Map[UserID, *set.Locked[UserID]]
+	posts     *adaptive.SortedMap[uint64, Tweet]
+	cursors   *adaptive.Map[UserID, *tlCursor]
+	profiles  *adaptive.Map[UserID, *profile]
+	community *adaptive.Map[UserID, struct{}]
+	probe     *contention.Probe
+}
+
+// NewAdaptive builds the contention-adaptive backend over a registry; probe
+// may be nil (each adaptive object carries its own probe regardless).
+func NewAdaptive(r *core.Registry, expectedUsers int, probe *contention.Probe) Backend {
+	dir := expectedUsers * 2
+	pol := adaptive.DefaultPolicy()
+	newUserMap := func() *adaptive.Map[UserID, *set.Locked[UserID]] {
+		return adaptive.NewMap[UserID, *set.Locked[UserID]](r, 256, expectedUsers, dir, userHash, pol)
+	}
+	return &adaptiveBackend{
+		followers: newUserMap(),
+		following: newUserMap(),
+		posts:     adaptive.NewSortedMap[uint64, Tweet](r, dir*adaptivePostLog/8, stats.Hash64, pol),
+		cursors:   adaptive.NewMap[UserID, *tlCursor](r, 256, expectedUsers, dir, userHash, pol),
+		profiles:  adaptive.NewMap[UserID, *profile](r, 256, expectedUsers, dir, userHash, pol),
+		community: adaptive.NewMap[UserID, struct{}](r, 256, expectedUsers/8+16, dir, userHash, pol),
+		probe:     probe,
+	}
+}
+
+func (b *adaptiveBackend) Name() string { return "ADAPTIVE" }
+
+func (b *adaptiveBackend) AddUser(h *core.Handle, u UserID) {
+	b.followers.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.following.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.profiles.Put(h, u, &profile{})
+}
+
+func (b *adaptiveBackend) Follow(_ *core.Handle, follower, followee UserID) {
+	// Map reads only; the inner sets are deliberately NOT adjusted, as in
+	// the DEGO backend (§6.3).
+	if s, ok := b.following.Get(follower); ok {
+		s.Add(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Add(follower)
+	}
+}
+
+func (b *adaptiveBackend) Unfollow(_ *core.Handle, follower, followee UserID) {
+	if s, ok := b.following.Get(follower); ok {
+		s.Remove(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Remove(follower)
+	}
+}
+
+// Post appends the tweet to the author's range of the shared post log, then
+// periodically prunes the author's oldest entries past adaptivePostLog (the
+// walk is amortized over eight posts, so the log holds at most a few entries
+// more than the cap between prunes). Both the insert and the prune touch
+// only keys of the acting author, so the log's CWMR contract holds no matter
+// how authors interleave.
+func (b *adaptiveBackend) Post(h *core.Handle, author UserID, t Tweet) {
+	b.posts.Put(h, postKey(author, t.Seq), t)
+	if t.Seq&7 != 0 {
+		return
+	}
+	var keys []uint64
+	b.posts.RangeBetween(postKey(author, 0), postKey(author+1, 0), func(k uint64, _ Tweet) bool {
+		keys = append(keys, k)
+		return true
+	})
+	for len(keys) > adaptivePostLog {
+		b.posts.Remove(h, keys[0])
+		keys = keys[1:]
+	}
+}
+
+// Timeline merges the new posts of the user's followees (at most FanoutLimit
+// of them, mirroring the push backends' delivery cap) and returns the last
+// len(out) by sequence number. The per-followee cursor snapshot is replaced
+// wholesale by the user's owner thread, so repeat reads return only unseen
+// messages.
+func (b *adaptiveBackend) Timeline(h *core.Handle, u UserID, out []Tweet) int {
+	fset, ok := b.following.Get(u)
+	if !ok {
+		return 0
+	}
+	var old map[UserID]int64
+	if cur, ok := b.cursors.Get(u); ok {
+		old = cur.seen
+	}
+	var fresh []Tweet
+	seen := make(map[UserID]int64, len(old))
+	for f, s := range old {
+		seen[f] = s
+	}
+	scanned := 0
+	fset.Range(func(f UserID) bool {
+		from := postKey(f, 0)
+		if last, ok := seen[f]; ok {
+			from = postKey(f, last+1)
+		}
+		b.posts.RangeBetween(from, postKey(f+1, 0), func(k uint64, t Tweet) bool {
+			fresh = append(fresh, t)
+			seen[f] = t.Seq
+			return true
+		})
+		scanned++
+		return scanned < FanoutLimit
+	})
+	if len(fresh) == 0 {
+		return 0
+	}
+	b.cursors.Put(h, u, &tlCursor{seen: seen})
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].Seq != fresh[j].Seq {
+			return fresh[i].Seq < fresh[j].Seq
+		}
+		return fresh[i].Author < fresh[j].Author
+	})
+	if len(fresh) > len(out) {
+		fresh = fresh[len(fresh)-len(out):]
+	}
+	copy(out, fresh)
+	return len(fresh)
+}
+
+func (b *adaptiveBackend) JoinGroup(h *core.Handle, u UserID) {
+	b.community.Put(h, u, struct{}{})
+}
+
+func (b *adaptiveBackend) LeaveGroup(h *core.Handle, u UserID) {
+	b.community.Remove(h, u)
+}
+
+func (b *adaptiveBackend) UpdateProfile(h *core.Handle, u UserID, version int64) {
+	b.profiles.Put(h, u, &profile{Version: version})
+}
+
+func (b *adaptiveBackend) InGroup(u UserID) bool { return b.community.Contains(u) }
+
+func (b *adaptiveBackend) Followers(u UserID) int {
+	if s, ok := b.followers.Get(u); ok {
+		return s.Len()
+	}
+	return 0
+}
+
+func (b *adaptiveBackend) Users() int { return b.profiles.Len() }
 
 // ---------------------------------------------------------------------------
 // DAP backend

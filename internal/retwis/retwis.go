@@ -14,6 +14,11 @@
 //     amplification than it saves in contention.
 //   - DAP: disjoint-access parallel — each thread works on private
 //     unsynchronized structures; the upper bound on parallel performance.
+//   - ADAPTIVE: every shared structure is a contention-adaptive object — the
+//     per-user maps are adaptive hash maps and the timelines are one shared
+//     adaptive sorted map used as a pull-model post log (see backends.go).
+//     This is the end-to-end exercise of the internal/adaptive engine on a
+//     realistic mixed workload, not a paper figure.
 //
 // Each thread owns a partition of the users (consistent hashing degenerated
 // to the modulo ring, as ids are dense); an operation always executes on the

@@ -34,7 +34,7 @@ func TestMixTable2(t *testing.T) {
 
 func eachBackend(t *testing.T, users, threads int, f func(t *testing.T, b Backend, h []*core.Handle)) {
 	t.Helper()
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			reg := core.NewRegistry(2*threads + 8)
@@ -152,7 +152,7 @@ func TestGraphSeedIsPowerLaw(t *testing.T) {
 }
 
 func TestRunAllBackends(t *testing.T) {
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			t.Parallel()
@@ -198,7 +198,7 @@ func TestFigure9And10Printers(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"Figure 9", "0K users", "DEGO/JUC", "DAP/JUC"} {
+	for _, want := range []string{"Figure 9", "0K users", "DEGO/JUC", "ADPT/JUC", "DAP/JUC"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Figure9 output missing %q:\n%s", want, out)
 		}
@@ -209,7 +209,7 @@ func TestFigure9And10Printers(t *testing.T) {
 		t.Fatal(err)
 	}
 	out = sb.String()
-	for _, want := range []string{"Figure 10", "alpha", "DEGO Mops/s"} {
+	for _, want := range []string{"Figure 10", "alpha", "DEGO Mops/s", "ADPT Mops/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Figure10 output missing %q:\n%s", want, out)
 		}
@@ -221,7 +221,7 @@ func TestFigure9And10Printers(t *testing.T) {
 // the follow/unfollow converse-application rule (§6.3) kept the seeded
 // social graph intact for a probe user.
 func TestRunPreservesInvariants(t *testing.T) {
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			reg := core.NewRegistry(24)

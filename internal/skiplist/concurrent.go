@@ -231,6 +231,38 @@ func (c *Concurrent[K, V]) Range(f func(key K, val V) bool) {
 	}
 }
 
+// RangeFrom is Range starting at the first key ≥ from. Like Get, the descent
+// only skips marked nodes (never snips), so it is safe on a frozen list.
+func (c *Concurrent[K, V]) RangeFrom(from K, f func(key K, val V) bool) {
+	pred := c.head
+	var curr *cnode[K, V]
+	for level := maxLevel - 1; level >= 0; level-- {
+		curr = pred.next[level].Load().n
+		for curr != nil {
+			box := curr.next[level].Load()
+			if box.marked {
+				curr = box.n
+				continue
+			}
+			if curr.key < from {
+				pred = curr
+				curr = box.n
+				continue
+			}
+			break
+		}
+	}
+	for n := curr; n != nil; {
+		box := n.next[0].Load()
+		if !box.marked {
+			if !f(n.key, *n.val.Load()) {
+				return
+			}
+		}
+		n = box.n
+	}
+}
+
 func (c *Concurrent[K, V]) randomHeight() int {
 	// Thread-safe xorshift via CAS-free mixing: each call perturbs a shared
 	// seed with Add (losing some randomness under races is harmless here).

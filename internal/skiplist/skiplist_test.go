@@ -337,6 +337,150 @@ func TestSegmentedSkipListCommutingWriters(t *testing.T) {
 	}
 }
 
+// rangerFrom abstracts the three lists' ordered from-iteration for the
+// shared suffix test (the sorted-map overlay depends on it on every rep).
+func TestListRangeFrom(t *testing.T) {
+	type fromAPI struct {
+		name string
+		put  func(k, v int)
+		from func(from int, f func(k, v int) bool)
+	}
+	r := core.NewRegistry(8)
+	h := r.MustRegister()
+	swmr := NewSWMR[int, int](false)
+	conc := NewConcurrent[int, int](nil)
+	seg := NewSegmented[int, int](r, 128, intHash, false)
+	for _, api := range []fromAPI{
+		{"SWMR", func(k, v int) { swmr.Put(h, k, v) },
+			func(from int, f func(k, v int) bool) {
+				swmr.RangeRefFrom(from, func(k int, v *int) bool { return f(k, *v) })
+			}},
+		{"Concurrent", conc.Put, conc.RangeFrom},
+		{"Segmented", func(k, v int) { seg.Put(h, k, v) }, seg.RangeFrom},
+	} {
+		api := api
+		t.Run(api.name, func(t *testing.T) {
+			perm := rand.New(rand.NewSource(7)).Perm(200)
+			for _, k := range perm {
+				api.put(k*2, k) // even keys 0..398
+			}
+			// From an absent key: the suffix must start at the next present
+			// key and come back sorted and complete.
+			var keys []int
+			api.from(101, func(k, v int) bool {
+				if v != k/2 {
+					t.Fatalf("value mismatch at %d", k)
+				}
+				keys = append(keys, k)
+				return true
+			})
+			if len(keys) != 149 || keys[0] != 102 || keys[len(keys)-1] != 398 {
+				t.Fatalf("suffix = %d keys [%d..%d], want 149 [102..398]",
+					len(keys), keys[0], keys[len(keys)-1])
+			}
+			if !sort.IntsAreSorted(keys) {
+				t.Fatal("suffix not sorted")
+			}
+			// From a present key: inclusive.
+			n := 0
+			api.from(102, func(k, v int) bool {
+				if n == 0 && k != 102 {
+					t.Fatalf("inclusive start = %d, want 102", k)
+				}
+				n++
+				return false // early stop
+			})
+			if n != 1 {
+				t.Fatalf("early stop visited %d", n)
+			}
+			// Past the end: empty.
+			api.from(1000, func(k, v int) bool {
+				t.Fatalf("unexpected key %d past the end", k)
+				return false
+			})
+		})
+	}
+}
+
+func TestSegmentedRangeRefBetween(t *testing.T) {
+	const writers, perW = 4, 100
+	r := core.NewRegistry(writers)
+	m := NewSegmented[int, int](r, 1<<10, intHash, false)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			for i := 0; i < perW; i++ {
+				k := i*writers + w // interleaved ownership across segments
+				m.Put(h, k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// [37, 301): inclusive lower bound, exclusive upper, sorted, complete.
+	var keys []int
+	m.RangeRefBetween(37, 301, func(k int, v *int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 301-37 || keys[0] != 37 || keys[len(keys)-1] != 300 {
+		t.Fatalf("got %d keys [%d..%d], want 264 [37..300]",
+			len(keys), keys[0], keys[len(keys)-1])
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("bounded iteration not sorted")
+	}
+	// Degenerate intervals.
+	m.RangeRefBetween(10, 10, func(k int, v *int) bool {
+		t.Fatalf("empty interval emitted %d", k)
+		return false
+	})
+	m.RangeRefBetween(20, 5, func(k int, v *int) bool {
+		t.Fatalf("inverted interval emitted %d", k)
+		return false
+	})
+}
+
+func TestGetRefBoxIdentity(t *testing.T) {
+	r := core.NewRegistry(4)
+	h := r.MustRegister()
+	box := new(int)
+	*box = 42
+
+	swmr := NewSWMR[int, int](false)
+	swmr.PutRef(h, 1, box)
+	if got, ok := swmr.GetRef(1); !ok || got != box {
+		t.Fatal("SWMR.GetRef did not return the stored box")
+	}
+	found := false
+	swmr.RangeRef(func(k int, v *int) bool {
+		found = found || (k == 1 && v == box)
+		return true
+	})
+	if !found {
+		t.Fatal("SWMR.RangeRef did not yield the stored box")
+	}
+
+	seg := NewSegmented[int, int](r, 64, intHash, false)
+	seg.PutRef(h, 1, box)
+	if got, ok := seg.GetRef(1); !ok || got != box {
+		t.Fatal("Segmented.GetRef did not return the stored box")
+	}
+	if _, ok := seg.GetRef(2); ok {
+		t.Fatal("Segmented.GetRef found an absent key")
+	}
+	found = false
+	seg.RangeRef(func(k int, v *int) bool {
+		found = found || (k == 1 && v == box)
+		return true
+	})
+	if !found {
+		t.Fatal("Segmented.RangeRef did not yield the stored box")
+	}
+}
+
 func TestSWMRMin(t *testing.T) {
 	r := core.NewRegistry(2)
 	h := r.MustRegister()

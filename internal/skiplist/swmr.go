@@ -53,12 +53,21 @@ func NewSWMR[K cmp.Ordered, V any](checked bool) *SWMR[K, V] {
 
 // Get returns the value for key. Any thread may call it.
 func (s *SWMR[K, V]) Get(key K) (V, bool) {
-	n := s.findGE(key)
-	if n != nil && n.key == key {
-		return *n.val.Load(), true
+	if p, ok := s.GetRef(key); ok {
+		return *p, true
 	}
 	var zero V
 	return zero, false
+}
+
+// GetRef returns the stored value box for key. The box is immutable: an
+// update replaces the box, never its contents. Any thread may call it.
+func (s *SWMR[K, V]) GetRef(key K) (*V, bool) {
+	n := s.findGE(key)
+	if n != nil && n.key == key {
+		return n.val.Load(), true
+	}
+	return nil, false
 }
 
 // Contains reports whether key is present.
@@ -165,8 +174,26 @@ func (s *SWMR[K, V]) Len() int { return int(s.size.Load()) }
 // Range calls f in ascending key order until it returns false; weakly
 // consistent under concurrent writes.
 func (s *SWMR[K, V]) Range(f func(key K, val V) bool) {
+	s.RangeRef(func(k K, v *V) bool { return f(k, *v) })
+}
+
+// RangeRef calls f with the stored value box of every entry in ascending key
+// order until it returns false. It is the snapshot hook for migration
+// (internal/adaptive): overlay wrappers use sentinel boxes as tombstones, and
+// only the box identity — not the value — can distinguish them. Weakly
+// consistent, like Range.
+func (s *SWMR[K, V]) RangeRef(f func(key K, val *V) bool) {
 	for n := s.head.next[0].Load(); n != nil; n = n.next[0].Load() {
-		if !f(n.key, *n.val.Load()) {
+		if !f(n.key, n.val.Load()) {
+			return
+		}
+	}
+}
+
+// RangeRefFrom is RangeRef starting at the first key ≥ from.
+func (s *SWMR[K, V]) RangeRefFrom(from K, f func(key K, val *V) bool) {
+	for n := s.findGE(from); n != nil; n = n.next[0].Load() {
+		if !f(n.key, n.val.Load()) {
 			return
 		}
 	}
