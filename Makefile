@@ -18,7 +18,7 @@ BENCH_SMOKE_JSON  = bench-smoke.json
 
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke cover fmt fmt-check vet
+.PHONY: build test race bench-smoke cover fmt fmt-check vet docs-check
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ bench-smoke:
 cover:
 	$(GO) test -covermode=atomic -coverprofile=$(COVER_PROFILE) ./...
 	$(GO) tool cover -func=$(COVER_PROFILE) | tail -n 1
+
+# Documentation drift fails the build: every relative Markdown link must
+# resolve (cmd/docscheck) and every runnable Example must compile and print
+# its documented output. gofmt on the example files is covered by fmt-check,
+# which CI runs in the same job.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) test -run Example ./...
 
 fmt:
 	gofmt -l -w .

@@ -7,7 +7,12 @@
 //	dego-bench -fig 6 [-threads 1,5,10,20,40,80] [-duration 1s] [-pearson]
 //	dego-bench -fig 7 [-ratios 25,50,75,100]
 //	dego-bench -fig 8
+//	dego-bench -fig hotrange
 //	dego-bench -fig all
+//
+// hotrange is the per-range directory evaluation: the skewed workload
+// (hot-range updates, cold-range reads) under wholesale vs per-range
+// promotion, swept over working-set scale.
 package main
 
 import (
@@ -31,7 +36,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dego-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, all or none (with -ablation)")
+	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, hotrange, all or none (with -ablation)")
 	threadsFlag := fs.String("threads", "1,5,10,20,40,80", "comma-separated thread counts")
 	ratiosFlag := fs.String("ratios", "25,50,75,100", "update ratios for figure 7")
 	duration := fs.Duration("duration", 500*time.Millisecond, "measured duration per point")
@@ -69,12 +74,15 @@ func run(args []string) error {
 		figures["figure7"] = bench.Figure7(os.Stdout, cfg, threads, ratios)
 	case "8":
 		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
+	case "hotrange":
+		figures["hotrange"] = bench.FigureHotRange(os.Stdout, cfg, threads)
 	case "all":
 		figures["figure6"] = bench.Figure6(os.Stdout, cfg, threads, *pearson)
 		figures["figure7"] = bench.Figure7(os.Stdout, cfg, threads, ratios)
 		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
+		figures["hotrange"] = bench.FigureHotRange(os.Stdout, cfg, threads)
 	default:
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8 or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, hotrange or all)", *fig)
 	}
 	if *ablation {
 		bench.Ablations(os.Stdout, cfg, threads)

@@ -1,0 +1,100 @@
+// Command docscheck guards the repository's documentation against drift: it
+// walks every Markdown file and verifies that each relative link resolves to
+// a file or directory that actually exists. External links (http, https,
+// mailto) and pure in-page anchors are skipped — the goal is catching moved
+// or renamed files (ARCHITECTURE.md pointing at a deleted README), not
+// auditing the internet. CI runs it via `make docs-check`, alongside the
+// runnable Example functions, so stale documentation fails the build.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links: [text](target). Reference-style
+// definitions are rare in this repo and intentionally out of scope.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// codeRE matches the spans linkRE must not see: fenced code blocks and
+// inline code, where "](...)" is code (an index-then-call, a regex), not a
+// link.
+var codeRE = regexp.MustCompile("(?s)```.*?```|`[^`\n]*`")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, "docscheck: broken link:", b)
+	}
+	if len(broken) > 0 {
+		os.Exit(1)
+	}
+}
+
+// check walks root for *.md files and returns one "file: target" entry per
+// unresolvable relative link.
+func check(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, target := range extractLinks(string(data)) {
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				broken = append(broken, fmt.Sprintf("%s: %s", path, target))
+			}
+		}
+		return nil
+	})
+	return broken, err
+}
+
+// extractLinks returns the checkable relative targets of doc's inline links:
+// code spans are stripped first (their "](...)" is not Markdown), external
+// schemes and pure anchors are dropped, and any #anchor or ?query suffix is
+// stripped from file targets.
+func extractLinks(doc string) []string {
+	doc = codeRE.ReplaceAllString(doc, "")
+	var out []string
+	for _, m := range linkRE.FindAllStringSubmatch(doc, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+			strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexAny(target, "#?"); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		out = append(out, target)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestExtractLinks(t *testing.T) {
+	doc := "See [the map](ARCHITECTURE.md) and [contract](internal/adaptive/README.md#the-rep-contract).\n" +
+		"External [paper](https://example.org/x.pdf), [mail](mailto:a@b.c), [anchor](#policy).\n" +
+		"Empty anchor-only file part [x](#).\n" +
+		"Code is not a link: `m.ranges[i](k)` and\n" +
+		"```go\nv := a[0](x) // not [a](link) either\n```\n"
+	got := extractLinks(doc)
+	want := []string{"ARCHITECTURE.md", "internal/adaptive/README.md"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extractLinks = %v, want %v", got, want)
+	}
+}
+
+func TestCheckFindsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "docs")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "REAL.md"), []byte("# real"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := "[ok](../REAL.md) [missing](../GONE.md) [web](https://example.org)"
+	if err := os.WriteFile(filepath.Join(sub, "INDEX.md"), []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 1 {
+		t.Fatalf("broken = %v, want exactly the GONE.md link", broken)
+	}
+}
+
+// TestRepoDocsResolve runs the real check over the repository root, so `go
+// test` catches broken doc links even without the make target.
+func TestRepoDocsResolve(t *testing.T) {
+	broken, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range broken {
+		t.Errorf("broken link: %s", b)
+	}
+}

@@ -35,11 +35,16 @@
 //   - SegmentedMap / SegmentedSkipList / SegmentedSet — commuting-writers
 //     collections over extended segmentations (CWMR).
 //   - StripedMap / StripedSet — lock-striped baselines.
-//   - AdaptiveCounter / AdaptiveMap / AdaptiveSkipList — contention-adaptive
-//     wrappers: the unadjusted representation until the windowed stall rate
-//     says otherwise, the adjusted one while contention lasts, switching
-//     back when it subsides (readers never block on a switch). All three
-//     share one generic adjustment engine (internal/adaptive).
+//   - AdaptiveCounter / AdaptiveMap / AdaptiveSkipList / AdaptiveSet —
+//     contention-adaptive wrappers: the unadjusted representation until the
+//     windowed stall rate says otherwise, the adjusted one while contention
+//     lasts, switching back when it subsides (readers never block on a
+//     switch). All share one generic adjustment engine (internal/adaptive)
+//     whose payload is a directory of per-range representations, so only the
+//     key ranges that actually contend pay for the adjustment
+//     (AdaptivePolicy.Ranges for the hash-keyed objects,
+//     NewAdaptiveSkipListFenced for the ordered one). See ARCHITECTURE.md
+//     for the full layer stack.
 //
 // The theory toolkit (sequential specifications, indistinguishability
 // graphs, consensus-number analysis) lives in internal packages and is
@@ -142,7 +147,12 @@ const (
 )
 
 // AdaptivePolicy tunes when adaptive objects switch representation; the zero
-// value of any field selects its default.
+// value of any field selects its default. Ranges sets the granularity of the
+// per-range directory for the hash-keyed objects (AdaptiveMap, AdaptiveSet):
+// with Ranges > 1 the key space splits into that many hash-prefix buckets,
+// each promoting and demoting independently, so a hot range pays the
+// adjusted representation while cold ranges keep single-lookup cheap-rep
+// reads. The default (1) adjusts wholesale.
 type AdaptivePolicy = adaptive.Policy
 
 // DefaultAdaptivePolicy returns the tuning used by the adaptive
@@ -169,9 +179,11 @@ func NewAdaptiveCounterOn(r *Registry, p AdaptivePolicy) *AdaptiveCounter {
 
 // AdaptiveMap is the contention-adaptive hash map: lock-striped until its
 // windowed lock-wait rate crosses the policy threshold, extended-segmented
-// (the M2 adjustment) while contention lasts. It requires the
-// commuting-writers contract in every state: distinct threads write
-// distinct keys.
+// (the M2 adjustment) while contention lasts. With AdaptivePolicy.Ranges > 1
+// the adjustment is per-range: only the hash-prefix buckets whose keys
+// contend promote, and reads of keys in quiescent ranges never pay the
+// promoted overlay lookup. It requires the commuting-writers contract in
+// every state: distinct threads write distinct keys.
 type AdaptiveMap[K comparable, V any] = adaptive.Map[K, V]
 
 // NewAdaptiveMap creates an adaptive map on the default registry with the
@@ -194,8 +206,11 @@ func NewAdaptiveMapOn[K comparable, V any](r *Registry, stripes, capacity, dirBu
 // extended-segmented (the M2 adjustment) while contention lasts. Range and
 // RangeFrom stay strictly key-ordered in every state — while promoted they
 // merge the segmented shadow with the frozen backing, suppressing
-// tombstones. Like AdaptiveMap it requires the commuting-writers contract in
-// every state: distinct threads write distinct keys.
+// tombstones. NewAdaptiveSkipListFenced splits the key space at ordered
+// fences into independently adjusting ranges whose concatenation keeps the
+// global iteration sorted. Like AdaptiveMap it requires the
+// commuting-writers contract in every state: distinct threads write
+// distinct keys.
 type AdaptiveSkipList[K cmp.Ordered, V any] = adaptive.SortedMap[K, V]
 
 // NewAdaptiveSkipList creates an adaptive skip list on the default registry
@@ -211,6 +226,50 @@ func NewAdaptiveSkipList[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint
 func NewAdaptiveSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
 	hash func(K) uint64, p AdaptivePolicy) *AdaptiveSkipList[K, V] {
 	return adaptive.NewSortedMap[K, V](r, dirBuckets, hash, p)
+}
+
+// NewAdaptiveSkipListFenced creates an adaptive skip list whose range
+// directory is fenced at the given keys: len(fences)+1 contiguous key
+// intervals, each promoting and demoting independently while ordered
+// iteration stays strictly sorted across the fences. fences must be strictly
+// increasing (it panics otherwise); empty fences yield the single-range
+// list. The ordered object uses explicit fences instead of
+// AdaptivePolicy.Ranges because hash-prefix buckets would scatter adjacent
+// keys across ranges and break ordered iteration.
+func NewAdaptiveSkipListFenced[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64,
+	fences []K) *AdaptiveSkipList[K, V] {
+	return adaptive.NewSortedMapFenced[K, V](core.Default, dirBuckets, hash, fences,
+		adaptive.DefaultPolicy())
+}
+
+// NewAdaptiveSkipListFencedOn creates a fenced adaptive skip list on a
+// specific registry with a specific policy.
+func NewAdaptiveSkipListFencedOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
+	hash func(K) uint64, fences []K, p AdaptivePolicy) *AdaptiveSkipList[K, V] {
+	return adaptive.NewSortedMapFenced[K, V](r, dirBuckets, hash, fences, p)
+}
+
+// AdaptiveSet is the contention-adaptive membership set: lock-striped until
+// its windowed lock-wait rate crosses the policy threshold, extended-
+// segmented (S3-style blind writes over CWMR) while contention lasts. With
+// AdaptivePolicy.Ranges > 1 the adjustment is per-range, as for AdaptiveMap.
+// It requires the commuting-writers contract in every state: distinct
+// threads write distinct elements.
+type AdaptiveSet[K comparable] = adaptive.Set[K]
+
+// NewAdaptiveSet creates an adaptive set on the default registry with the
+// default policy.
+func NewAdaptiveSet[K comparable](capacity int, hash func(K) uint64) *AdaptiveSet[K] {
+	return adaptive.NewSet[K](core.Default, 256, capacity, capacity*2, hash,
+		adaptive.DefaultPolicy())
+}
+
+// NewAdaptiveSetOn creates an adaptive set on a specific registry: stripes
+// sizes the cheap representation's lock array, capacity the tables,
+// dirBuckets the segmented directory.
+func NewAdaptiveSetOn[K comparable](r *Registry, stripes, capacity, dirBuckets int,
+	hash func(K) uint64, p AdaptivePolicy) *AdaptiveSet[K] {
+	return adaptive.NewSet[K](r, stripes, capacity, dirBuckets, hash, p)
 }
 
 // ---------------------------------------------------------------------------

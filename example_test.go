@@ -1,0 +1,84 @@
+package dego_test
+
+import (
+	"fmt"
+
+	"github.com/adjusted-objects/dego"
+)
+
+// ExampleNewAdaptiveMap walks the adaptive hash map through a forced
+// promote/demote cycle: contents survive every representation switch, and
+// while promoted the map overlays its segmented shadow on the frozen striped
+// backing (updates shadow backed keys, removals tombstone them).
+func ExampleNewAdaptiveMap() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	m := dego.NewAdaptiveMap[string, int](1024, dego.HashString)
+	m.Put(h, "alpha", 1)
+	m.Put(h, "beta", 2)
+	fmt.Println("state:", m.State(), "len:", m.Len())
+
+	m.ForcePromote()      // striped map freezes as backing, segmented map on top
+	m.Put(h, "alpha", 10) // shadows the backed copy
+	m.Remove(h, "beta")   // tombstones the backed copy
+	m.Put(h, "gamma", 3)  // lives only in the segmented shadow
+	a, _ := m.Get("alpha")
+	_, betaOK := m.Get("beta")
+	fmt.Println("state:", m.State(), "alpha:", a, "beta present:", betaOK)
+
+	m.ForceDemote() // shadow + tombstones drain into a fresh striped map
+	g, _ := m.Get("gamma")
+	fmt.Println("state:", m.State(), "gamma:", g, "len:", m.Len())
+	// Output:
+	// state: quiescent len: 2
+	// state: promoted alpha: 10 beta present: false
+	// state: quiescent gamma: 3 len: 2
+}
+
+// ExampleNewAdaptiveSkipList shows the ordered contract holding across a
+// promotion: Range stays strictly key-ordered even while the iteration
+// merges the live segmented shadow with the frozen lock-free backing.
+func ExampleNewAdaptiveSkipList() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	sl := dego.NewAdaptiveSkipList[int, string](1024, dego.HashInt)
+	for _, k := range []int{30, 10, 50} {
+		sl.Put(h, k, fmt.Sprintf("v%d", k))
+	}
+	sl.ForcePromote()
+	sl.Put(h, 20, "v20") // fresh key interleaves with the backed ones
+	sl.Remove(h, 30)     // tombstone suppressed from the merged stream
+
+	sl.Range(func(k int, v string) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 10 v10
+	// 20 v20
+	// 50 v50
+}
+
+// ExampleNewAdaptiveSet exercises the adaptive membership set across a
+// promote/demote cycle; zero-size values ride on the engine's tombstone
+// sentinel, so removals of backed elements stay removals.
+func ExampleNewAdaptiveSet() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	s := dego.NewAdaptiveSet[string](1024, dego.HashString)
+	s.Add(h, "reader")
+	s.Add(h, "writer")
+	s.ForcePromote()
+	s.Remove(h, "reader") // tombstones the backed element
+	s.Add(h, "admin")
+	fmt.Println("reader:", s.Contains("reader"), "admin:", s.Contains("admin"))
+
+	s.ForceDemote()
+	fmt.Println("len:", s.Len(), "ranges:", s.Ranges())
+	// Output:
+	// reader: false admin: true
+	// len: 2 ranges: 1
+}

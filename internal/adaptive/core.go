@@ -118,6 +118,21 @@ type Policy struct {
 	DemoteSamples int
 	// Cooldown is the number of samples ignored after a transition.
 	Cooldown int
+	// Ranges is the granularity of the engine's range directory for
+	// hash-keyed objects (Map, Set): the key space is split into this many
+	// hash-prefix buckets (rounded up to a power of two), each with its own
+	// representations, contention window and state machine, promoting and
+	// demoting independently — a hot range pays the adjusted representation
+	// while cold ranges keep cheap-rep reads with no overlay lookup. 1 (the
+	// default) is wholesale adjustment: one range covering every key, the
+	// pre-directory behavior. Ordered objects ignore Ranges — their
+	// granularity is the explicit key fences of the fenced constructors,
+	// since hash-prefix buckets would break ordered iteration.
+	//
+	// Each range carries its own per-thread sampling state sized by the
+	// registry, so memory grows linearly with Ranges; prefer a handful of
+	// ranges (8-32) over hundreds.
+	Ranges int
 }
 
 // DefaultPolicy returns the tuning used by the public constructors:
@@ -132,6 +147,7 @@ func DefaultPolicy() Policy {
 		DemoteWriters:    1,
 		DemoteSamples:    3,
 		Cooldown:         2,
+		Ranges:           1,
 	}
 }
 
@@ -159,7 +175,21 @@ func (p Policy) withDefaults() Policy {
 	if p.Cooldown <= 0 {
 		p.Cooldown = d.Cooldown
 	}
+	if p.Ranges <= 0 {
+		p.Ranges = d.Ranges
+	}
 	return p
+}
+
+// rangeCount returns Ranges rounded up to a power of two (hash-prefix
+// routing takes the top log2(rangeCount) bits of the key hash, so the
+// directory size must be one).
+func (p Policy) rangeCount() int {
+	n := 1
+	for n < p.Ranges && n < 1<<30 {
+		n <<= 1
+	}
+	return n
 }
 
 // sampleMask returns SampleEvery rounded up to a power of two, minus one,

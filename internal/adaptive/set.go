@@ -1,0 +1,85 @@
+package adaptive
+
+import (
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Set is the contention-adaptive membership set: the ROADMAP's ~50-line
+// instantiation of the generic engine over the set representations. The
+// striped/segmented set pair (set.Striped, set.Segmented) are themselves
+// thin wrappers over the hash maps with struct{} values, so Set instantiates
+// the engine the same way — an adaptive Map with zero-size values — and
+// narrows the interface to membership operations. Zero-size values are
+// exactly the case the engine's interior tombstone sentinel exists for:
+// every heap-allocated struct{} box shares one address, so only a pointer
+// into the engine itself can mark a deletion unambiguously (see
+// TestMapZeroSizeValues).
+//
+// Like Map, Set honors Policy.Ranges (hash-prefix per-range adjustment) and
+// requires the commuting-writers contract in every state: distinct threads
+// write distinct elements. Membership tests are unrestricted.
+type Set[K comparable] struct {
+	m *Map[K, struct{}]
+}
+
+// NewSet creates an adaptive set over a registry. stripes and capacity size
+// the cheap representation; dirBuckets sizes the segmented directory. Pass a
+// zero Policy for the defaults.
+func NewSet[K comparable](r *core.Registry, stripes, capacity, dirBuckets int,
+	hash func(K) uint64, p Policy) *Set[K] {
+	return &Set[K]{m: NewMap[K, struct{}](r, stripes, capacity, dirBuckets, hash, p)}
+}
+
+// Add inserts x. Blind (S3): no return value.
+func (s *Set[K]) Add(h *core.Handle, x K) { s.m.Put(h, x, struct{}{}) }
+
+// Remove deletes x, reporting whether it was present.
+func (s *Set[K]) Remove(h *core.Handle, x K) bool { return s.m.Remove(h, x) }
+
+// Contains reports whether x is present. Any thread may call it; it never
+// blocks, even mid-transition.
+func (s *Set[K]) Contains(x K) bool { return s.m.Contains(x) }
+
+// Len returns the number of elements; weakly consistent.
+func (s *Set[K]) Len() int { return s.m.Len() }
+
+// Range calls f for every element until it returns false; weakly consistent.
+func (s *Set[K]) Range(f func(x K) bool) {
+	s.m.Range(func(k K, _ struct{}) bool { return f(k) })
+}
+
+// Ranges returns the size of the range directory (1 = wholesale).
+func (s *Set[K]) Ranges() int { return s.m.Ranges() }
+
+// RangeOf returns the directory index of x's range.
+func (s *Set[K]) RangeOf(x K) int { return s.m.RangeOf(x) }
+
+// RangeState returns the state of directory entry i.
+func (s *Set[K]) RangeState(i int) State { return s.m.RangeState(i) }
+
+// ForcePromoteRange promotes directory entry i regardless of policy; see
+// Map.ForcePromoteRange.
+func (s *Set[K]) ForcePromoteRange(i int) bool { return s.m.ForcePromoteRange(i) }
+
+// ForceDemoteRange demotes directory entry i regardless of policy; see
+// Map.ForceDemoteRange.
+func (s *Set[K]) ForceDemoteRange(i int) bool { return s.m.ForceDemoteRange(i) }
+
+// ForcePromote promotes every quiescent range regardless of policy; see
+// Map.ForcePromote.
+func (s *Set[K]) ForcePromote() bool { return s.m.ForcePromote() }
+
+// ForceDemote demotes every promoted range regardless of policy; see
+// Map.ForceDemote.
+func (s *Set[K]) ForceDemote() bool { return s.m.ForceDemote() }
+
+// State summarizes the directory; see Map.State.
+func (s *Set[K]) State() State { return s.m.State() }
+
+// Transitions returns the number of representation switches so far, summed
+// over all ranges.
+func (s *Set[K]) Transitions() int64 { return s.m.Transitions() }
+
+// Probe returns the object-level contention probe; see Map.Probe.
+func (s *Set[K]) Probe() *contention.Probe { return s.m.Probe() }

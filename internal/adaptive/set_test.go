@@ -1,0 +1,219 @@
+package adaptive
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func newTestSet(r *core.Registry, p Policy) *Set[int] {
+	return NewSet[int](r, 16, 256, 512, intHash, p)
+}
+
+// TestSetBasicOpsPerState walks the set through every engine state. The set
+// stores zero-size values, so every promoted-phase membership check rides on
+// the interior tombstone sentinel (see TestMapZeroSizeValues).
+func TestSetBasicOpsPerState(t *testing.T) {
+	r := core.NewRegistry(8)
+	s := newTestSet(r, Policy{SampleEvery: 1 << 62})
+	h := r.MustRegister()
+
+	// Quiescent.
+	s.Add(h, 1)
+	s.Add(h, 2)
+	s.Add(h, 3)
+	if !s.Remove(h, 3) || s.Remove(h, 3) {
+		t.Fatal("quiescent Remove misreported presence")
+	}
+	if !s.Contains(1) || s.Contains(3) || s.Len() != 2 {
+		t.Fatalf("quiescent: Contains(1)=%v Contains(3)=%v Len=%d",
+			s.Contains(1), s.Contains(3), s.Len())
+	}
+
+	// Promoted: backed membership, fresh adds, tombstoned removals.
+	if !s.ForcePromote() {
+		t.Fatal("ForcePromote failed")
+	}
+	if !s.Contains(1) {
+		t.Fatal("backed element invisible after promotion")
+	}
+	s.Add(h, 4) // zero-size box in the segmented rep
+	if !s.Contains(4) {
+		t.Fatal("promoted zero-size add reads as absent (tombstone aliasing)")
+	}
+	if !s.Remove(h, 2) || s.Contains(2) { // backed -> tombstone
+		t.Fatal("tombstoned backed element still visible")
+	}
+	if s.Remove(h, 2) {
+		t.Fatal("Remove saw a tombstoned element as present")
+	}
+	s.Add(h, 2) // resurrect through the tombstone
+	if !s.Contains(2) || s.Len() != 3 {
+		t.Fatalf("promoted: Contains(2)=%v Len=%d, want true, 3", s.Contains(2), s.Len())
+	}
+
+	// Demoted: the drain folds shadow and tombstones back.
+	if !s.ForceDemote() {
+		t.Fatal("ForceDemote failed")
+	}
+	got := map[int]bool{}
+	s.Range(func(x int) bool { got[x] = true; return true })
+	if len(got) != 3 || !got[1] || !got[2] || !got[4] {
+		t.Fatalf("demoted contents = %v, want {1 2 4}", got)
+	}
+	if s.Transitions() != 2 {
+		t.Fatalf("Transitions = %d, want 2", s.Transitions())
+	}
+}
+
+func TestSetPromotesOnStallRate(t *testing.T) {
+	r := core.NewRegistry(8)
+	p := aggressive()
+	p.DemoteSamples = 1000
+	s := newTestSet(r, p)
+	h := r.MustRegister()
+	for i := 0; i < 1000; i++ {
+		s.Probe().RecordLockWait()
+	}
+	for i := 0; i < 256; i++ {
+		s.Add(h, i)
+	}
+	if s.State() != StatePromoted {
+		t.Fatalf("state = %v, want promoted after stall burst", s.State())
+	}
+	for i := 0; i < 256; i++ {
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) lost across promotion", i)
+		}
+	}
+}
+
+// TestSetMigrationNoLostUpdates hammers the adaptive set across forced
+// promote and demote boundaries under the commuting-writers contract and
+// asserts exact final membership — the satellite race test of the issue.
+// Run under -race.
+func TestSetMigrationNoLostUpdates(t *testing.T) {
+	const writers = 4
+	const keyRange = 1024
+	opsPerWriter := 60_000
+	if testing.Short() {
+		opsPerWriter = 8_000
+	}
+	r := core.NewRegistry(writers + 4)
+	s := NewSet[int](r, 16, keyRange, 2*keyRange, intHash, Policy{SampleEvery: 1 << 62})
+
+	var (
+		wg     sync.WaitGroup
+		stop   atomic.Bool
+		models [writers]map[int]bool
+	)
+	flapped := make(chan struct{})
+	go func() {
+		defer close(flapped)
+		for !stop.Load() {
+			s.ForcePromote()
+			s.ForceDemote()
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		rng := rand.New(rand.NewSource(99))
+		for !stop.Load() {
+			s.Contains(rng.Intn(keyRange))
+			s.Len()
+		}
+	}()
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			defer h.Release()
+			model := make(map[int]bool)
+			models[w] = model
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWriter; i++ {
+				// CWMR contract: writer w owns elements ≡ w mod writers.
+				k := rng.Intn(keyRange/writers)*writers + w
+				if rng.Intn(3) == 0 {
+					if got := s.Remove(h, k); got != model[k] {
+						t.Errorf("Remove(%d) = %v, want %v", k, got, model[k])
+						return
+					}
+					delete(model, k)
+				} else {
+					s.Add(h, k)
+					model[k] = true
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-flapped
+	<-readerDone
+	if s.Transitions() == 0 {
+		t.Fatal("flapper produced no transitions; test exercised nothing")
+	}
+
+	want := map[int]bool{}
+	for _, model := range models {
+		for k := range model {
+			want[k] = true
+		}
+	}
+	for k := 0; k < keyRange; k++ {
+		if got := s.Contains(k); got != want[k] {
+			t.Fatalf("element %d: Contains = %v, want %v (after %d transitions)",
+				k, got, want[k], s.Transitions())
+		}
+	}
+	if got := s.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+}
+
+// TestSetPerRange: the set inherits the hash-prefix range directory — a
+// forced hot-range promotion leaves cold elements on single-lookup reads.
+func TestSetPerRange(t *testing.T) {
+	r := core.NewRegistry(8)
+	s := NewSet[int](r, 16, 256, 512, intHash, Policy{SampleEvery: 1 << 62, Ranges: 4})
+	h := r.MustRegister()
+	if s.Ranges() != 4 {
+		t.Fatalf("Ranges = %d, want 4", s.Ranges())
+	}
+	for x := 0; x < 64; x++ {
+		s.Add(h, x)
+	}
+	hot := s.RangeOf(0)
+	if !s.ForcePromoteRange(hot) {
+		t.Fatal("ForcePromoteRange failed")
+	}
+	if s.RangeState(hot) != StatePromoted {
+		t.Fatalf("hot range = %v", s.RangeState(hot))
+	}
+	quiescent := 0
+	for i := 0; i < s.Ranges(); i++ {
+		if s.RangeState(i) == StateQuiescent {
+			quiescent++
+		}
+	}
+	if quiescent != s.Ranges()-1 {
+		t.Fatalf("%d quiescent ranges, want %d", quiescent, s.Ranges()-1)
+	}
+	for x := 0; x < 64; x++ {
+		if !s.Contains(x) {
+			t.Fatalf("Contains(%d) lost across hot-range promotion", x)
+		}
+	}
+	if !s.ForceDemoteRange(hot) {
+		t.Fatal("ForceDemoteRange failed")
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", s.Len())
+	}
+}

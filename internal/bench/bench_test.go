@@ -43,6 +43,25 @@ func TestAllWorkloadsRun(t *testing.T) {
 	}
 }
 
+// TestHotRangeWorkloadsRun exercises the skewed hot-range pair (the Figure 7
+// per-range-vs-wholesale comparison) in op-count mode: both variants must
+// complete with exact op counts at a read-heavy ratio, whatever the hardware
+// does to their relative throughput.
+func TestHotRangeWorkloadsRun(t *testing.T) {
+	for _, wl := range []Workload{AdaptiveMapHotWholesale(), AdaptiveMapHotPerRange()} {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tinyConfig(4)
+			cfg.UpdateRatio = 25
+			res := Run(wl, cfg)
+			if res.Ops != 4*2000 {
+				t.Fatalf("ops = %d, want %d", res.Ops, 4*2000)
+			}
+		})
+	}
+}
+
 func TestTimeModeStops(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Threads = 2
@@ -134,12 +153,31 @@ func TestFigurePrinters(t *testing.T) {
 	if !strings.Contains(out, "25% updates") || !strings.Contains(out, "100% updates") {
 		t.Error("Figure7 output missing ratio tables")
 	}
+	for _, want := range []string{"AdaptiveMapHotWholesale", "AdaptiveMapHotPerRange"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure7 output missing the hot-range workload %q", want)
+		}
+	}
 
 	sb.Reset()
 	Figure8(&sb, cfg, threads)
 	out = sb.String()
 	if !strings.Contains(out, "16K initial items") || !strings.Contains(out, "64K initial items") {
 		t.Error("Figure8 output missing working-set tables")
+	}
+
+	sb.Reset()
+	got := FigureHotRange(&sb, cfg, threads)
+	out = sb.String()
+	for _, want := range []string{"Hot-range skew", "AdaptiveMapHotWholesale", "AdaptiveMapHotPerRange"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FigureHotRange output missing %q", want)
+		}
+	}
+	// Titles must stay distinct per scale (a rounded %dK title would collide
+	// for sub-1K smoke configs and drop sweeps from the JSON artifact).
+	if len(got) != 3 {
+		t.Errorf("FigureHotRange returned %d scale sections, want 3", len(got))
 	}
 }
 

@@ -253,6 +253,81 @@ func AdaptiveSkipList() Workload {
 	}}
 }
 
+// --- Hot-range skew (Figure 7 companion) -----------------------------------
+
+// hotRangeBits carves the key space into 1<<hotRangeBits hash-prefix
+// buckets; the bucket at prefix 0 is the hot range. Both variants below use
+// the same skew, so the only difference measured is the promotion
+// granularity.
+const hotRangeBits = 4
+
+// hotRangeMap builds the skewed workload of the per-range directory
+// evaluation: every update lands on a key of ONE hash-prefix bucket (the hot
+// range, 1/16th of the key space), while reads draw uniformly from the cold
+// buckets. The map starts with the hot range already promoted — the
+// steady state a write-hot range converges to — so the sweep isolates the
+// read cost the promotion imposes on cold keys: under wholesale promotion
+// (ranges=1) every cold read pays the shadow-miss-then-backing double
+// lookup; under per-range promotion (ranges=1<<hotRangeBits) cold ranges
+// stay quiescent and read the striped rep in a single lookup. DemoteSamples
+// is effectively disabled so the comparison cannot flap mid-run.
+func hotRangeMap(name string, ranges int) Workload {
+	return Workload{Name: name, Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		pol := adaptive.DefaultPolicy()
+		pol.Ranges = ranges
+		pol.DemoteSamples = 1 << 30
+		m := adaptive.NewMap[int, int](reg, 256, cfg.InitialItems, cfg.KeyRange*2,
+			intHash, pol)
+		boxes := valueBoxes(cfg)
+		prime := reg.MustRegister()
+		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
+
+		// Hot keys: hash prefix 0 — identical in both variants, and exactly
+		// directory range 0 of the per-range variant. Hot updates are
+		// partitioned among threads (CWMR); cold keys serve the reads.
+		hot := make([][]int, cfg.Threads)
+		var cold []int
+		for k := 0; k < cfg.KeyRange; k++ {
+			if intHash(k)>>(64-hotRangeBits) == 0 {
+				t := int(intHash(k) % uint64(cfg.Threads))
+				hot[t] = append(hot[t], k)
+			} else {
+				cold = append(cold, k)
+			}
+		}
+		if m.Ranges() > 1 {
+			m.ForcePromoteRange(0)
+		} else {
+			m.ForcePromote()
+		}
+		return func(tid int, h *core.Handle, rng *rand.Rand) {
+			if mine := hot[tid]; len(mine) > 0 && int(rng.Int31n(100)) < cfg.UpdateRatio {
+				k := mine[rng.Intn(len(mine))]
+				if rng.Intn(2) == 0 {
+					m.PutRef(h, k, boxes[k])
+				} else {
+					m.Remove(h, k)
+				}
+			} else {
+				m.Get(cold[rng.Intn(len(cold))])
+			}
+		}, m.Probe()
+	}}
+}
+
+// AdaptiveMapHotWholesale is the skewed workload over a single-range
+// directory: the hot range's promotion drags every cold key behind the
+// overlay.
+func AdaptiveMapHotWholesale() Workload {
+	return hotRangeMap("AdaptiveMapHotWholesale", 1)
+}
+
+// AdaptiveMapHotPerRange is the same skew over a 16-range directory: only
+// the hot bucket promotes, cold reads stay single-lookup.
+func AdaptiveMapHotPerRange() Workload {
+	return hotRangeMap("AdaptiveMapHotPerRange", 1<<hotRangeBits)
+}
+
 // --- References (Figure 6: continuous gets once initialized) ---------------
 
 // ReferenceJUC is the AtomicReference baseline.

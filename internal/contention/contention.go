@@ -21,17 +21,29 @@ type Probe struct {
 	casFailures atomic.Int64
 	spinWaits   atomic.Int64
 	lockWaits   atomic.Int64
+	parent      *Probe
 	_           core.Pad
 }
 
 // NewProbe returns an empty probe.
 func NewProbe() *Probe { return &Probe{} }
 
+// Child returns a probe whose events also count into p. It is the sampling
+// split used by per-range adaptive objects (internal/adaptive): each key
+// range records stalls into its own child — so the range's promotion
+// decision sees only its own contention — while the parent keeps the
+// object-wide totals the benchmarks and callers of Probe() read. Snapshot
+// and Reset act on one probe's own counters only; propagation is
+// record-time, so a child's events are never double-counted in its own
+// snapshot. Children may nest. A child of a nil probe still counts locally.
+func (p *Probe) Child() *Probe { return &Probe{parent: p} }
+
 // RecordCASFailure counts one failed compare-and-swap (the retry loops of
 // the JUC-style baselines).
 func (p *Probe) RecordCASFailure() {
 	if p != nil {
 		p.casFailures.Add(1)
+		p.parent.RecordCASFailure()
 	}
 }
 
@@ -39,6 +51,7 @@ func (p *Probe) RecordCASFailure() {
 func (p *Probe) RecordSpin() {
 	if p != nil {
 		p.spinWaits.Add(1)
+		p.parent.RecordSpin()
 	}
 }
 
@@ -46,6 +59,7 @@ func (p *Probe) RecordSpin() {
 func (p *Probe) RecordLockWait() {
 	if p != nil {
 		p.lockWaits.Add(1)
+		p.parent.RecordLockWait()
 	}
 }
 

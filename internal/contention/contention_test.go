@@ -35,6 +35,48 @@ func TestNilProbeIsFreeAndSafe(t *testing.T) {
 	}
 }
 
+// TestProbeChildPropagation pins the per-range sampling split: a child's
+// events count into both the child (the range's own sample stream) and the
+// parent (the object-wide totals), parent-only events never leak into a
+// child, and sibling children stay isolated from each other.
+func TestProbeChildPropagation(t *testing.T) {
+	parent := NewProbe()
+	a, b := parent.Child(), parent.Child()
+	a.RecordCASFailure()
+	a.RecordSpin()
+	b.RecordLockWait()
+	parent.RecordLockWait() // parent-only event
+	if got := a.Snapshot(); got.Total() != 2 || got.CASFailures != 1 || got.SpinWaits != 1 {
+		t.Fatalf("child a snapshot = %+v", got)
+	}
+	if got := b.Snapshot(); got.Total() != 1 || got.LockWaits != 1 {
+		t.Fatalf("child b snapshot = %+v", got)
+	}
+	if got := parent.Snapshot(); got.Total() != 4 || got.LockWaits != 2 {
+		t.Fatalf("parent snapshot = %+v", got)
+	}
+	// Reset is local: zeroing the child leaves the aggregate intact.
+	a.Reset()
+	if a.Snapshot().Total() != 0 || parent.Snapshot().Total() != 4 {
+		t.Fatalf("after child reset: child=%d parent=%d",
+			a.Snapshot().Total(), parent.Snapshot().Total())
+	}
+	// Grandchildren propagate transitively.
+	g := a.Child()
+	g.RecordSpin()
+	if a.Snapshot().SpinWaits != 1 || parent.Snapshot().SpinWaits != 2 {
+		t.Fatalf("grandchild did not propagate: a=%+v parent=%+v",
+			a.Snapshot(), parent.Snapshot())
+	}
+	// A child of a nil probe still counts locally.
+	var nilProbe *Probe
+	c := nilProbe.Child()
+	c.RecordCASFailure()
+	if c.Snapshot().CASFailures != 1 {
+		t.Fatal("child of nil probe lost its event")
+	}
+}
+
 func TestSnapshotSub(t *testing.T) {
 	a := Snapshot{CASFailures: 10, SpinWaits: 5, LockWaits: 3}
 	b := Snapshot{CASFailures: 4, SpinWaits: 1, LockWaits: 3}
