@@ -18,7 +18,7 @@ BENCH_SMOKE_JSON  = bench-smoke.json
 
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke cover fmt fmt-check vet docs-check
+.PHONY: build test race bench-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,23 @@ cover:
 docs-check:
 	$(GO) run ./cmd/docscheck
 	$(GO) test -run Example ./...
+
+# The public API surface is a reviewed contract: api/dego.txt is the golden
+# snapshot rendered by cmd/apidump (exported decls only, internals elided).
+# api-check fails on any undeclared surface change; regenerate deliberately
+# with `make api` and commit the diff.
+api:
+	$(GO) run ./cmd/apidump > api/dego.txt
+
+api-check:
+	$(GO) run ./cmd/apidump -check api/dego.txt
+
+# Staticcheck-style sweep: no in-repo call site (benches, backends,
+# examples, tests) may use the deprecated representation-specific
+# constructors outside their own definitions — everything constructs
+# through the profile API.
+deprecations:
+	$(GO) run ./cmd/deprecations
 
 fmt:
 	gofmt -l -w .

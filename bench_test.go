@@ -11,7 +11,7 @@
 //	go run ./cmd/retwis-bench -fig all    (Figures 9, 10, Table 2)
 //	go run ./cmd/miner        -fig all    (Figures 1, 4, 5)
 //	go run ./cmd/igraph                   (Figure 2, Figure 3, Table 1)
-package dego
+package dego_test
 
 import (
 	"runtime"

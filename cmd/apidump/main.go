@@ -1,0 +1,245 @@
+// Command apidump renders the exported surface of the public dego package
+// as a sorted, canonical text listing — one line per exported constant,
+// variable, function, type and method, with unexported struct fields and
+// function bodies elided. The committed snapshot (api/dego.txt) is the
+// contract: `apidump -check api/dego.txt` (the `make api-check` target, run
+// in CI) fails when the surface drifts from the snapshot, so every API
+// change is a deliberate, reviewed regeneration (`make api`) rather than an
+// accident.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to dump")
+	check := flag.String("check", "", "golden file to compare against (exit 1 on drift)")
+	flag.Parse()
+
+	lines, err := dump(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	out := strings.Join(lines, "\n") + "\n"
+
+	if *check == "" {
+		fmt.Print(out)
+		return
+	}
+	golden, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	if diff := diffLines(strings.Split(strings.TrimRight(string(golden), "\n"), "\n"), lines); len(diff) > 0 {
+		fmt.Fprintf(os.Stderr, "apidump: public API surface drifted from %s:\n", *check)
+		for _, d := range diff {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		fmt.Fprintln(os.Stderr, "apidump: if the change is intentional, regenerate with `make api`")
+		os.Exit(1)
+	}
+}
+
+// dump renders the exported API of the (non-test) package in dir.
+func dump(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders the exported lines of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var lines []string
+		for _, s := range d.Specs {
+			switch spec := s.(type) {
+			case *ast.TypeSpec:
+				if !spec.Name.IsExported() {
+					continue
+				}
+				cp := *spec
+				cp.Doc, cp.Comment = nil, nil
+				cp.Type = elideUnexported(cp.Type)
+				assign := ""
+				if spec.Assign != token.NoPos {
+					assign = "= "
+				}
+				lines = append(lines, fmt.Sprintf("type %s%s %s%s",
+					spec.Name.Name, typeParams(fset, spec.TypeParams), assign, render(fset, cp.Type)))
+			case *ast.ValueSpec:
+				for _, name := range spec.Names {
+					if !name.IsExported() {
+						continue
+					}
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					typ := ""
+					if spec.Type != nil {
+						typ = " " + render(fset, spec.Type)
+					}
+					lines = append(lines, kind+" "+name.Name+typ)
+				}
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (free functions count as exported receivers).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// elideUnexported strips unexported fields from struct types and unexported
+// methods from interface types, so internals can move without breaking the
+// snapshot.
+func elideUnexported(t ast.Expr) ast.Expr {
+	switch x := t.(type) {
+	case *ast.StructType:
+		kept := &ast.FieldList{}
+		for _, f := range x.Fields.List {
+			var names []*ast.Ident
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) > 0 || len(f.Names) == 0 && exportedEmbedded(f.Type) {
+				kept.List = append(kept.List, &ast.Field{Names: names, Type: f.Type})
+			}
+		}
+		return &ast.StructType{Struct: x.Struct, Fields: kept}
+	case *ast.InterfaceType:
+		kept := &ast.FieldList{}
+		for _, m := range x.Methods.List {
+			if len(m.Names) == 0 || m.Names[0].IsExported() {
+				kept.List = append(kept.List, &ast.Field{Names: m.Names, Type: m.Type})
+			}
+		}
+		return &ast.InterfaceType{Interface: x.Interface, Methods: kept}
+	}
+	return t
+}
+
+func exportedEmbedded(t ast.Expr) bool {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.IsExported()
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// typeParams renders a type-parameter list like "[K comparable, V any]".
+func typeParams(fset *token.FileSet, params *ast.FieldList) string {
+	if params == nil || len(params.List) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, f := range params.List {
+		var names []string
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+		parts = append(parts, strings.Join(names, ", ")+" "+renderBare(f.Type))
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// render prints an AST node on one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+func renderBare(node any) string { return render(token.NewFileSet(), node) }
+
+// diffLines reports golden/current mismatches as +/- lines.
+func diffLines(golden, current []string) []string {
+	goldenSet := map[string]bool{}
+	for _, l := range golden {
+		goldenSet[l] = true
+	}
+	currentSet := map[string]bool{}
+	for _, l := range current {
+		currentSet[l] = true
+	}
+	var diff []string
+	for _, l := range current {
+		if !goldenSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	for _, l := range golden {
+		if !currentSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	return diff
+}

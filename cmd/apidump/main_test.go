@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenMatchesSurface is api-check inside the test suite: the
+// committed snapshot must equal the rendered surface of the root package,
+// so `go test ./...` catches undeclared API drift even where the Makefile
+// target is not run.
+func TestGoldenMatchesSurface(t *testing.T) {
+	lines, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../api/dego.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := diffLines(strings.Split(strings.TrimRight(string(golden), "\n"), "\n"), lines)
+	for _, d := range diff {
+		t.Error(d)
+	}
+	if len(diff) > 0 {
+		t.Fatal("api/dego.txt drifted from the exported surface; regenerate with `make api` if intentional")
+	}
+}
+
+// TestDumpDeterministic: two dumps of the same tree are identical (sorted,
+// canonical rendering).
+func TestDumpDeterministic(t *testing.T) {
+	a, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatal("dump output not deterministic")
+	}
+}
+
+// TestSnapshotElidesInternals: wrapper structs keep their unexported fields
+// out of the contract, so representation changes do not churn the snapshot.
+func TestSnapshotElidesInternals(t *testing.T) {
+	lines, err := dump("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "counterRep") || strings.Contains(l, "mapRep") {
+			t.Errorf("snapshot leaked an unexported detail: %s", l)
+		}
+	}
+}

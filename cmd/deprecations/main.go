@@ -1,0 +1,186 @@
+// Command deprecations is a staticcheck-style sweep for the repository's
+// own use of its deprecated constructors. It parses the public dego package
+// for exported declarations whose doc comment carries a "Deprecated:"
+// notice, then walks every Go file in the module and reports each use of
+// one of those identifiers. The definitions themselves (dego.go, where the
+// deprecated wrappers delegate to the profile API) are exempt. CI runs it
+// via `make deprecations`, so a migration back to a deprecated constructor
+// fails the build — the benches, backends, examples and tests must stay on
+// the profile API.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	uses, err := sweep(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deprecations:", err)
+		os.Exit(1)
+	}
+	for _, u := range uses {
+		fmt.Fprintln(os.Stderr, "deprecations: deprecated constructor used:", u)
+	}
+	if len(uses) > 0 {
+		fmt.Fprintln(os.Stderr, "deprecations: migrate the call sites to the profile API (see README.md)")
+		os.Exit(1)
+	}
+	fmt.Println("deprecations: clean — no in-repo call site uses a deprecated constructor")
+}
+
+// sweep returns one "file:line: name" entry per use of a deprecated dego
+// identifier outside its defining file.
+func sweep(root string) ([]string, error) {
+	deprecated, defFiles, err := deprecatedNames(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(deprecated) == 0 {
+		return nil, fmt.Errorf("no deprecated declarations found in the root package (sweep misconfigured?)")
+	}
+	var uses []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root {
+				if name := d.Name(); strings.HasPrefix(name, ".") || name == "testdata" {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || defFiles[filepath.Clean(path)] {
+			return nil
+		}
+		fileUses, err := usesIn(path, deprecated)
+		if err != nil {
+			return err
+		}
+		uses = append(uses, fileUses...)
+		return nil
+	})
+	return uses, err
+}
+
+// deprecatedNames parses the root (public) package and collects the
+// exported names whose declaration docs carry a "Deprecated:" notice, plus
+// the set of files that declare them (exempt from the sweep).
+func deprecatedNames(root string) (map[string]bool, map[string]bool, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, root, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := map[string]bool{}
+	defFiles := map[string]bool{}
+	for _, pkg := range pkgs {
+		for fileName, file := range pkg.Files {
+			mark := func(doc *ast.CommentGroup, name string) {
+				if doc == nil || !strings.Contains(doc.Text(), "Deprecated:") {
+					return
+				}
+				names[name] = true
+				defFiles[filepath.Clean(fileName)] = true
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						mark(d.Doc, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					// Each spec's own doc wins; the decl doc applies only
+					// to specs without one (so one deprecated spec in a
+					// grouped declaration neither taints nor loses its
+					// siblings).
+					for _, s := range d.Specs {
+						ts, ok := s.(*ast.TypeSpec)
+						if !ok || !ts.Name.IsExported() {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil {
+							doc = d.Doc
+						}
+						mark(doc, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	return names, defFiles, nil
+}
+
+// degoImportPath is the module path of the public package the sweep
+// guards.
+const degoImportPath = "github.com/adjusted-objects/dego"
+
+// usesIn reports each use of a deprecated dego identifier in path: either
+// qualified through an import of the root dego package (dego.NewCounter),
+// or bare inside the root package itself (its in-package tests). Internal
+// packages may declare constructors with the same names (counter.NewAdder,
+// ref.NewWriteOnce); those are the implementation layer the wrappers
+// delegate to, not deprecated API, so selector uses through other packages
+// are ignored.
+func usesIn(path string, deprecated map[string]bool) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Aliases under which this file imports the root dego package.
+	degoAliases := map[string]bool{}
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != degoImportPath {
+			continue
+		}
+		alias := "dego"
+		if imp.Name != nil {
+			alias = imp.Name.Name
+		}
+		degoAliases[alias] = true
+	}
+	// Bare identifiers resolve to the deprecated declarations only inside
+	// the root package itself (package dego, which only exists at the
+	// module root).
+	inRootPkg := file.Name.Name == "dego"
+
+	var uses []string
+	flag := func(id *ast.Ident) {
+		pos := fset.Position(id.Pos())
+		uses = append(uses, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, id.Name))
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if pkg, ok := x.X.(*ast.Ident); ok {
+				if degoAliases[pkg.Name] && deprecated[x.Sel.Name] {
+					flag(x.Sel)
+				}
+				return false // don't descend: Sel must not match as bare
+			}
+		case *ast.Ident:
+			if inRootPkg && deprecated[x.Name] {
+				flag(x)
+			}
+		}
+		return true
+	})
+	return uses, nil
+}

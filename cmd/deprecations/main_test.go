@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean is `make deprecations` inside the test suite: no in-repo
+// call site may use a deprecated constructor outside its defining file.
+func TestRepoIsClean(t *testing.T) {
+	uses, err := sweep("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range uses {
+		t.Error("deprecated constructor used:", u)
+	}
+}
+
+// TestFindsDeprecatedDeclarations guards the sweep against silently
+// matching nothing (e.g. after a doc-comment reshuffle).
+func TestFindsDeprecatedDeclarations(t *testing.T) {
+	names, defFiles, err := deprecatedNames("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"NewCounter", "NewAdder", "NewAtomicCounter",
+		"NewAdaptiveMap", "NewAdaptiveMapOn", "NewAdaptiveSkipListFenced",
+		"NewSegmentedMap", "NewStripedMap", "NewSWMRMap",
+		"NewSegmentedSet", "NewSegmentedSkipList", "NewConcurrentSkipList",
+		"NewMPSCQueue", "NewMSQueue", "NewWriteOnce", "NewRCUBox", "NewAtomicRef",
+	} {
+		if !names[want] {
+			t.Errorf("deprecated set is missing %s", want)
+		}
+	}
+	if len(defFiles) == 0 {
+		t.Error("no defining files recorded")
+	}
+}
+
+// TestFlagsQualifiedAndBareUses: a dego-qualified use anywhere and a bare
+// use inside the root package are both flagged; a same-named constructor of
+// another package is not.
+func TestFlagsQualifiedAndBareUses(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	deprecated := map[string]bool{"NewCounter": true}
+
+	qualified := write("q.go", `package other
+import "github.com/adjusted-objects/dego"
+var _ = dego.NewCounter()
+`)
+	if uses, err := usesIn(qualified, deprecated); err != nil || len(uses) != 1 {
+		t.Errorf("qualified use: uses=%v err=%v, want exactly one", uses, err)
+	}
+
+	bare := write("b.go", `package dego
+var _ = NewCounter()
+`)
+	if uses, err := usesIn(bare, deprecated); err != nil || len(uses) != 1 {
+		t.Errorf("bare in-package use: uses=%v err=%v, want exactly one", uses, err)
+	}
+
+	foreign := write("f.go", `package other
+import "example.com/counter"
+var _ = counter.NewCounter()
+`)
+	if uses, err := usesIn(foreign, deprecated); err != nil || len(uses) != 0 {
+		t.Errorf("foreign same-named constructor flagged: uses=%v err=%v", uses, err)
+	}
+}

@@ -161,7 +161,7 @@ func TestSegmentedMapConformsToM2(t *testing.T) {
 	m2 := spec.Map(spec.M2)
 	reg := core.NewRegistry(4)
 	h := reg.MustRegister()
-	impl := NewSegmentedMapOn[int, int](reg, 64, 128, HashInt, false)
+	impl := Must(Map[int, int](CommutingWriters(), On(reg), Capacity(64), Buckets(128)))
 	st := m2.Init
 
 	rng := rand.New(rand.NewSource(23))

@@ -10,45 +10,77 @@
 // drop-in replacements for the mutex/CAS equivalents with the same
 // consistency on the operations they keep.
 //
+// # Profile-driven construction
+//
+// Programs declare the usage; the planner picks the representation. Each
+// datatype has one constructor taking functional options:
+//
+//	m, err := dego.Map[string, int](dego.CommutingWriters(), dego.Capacity(1<<16))
+//	c, err := dego.Counter(dego.Blind(), dego.SingleReader())
+//	q, err := dego.Queue[task](dego.SingleReader())
+//	o, err := dego.Ordered[int, string](dego.CommutingWriters(), dego.Adaptive())
+//	s, err := dego.Set[string](dego.CommutingWriters())
+//	r, err := dego.Ref[config](nil, dego.WriteOnce())
+//
+// The options narrow the interface (Blind, WriteOnce), restrict access
+// (SingleWriter, SingleReader, CommutingWriters), request adaptivity
+// (Adaptive, with Ranges or Fenced granularity) or tune the result (On,
+// Checked, WithHash, WithProbe, Capacity, Stripes, Buckets). The planner
+// maps the declared profile to a Table 1 object, cross-checks it against
+// the executable Definition 1 in the spec catalog, and picks the most
+// adjusted representation the declaration permits. Impossible combinations
+// fail at construction with an error wrapping ErrInvalidProfile. Every
+// constructed object reports its Plan.
+//
+// The representation-specific New* constructors below remain as deprecated
+// one-line wrappers over this path.
+//
 // # Thread identity
 //
 // Go has no goroutine-local storage, so ownership is explicit: goroutines
 // register once and pass their *Handle to owner-routed operations. A handle
 // must come from the same Registry the object was created on (the default
-// registry unless a ...On constructor was used); mixing registries corrupts
-// segment routing.
+// registry unless On(r) was declared); mixing registries corrupts segment
+// routing.
 //
 //	h := dego.MustRegister()
 //	defer h.Release()
-//	counter := dego.NewCounter()
+//	counter := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader()))
 //	counter.Inc(h)
 //
-// # Objects
+// # Representations
 //
-//   - Counter — increment-only counter (C3, CWSR): per-thread cells, no CAS.
+// The planner chooses among (and Representation exposes):
+//
+//   - IncrementOnlyCounter — increment-only counter (C3, CWSR): per-thread
+//     cells, no CAS.
 //   - Adder — LongAdder-style striped adder (CAS cells).
-//   - WriteOnce — write-once reference (R2), the Listing 1 pattern.
+//   - AtomicCounter — the unadjusted baseline (shared cell).
+//   - WriteOnceRef — write-once reference (R2), the Listing 1 pattern.
 //   - RCUBox — read-copy-update box for rarely-written structures.
+//   - AtomicRef — the unadjusted atomic reference.
 //   - MPSCQueue — multi-producer single-consumer queue (Q1, MWSR).
 //   - MSQueue — Michael–Scott queue (the unadjusted baseline).
-//   - SWMRMap / SWMRSkipList — single-writer multi-reader maps.
+//   - SWMRMap / SWMRSkipList / SWMRSet — single-writer multi-reader
+//     collections.
 //   - SegmentedMap / SegmentedSkipList / SegmentedSet — commuting-writers
 //     collections over extended segmentations (CWMR).
-//   - StripedMap / StripedSet — lock-striped baselines.
+//   - StripedMap / StripedSet — lock-striped baselines;
+//     ConcurrentSkipList — the lock-free CAS baseline.
 //   - AdaptiveCounter / AdaptiveMap / AdaptiveSkipList / AdaptiveSet —
 //     contention-adaptive wrappers: the unadjusted representation until the
 //     windowed stall rate says otherwise, the adjusted one while contention
-//     lasts, switching back when it subsides (readers never block on a
-//     switch). All share one generic adjustment engine (internal/adaptive)
-//     whose payload is a directory of per-range representations, so only the
-//     key ranges that actually contend pay for the adjustment
-//     (AdaptivePolicy.Ranges for the hash-keyed objects,
-//     NewAdaptiveSkipListFenced for the ordered one). See ARCHITECTURE.md
+//     lasts (readers never block on a switch). All share one generic
+//     adjustment engine (internal/adaptive) whose payload is a directory of
+//     per-range representations, so only the key ranges that actually
+//     contend pay for the adjustment (Adaptive(Ranges(n)) for hash-keyed
+//     objects, Fenced(keys...) for the ordered one). See ARCHITECTURE.md
 //     for the full layer stack.
 //
 // The theory toolkit (sequential specifications, indistinguishability
 // graphs, consensus-number analysis) lives in internal packages and is
-// exposed through the igraph command.
+// exposed through the igraph command; the planner consults it through the
+// spec catalog's query surface.
 package dego
 
 import (
@@ -104,32 +136,55 @@ func Register() (*Handle, error) { return core.Register() }
 // MustRegister is Register, panicking on registry exhaustion.
 func MustRegister() *Handle { return core.MustRegister() }
 
+// checkedIf turns the deprecated constructors' checked flag into options.
+func checkedIf(b bool) []Option {
+	if b {
+		return []Option{Checked()}
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Counters
 
-// Counter is the adjusted increment-only counter (C3, CWSR).
-type Counter = counter.IncrementOnly
+// IncrementOnlyCounter is the adjusted increment-only counter (C3, CWSR).
+type IncrementOnlyCounter = counter.IncrementOnly
 
 // NewCounter creates an increment-only counter on the default registry.
-func NewCounter() *Counter { return counter.NewIncrementOnly(core.Default, false) }
+//
+// Deprecated: declare the profile: Counter(Blind(), SingleReader()).
+func NewCounter() *IncrementOnlyCounter {
+	return Must(Counter(Blind(), SingleReader())).Representation().(*IncrementOnlyCounter)
+}
 
 // NewCounterOn creates an increment-only counter on a specific registry;
 // checked enables the CWSR runtime guard.
-func NewCounterOn(r *Registry, checked bool) *Counter {
-	return counter.NewIncrementOnly(r, checked)
+//
+// Deprecated: declare the profile: Counter(Blind(), SingleReader(), On(r)),
+// adding Checked() for the guard.
+func NewCounterOn(r *Registry, checked bool) *IncrementOnlyCounter {
+	return Must(Counter(append(checkedIf(checked), Blind(), SingleReader(), On(r))...)).Representation().(*IncrementOnlyCounter)
 }
 
 // Adder is the LongAdder-style striped adder.
 type Adder = counter.Adder
 
 // NewAdder creates an adder with the given number of cells.
-func NewAdder(cells int) *Adder { return counter.NewAdder(cells, nil) }
+//
+// Deprecated: declare the profile: Counter(Blind(), Capacity(cells)).
+func NewAdder(cells int) *Adder {
+	return Must(Counter(Blind(), Capacity(cells))).Representation().(*Adder)
+}
 
 // AtomicCounter is the unadjusted baseline (AtomicLong-style shared cell).
 type AtomicCounter = counter.Atomic
 
 // NewAtomicCounter creates the baseline counter.
-func NewAtomicCounter() *AtomicCounter { return counter.NewAtomic(nil) }
+//
+// Deprecated: declare the profile: Counter() (no adjustment declared).
+func NewAtomicCounter() *AtomicCounter {
+	return Must(Counter()).Representation().(*AtomicCounter)
+}
 
 // ---------------------------------------------------------------------------
 // Adaptive objects
@@ -162,19 +217,25 @@ func DefaultAdaptivePolicy() AdaptivePolicy { return adaptive.DefaultPolicy() }
 // AdaptiveCounter is the contention-adaptive counter: an atomic shared cell
 // that promotes itself to per-thread cells (the C3 adjustment) when its
 // windowed CAS-failure rate crosses the policy threshold, and demotes when
-// writer concurrency subsides. Increment-only, like Counter.
+// writer concurrency subsides. Increment-only, like IncrementOnlyCounter.
 type AdaptiveCounter = adaptive.Counter
 
 // NewAdaptiveCounter creates an adaptive counter on the default registry
 // with the default policy.
+//
+// Deprecated: declare the profile:
+// Counter(Blind(), SingleReader(), Adaptive()).
 func NewAdaptiveCounter() *AdaptiveCounter {
-	return adaptive.NewCounter(core.Default, adaptive.DefaultPolicy())
+	return Must(Counter(Blind(), SingleReader(), Adaptive())).Adaptive()
 }
 
 // NewAdaptiveCounterOn creates an adaptive counter on a specific registry
 // with a specific policy.
+//
+// Deprecated: declare the profile:
+// Counter(Blind(), SingleReader(), Adaptive(WithPolicy(p)), On(r)).
 func NewAdaptiveCounterOn(r *Registry, p AdaptivePolicy) *AdaptiveCounter {
-	return adaptive.NewCounter(r, p)
+	return Must(Counter(Blind(), SingleReader(), Adaptive(WithPolicy(p)), On(r))).Adaptive()
 }
 
 // AdaptiveMap is the contention-adaptive hash map: lock-striped until its
@@ -188,17 +249,24 @@ type AdaptiveMap[K comparable, V any] = adaptive.Map[K, V]
 
 // NewAdaptiveMap creates an adaptive map on the default registry with the
 // default policy.
+//
+// Deprecated: declare the profile:
+// Map[K, V](CommutingWriters(), Adaptive(), Capacity(capacity), WithHash(hash)).
 func NewAdaptiveMap[K comparable, V any](capacity int, hash func(K) uint64) *AdaptiveMap[K, V] {
-	return adaptive.NewMap[K, V](core.Default, 256, capacity, capacity*2, hash,
-		adaptive.DefaultPolicy())
+	return Must(Map[K, V](CommutingWriters(), Adaptive(), Capacity(capacity), WithHash(hash))).Adaptive()
 }
 
 // NewAdaptiveMapOn creates an adaptive map on a specific registry: stripes
 // sizes the cheap representation's lock array, capacity the tables,
 // dirBuckets the segmented directory.
+//
+// Deprecated: declare the profile: Map[K, V](CommutingWriters(),
+// Adaptive(WithPolicy(p)), On(r), Stripes(stripes), Capacity(capacity),
+// Buckets(dirBuckets), WithHash(hash)).
 func NewAdaptiveMapOn[K comparable, V any](r *Registry, stripes, capacity, dirBuckets int,
 	hash func(K) uint64, p AdaptivePolicy) *AdaptiveMap[K, V] {
-	return adaptive.NewMap[K, V](r, stripes, capacity, dirBuckets, hash, p)
+	return Must(Map[K, V](CommutingWriters(), Adaptive(WithPolicy(p)), On(r),
+		Stripes(stripes), Capacity(capacity), Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // AdaptiveSkipList is the contention-adaptive ordered map: the lock-free CAS
@@ -206,26 +274,31 @@ func NewAdaptiveMapOn[K comparable, V any](r *Registry, stripes, capacity, dirBu
 // extended-segmented (the M2 adjustment) while contention lasts. Range and
 // RangeFrom stay strictly key-ordered in every state — while promoted they
 // merge the segmented shadow with the frozen backing, suppressing
-// tombstones. NewAdaptiveSkipListFenced splits the key space at ordered
-// fences into independently adjusting ranges whose concatenation keeps the
-// global iteration sorted. Like AdaptiveMap it requires the
-// commuting-writers contract in every state: distinct threads write
-// distinct keys.
+// tombstones. Fenced(keys...) splits the key space at ordered fences into
+// independently adjusting ranges whose concatenation keeps the global
+// iteration sorted. Like AdaptiveMap it requires the commuting-writers
+// contract in every state: distinct threads write distinct keys.
 type AdaptiveSkipList[K cmp.Ordered, V any] = adaptive.SortedMap[K, V]
 
 // NewAdaptiveSkipList creates an adaptive skip list on the default registry
 // with the default policy; dirBuckets sizes the segmented directory
 // installed on promotion.
+//
+// Deprecated: declare the profile:
+// Ordered[K, V](CommutingWriters(), Adaptive(), Buckets(dirBuckets), WithHash(hash)).
 func NewAdaptiveSkipList[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64) *AdaptiveSkipList[K, V] {
-	return adaptive.NewSortedMap[K, V](core.Default, dirBuckets, hash,
-		adaptive.DefaultPolicy())
+	return Must(Ordered[K, V](CommutingWriters(), Adaptive(), Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // NewAdaptiveSkipListOn creates an adaptive skip list on a specific registry
 // with a specific policy.
+//
+// Deprecated: declare the profile: Ordered[K, V](CommutingWriters(),
+// Adaptive(WithPolicy(p)), On(r), Buckets(dirBuckets), WithHash(hash)).
 func NewAdaptiveSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
 	hash func(K) uint64, p AdaptivePolicy) *AdaptiveSkipList[K, V] {
-	return adaptive.NewSortedMap[K, V](r, dirBuckets, hash, p)
+	return Must(Ordered[K, V](CommutingWriters(), Adaptive(WithPolicy(p)), On(r),
+		Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // NewAdaptiveSkipListFenced creates an adaptive skip list whose range
@@ -233,20 +306,26 @@ func NewAdaptiveSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
 // intervals, each promoting and demoting independently while ordered
 // iteration stays strictly sorted across the fences. fences must be strictly
 // increasing (it panics otherwise); empty fences yield the single-range
-// list. The ordered object uses explicit fences instead of
-// AdaptivePolicy.Ranges because hash-prefix buckets would scatter adjacent
-// keys across ranges and break ordered iteration.
+// list.
+//
+// Deprecated: declare the profile: Ordered[K, V](CommutingWriters(),
+// Adaptive(), Fenced(fences...), Buckets(dirBuckets), WithHash(hash)).
 func NewAdaptiveSkipListFenced[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64,
 	fences []K) *AdaptiveSkipList[K, V] {
-	return adaptive.NewSortedMapFenced[K, V](core.Default, dirBuckets, hash, fences,
-		adaptive.DefaultPolicy())
+	return Must(Ordered[K, V](CommutingWriters(), Adaptive(), Fenced(fences...),
+		Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // NewAdaptiveSkipListFencedOn creates a fenced adaptive skip list on a
 // specific registry with a specific policy.
+//
+// Deprecated: declare the profile: Ordered[K, V](CommutingWriters(),
+// Adaptive(WithPolicy(p)), Fenced(fences...), On(r), Buckets(dirBuckets),
+// WithHash(hash)).
 func NewAdaptiveSkipListFencedOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
 	hash func(K) uint64, fences []K, p AdaptivePolicy) *AdaptiveSkipList[K, V] {
-	return adaptive.NewSortedMapFenced[K, V](r, dirBuckets, hash, fences, p)
+	return Must(Ordered[K, V](CommutingWriters(), Adaptive(WithPolicy(p)), Fenced(fences...),
+		On(r), Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // AdaptiveSet is the contention-adaptive membership set: lock-striped until
@@ -259,46 +338,70 @@ type AdaptiveSet[K comparable] = adaptive.Set[K]
 
 // NewAdaptiveSet creates an adaptive set on the default registry with the
 // default policy.
+//
+// Deprecated: declare the profile:
+// Set[K](CommutingWriters(), Adaptive(), Capacity(capacity), WithHash(hash)).
 func NewAdaptiveSet[K comparable](capacity int, hash func(K) uint64) *AdaptiveSet[K] {
-	return adaptive.NewSet[K](core.Default, 256, capacity, capacity*2, hash,
-		adaptive.DefaultPolicy())
+	return Must(Set[K](CommutingWriters(), Adaptive(), Capacity(capacity), WithHash(hash))).Adaptive()
 }
 
 // NewAdaptiveSetOn creates an adaptive set on a specific registry: stripes
 // sizes the cheap representation's lock array, capacity the tables,
 // dirBuckets the segmented directory.
+//
+// Deprecated: declare the profile: Set[K](CommutingWriters(),
+// Adaptive(WithPolicy(p)), On(r), Stripes(stripes), Capacity(capacity),
+// Buckets(dirBuckets), WithHash(hash)).
 func NewAdaptiveSetOn[K comparable](r *Registry, stripes, capacity, dirBuckets int,
 	hash func(K) uint64, p AdaptivePolicy) *AdaptiveSet[K] {
-	return adaptive.NewSet[K](r, stripes, capacity, dirBuckets, hash, p)
+	return Must(Set[K](CommutingWriters(), Adaptive(WithPolicy(p)), On(r),
+		Stripes(stripes), Capacity(capacity), Buckets(dirBuckets), WithHash(hash))).Adaptive()
 }
 
 // ---------------------------------------------------------------------------
 // References
 
-// WriteOnce is the write-once reference (R2): the Listing 1
+// WriteOnceRef is the write-once reference (R2): the Listing 1
 // AtomicWriteOnceReference, with per-thread read caching.
-type WriteOnce[T any] = ref.WriteOnce[T]
+type WriteOnceRef[T any] = ref.WriteOnce[T]
 
 // NewWriteOnce creates a write-once reference on the default registry.
-func NewWriteOnce[T any]() *WriteOnce[T] { return ref.NewWriteOnce[T](core.Default) }
+//
+// Deprecated: declare the profile: Ref[T](nil, WriteOnce()).
+func NewWriteOnce[T any]() *WriteOnceRef[T] {
+	return Must(Ref[T](nil, WriteOnce())).Representation().(*WriteOnceRef[T])
+}
 
 // NewWriteOnceOn creates a write-once reference on a specific registry.
-func NewWriteOnceOn[T any](r *Registry) *WriteOnce[T] { return ref.NewWriteOnce[T](r) }
+//
+// Deprecated: declare the profile: Ref[T](nil, WriteOnce(), On(r)).
+func NewWriteOnceOn[T any](r *Registry) *WriteOnceRef[T] {
+	return Must(Ref[T](nil, WriteOnce(), On(r))).Representation().(*WriteOnceRef[T])
+}
 
-// ErrAlreadySet is returned by WriteOnce.Set on a second initialization.
+// ErrAlreadySet is returned by WriteOnceRef.Set on a second initialization.
 var ErrAlreadySet = ref.ErrAlreadySet
 
 // AtomicRef is the unadjusted atomic reference.
 type AtomicRef[T any] = ref.Atomic[T]
 
 // NewAtomicRef creates an atomic reference holding v (nil allowed).
-func NewAtomicRef[T any](v *T) *AtomicRef[T] { return ref.NewAtomic(v) }
+//
+// Deprecated: declare the profile: Ref(v) (no adjustment declared).
+func NewAtomicRef[T any](v *T) *AtomicRef[T] {
+	return Must(Ref(v)).Representation().(*AtomicRef[T])
+}
 
 // RCUBox holds an immutable snapshot replaced wholesale by a single writer.
 type RCUBox[T any] = ref.RCUBox[T]
 
 // NewRCUBox creates an RCU box holding v; checked enables the SWMR guard.
-func NewRCUBox[T any](v *T, checked bool) *RCUBox[T] { return ref.NewRCUBox(v, checked) }
+//
+// Deprecated: declare the profile: Ref(v, SingleWriter()), adding Checked()
+// for the guard.
+func NewRCUBox[T any](v *T, checked bool) *RCUBox[T] {
+	return Must(Ref(v, append(checkedIf(checked), SingleWriter())...)).Representation().(*RCUBox[T])
+}
 
 // ---------------------------------------------------------------------------
 // Queues
@@ -308,13 +411,22 @@ func NewRCUBox[T any](v *T, checked bool) *RCUBox[T] { return ref.NewRCUBox(v, c
 type MPSCQueue[T any] = queue.MPSC[T]
 
 // NewMPSCQueue creates an MPSC queue; checked enables the MWSR guard.
-func NewMPSCQueue[T any](checked bool) *MPSCQueue[T] { return queue.NewMPSC[T](nil, checked) }
+//
+// Deprecated: declare the profile: Queue[T](SingleReader()), adding
+// Checked() for the guard.
+func NewMPSCQueue[T any](checked bool) *MPSCQueue[T] {
+	return Must(Queue[T](append(checkedIf(checked), SingleReader())...)).Representation().(*MPSCQueue[T])
+}
 
 // MSQueue is the Michael–Scott queue, the unadjusted baseline.
 type MSQueue[T any] = queue.MS[T]
 
 // NewMSQueue creates a Michael–Scott queue.
-func NewMSQueue[T any]() *MSQueue[T] { return queue.NewMS[T](nil) }
+//
+// Deprecated: declare the profile: Queue[T]() (no adjustment declared).
+func NewMSQueue[T any]() *MSQueue[T] {
+	return Must(Queue[T]()).Representation().(*MSQueue[T])
+}
 
 // ---------------------------------------------------------------------------
 // Maps and sets
@@ -323,92 +435,132 @@ func NewMSQueue[T any]() *MSQueue[T] { return queue.NewMS[T](nil) }
 type SWMRMap[K comparable, V any] = hashmap.SWMR[K, V]
 
 // NewSWMRMap creates an SWMR hash map; checked enables the SWMR guard.
+//
+// Deprecated: declare the profile: Map[K, V](SingleWriter(),
+// Capacity(capacity), WithHash(hash)), adding Checked() for the guard.
 func NewSWMRMap[K comparable, V any](capacity int, hash func(K) uint64, checked bool) *SWMRMap[K, V] {
-	return hashmap.NewSWMR[K, V](capacity, hash, checked)
+	return Must(Map[K, V](append(checkedIf(checked), SingleWriter(), Capacity(capacity), WithHash(hash))...)).Representation().(*SWMRMap[K, V])
 }
 
 // SegmentedMap is the ExtendedSegmentedHashMap (M2, CWMR).
 type SegmentedMap[K comparable, V any] = hashmap.Segmented[K, V]
 
 // NewSegmentedMap creates a segmented map on the default registry.
+//
+// Deprecated: declare the profile:
+// Map[K, V](CommutingWriters(), Capacity(capacity), WithHash(hash)).
 func NewSegmentedMap[K comparable, V any](capacity int, hash func(K) uint64) *SegmentedMap[K, V] {
-	return hashmap.NewSegmented[K, V](core.Default, capacity, capacity*2, hash, false)
+	return Must(Map[K, V](CommutingWriters(), Capacity(capacity), WithHash(hash))).Representation().(*SegmentedMap[K, V])
 }
 
 // NewSegmentedMapOn creates a segmented map on a specific registry.
+//
+// Deprecated: declare the profile: Map[K, V](CommutingWriters(), On(r),
+// Capacity(capacity), Buckets(dirBuckets), WithHash(hash)), adding
+// Checked() for the guard.
 func NewSegmentedMapOn[K comparable, V any](r *Registry, capacity, dirBuckets int,
 	hash func(K) uint64, checked bool) *SegmentedMap[K, V] {
-	return hashmap.NewSegmented[K, V](r, capacity, dirBuckets, hash, checked)
+	return Must(Map[K, V](append(checkedIf(checked), CommutingWriters(), On(r),
+		Capacity(capacity), Buckets(dirBuckets), WithHash(hash))...)).Representation().(*SegmentedMap[K, V])
 }
 
 // StripedMap is the lock-striped baseline map.
 type StripedMap[K comparable, V any] = hashmap.Striped[K, V]
 
 // NewStripedMap creates a striped map.
+//
+// Deprecated: declare the profile:
+// Map[K, V](Stripes(stripes), Capacity(capacity), WithHash(hash)).
 func NewStripedMap[K comparable, V any](stripes, capacity int, hash func(K) uint64) *StripedMap[K, V] {
-	return hashmap.NewStriped[K, V](stripes, capacity, hash, nil)
+	return Must(Map[K, V](Stripes(stripes), Capacity(capacity), WithHash(hash))).Representation().(*StripedMap[K, V])
 }
 
 // SWMRSkipList is a single-writer multi-reader ordered map.
 type SWMRSkipList[K cmp.Ordered, V any] = skiplist.SWMR[K, V]
 
 // NewSWMRSkipList creates an SWMR skip list; checked enables the guard.
+//
+// Deprecated: declare the profile: Ordered[K, V](SingleWriter()), adding
+// Checked() for the guard.
 func NewSWMRSkipList[K cmp.Ordered, V any](checked bool) *SWMRSkipList[K, V] {
-	return skiplist.NewSWMR[K, V](checked)
+	return Must(Ordered[K, V](append(checkedIf(checked), SingleWriter())...)).Representation().(*SWMRSkipList[K, V])
 }
 
 // SegmentedSkipList is the ExtendedSegmentedSkipListMap.
 type SegmentedSkipList[K cmp.Ordered, V any] = skiplist.Segmented[K, V]
 
 // NewSegmentedSkipList creates a segmented skip list on the default registry.
+//
+// Deprecated: declare the profile:
+// Ordered[K, V](CommutingWriters(), Buckets(dirBuckets), WithHash(hash)).
 func NewSegmentedSkipList[K cmp.Ordered, V any](dirBuckets int, hash func(K) uint64) *SegmentedSkipList[K, V] {
-	return skiplist.NewSegmented[K, V](core.Default, dirBuckets, hash, false)
+	return Must(Ordered[K, V](CommutingWriters(), Buckets(dirBuckets), WithHash(hash))).Representation().(*SegmentedSkipList[K, V])
 }
 
 // NewSegmentedSkipListOn creates a segmented skip list on a specific
 // registry.
+//
+// Deprecated: declare the profile: Ordered[K, V](CommutingWriters(), On(r),
+// Buckets(dirBuckets), WithHash(hash)), adding Checked() for the guard.
 func NewSegmentedSkipListOn[K cmp.Ordered, V any](r *Registry, dirBuckets int,
 	hash func(K) uint64, checked bool) *SegmentedSkipList[K, V] {
-	return skiplist.NewSegmented[K, V](r, dirBuckets, hash, checked)
+	return Must(Ordered[K, V](append(checkedIf(checked), CommutingWriters(), On(r),
+		Buckets(dirBuckets), WithHash(hash))...)).Representation().(*SegmentedSkipList[K, V])
 }
 
 // ConcurrentSkipList is the lock-free CAS baseline ordered map.
 type ConcurrentSkipList[K cmp.Ordered, V any] = skiplist.Concurrent[K, V]
 
 // NewConcurrentSkipList creates a lock-free skip list.
+//
+// Deprecated: declare the profile: Ordered[K, V]() (no adjustment declared).
 func NewConcurrentSkipList[K cmp.Ordered, V any]() *ConcurrentSkipList[K, V] {
-	return skiplist.NewConcurrent[K, V](nil)
+	return Must(Ordered[K, V]()).Representation().(*ConcurrentSkipList[K, V])
 }
+
+// SWMRSet is a single-writer multi-reader membership set.
+type SWMRSet[K comparable] = set.SWMR[K]
 
 // SegmentedSet is the adjusted set (S3-style, CWMR).
 type SegmentedSet[K comparable] = set.Segmented[K]
 
 // NewSegmentedSet creates a segmented set on the default registry.
+//
+// Deprecated: declare the profile:
+// Set[K](CommutingWriters(), Capacity(capacity), WithHash(hash)).
 func NewSegmentedSet[K comparable](capacity int, hash func(K) uint64) *SegmentedSet[K] {
-	return set.NewSegmented[K](core.Default, capacity, capacity*2, hash, false)
+	return Must(Set[K](CommutingWriters(), Capacity(capacity), WithHash(hash))).Representation().(*SegmentedSet[K])
 }
 
 // NewSegmentedSetOn creates a segmented set on a specific registry.
+//
+// Deprecated: declare the profile: Set[K](CommutingWriters(), On(r),
+// Capacity(capacity), WithHash(hash)), adding Checked() for the guard.
 func NewSegmentedSetOn[K comparable](r *Registry, capacity int, hash func(K) uint64, checked bool) *SegmentedSet[K] {
-	return set.NewSegmented[K](r, capacity, capacity*2, hash, checked)
+	return Must(Set[K](append(checkedIf(checked), CommutingWriters(), On(r),
+		Capacity(capacity), WithHash(hash))...)).Representation().(*SegmentedSet[K])
 }
 
 // StripedSet is the lock-striped baseline set.
 type StripedSet[K comparable] = set.Striped[K]
 
 // NewStripedSet creates a striped set.
+//
+// Deprecated: declare the profile:
+// Set[K](Stripes(stripes), Capacity(capacity), WithHash(hash)).
 func NewStripedSet[K comparable](stripes, capacity int, hash func(K) uint64) *StripedSet[K] {
-	return set.NewStriped[K](stripes, capacity, hash, nil)
+	return Must(Set[K](Stripes(stripes), Capacity(capacity), WithHash(hash))).Representation().(*StripedSet[K])
 }
 
 // ---------------------------------------------------------------------------
 // Hashing helpers
 
-// Hash64 mixes an integer key (splitmix64); suitable for the hash parameter
-// of the maps above.
+// Hash64 mixes an integer key (splitmix64); the default hasher for built-in
+// integer key types.
 func Hash64(x uint64) uint64 { return stats.Hash64(x) }
 
-// HashString hashes a string key (FNV-1a + mixing).
+// HashString hashes a string key (FNV-1a + mixing); the default hasher for
+// string keys.
 func HashString(s string) uint64 { return stats.HashString(s) }
 
 // HashInt adapts Hash64 to int keys.

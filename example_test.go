@@ -1,20 +1,67 @@
 package dego_test
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/adjusted-objects/dego"
 )
 
-// ExampleNewAdaptiveMap walks the adaptive hash map through a forced
-// promote/demote cycle: contents survive every representation switch, and
-// while promoted the map overlays its segmented shadow on the frozen striped
-// backing (updates shadow backed keys, removals tombstone them).
-func ExampleNewAdaptiveMap() {
+// ExampleCounter declares a counter profile — blind increments, one reader —
+// and lets the planner pick the representation: the paper's (C3, CWSR)
+// per-thread cells, no CAS anywhere.
+func ExampleCounter() {
 	h := dego.MustRegister()
 	defer h.Release()
 
-	m := dego.NewAdaptiveMap[string, int](1024, dego.HashString)
+	events, err := dego.Counter(dego.Blind(), dego.SingleReader())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", events.Plan())
+
+	for i := 0; i < 1000; i++ {
+		events.Inc(h)
+	}
+	fmt.Println("count:", events.Get(h))
+	// Output:
+	// plan: Counter (C3, CWSR) → IncrementOnlyCounter
+	// count: 1000
+}
+
+// ExampleMap declares a commuting-writers map profile. String keys hash with
+// the built-in default hasher, so no WithHash is needed; the planner yields
+// the extended segmentation of the paper's (M2, CWMR).
+func ExampleMap() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	m, err := dego.Map[string, int](dego.CommutingWriters(), dego.Capacity(1024))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", m.Plan())
+
+	m.Put(h, "alpha", 1)
+	m.Put(h, "beta", 2)
+	v, ok := m.Get("beta")
+	fmt.Println("beta:", v, ok, "len:", m.Len())
+	// Output:
+	// plan: Map (M2, CWMR) → SegmentedMap
+	// beta: 2 true len: 2
+}
+
+// ExampleMap_adaptive declares a commuting-writers map with Adaptive: the
+// planner yields the contention-adaptive map, here walked through a forced
+// promote/demote cycle. Contents survive every representation switch, and
+// while promoted the map overlays its segmented shadow on the frozen striped
+// backing (updates shadow backed keys, removals tombstone them).
+func ExampleMap_adaptive() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	m := dego.Must(dego.Map[string, int](dego.CommutingWriters(), dego.Adaptive(),
+		dego.Capacity(1024))).Adaptive()
 	m.Put(h, "alpha", 1)
 	m.Put(h, "beta", 2)
 	fmt.Println("state:", m.State(), "len:", m.Len())
@@ -36,14 +83,19 @@ func ExampleNewAdaptiveMap() {
 	// state: quiescent gamma: 3 len: 2
 }
 
-// ExampleNewAdaptiveSkipList shows the ordered contract holding across a
-// promotion: Range stays strictly key-ordered even while the iteration
-// merges the live segmented shadow with the frozen lock-free backing.
-func ExampleNewAdaptiveSkipList() {
+// ExampleOrdered declares an adaptive commuting-writers ordered profile and
+// shows the ordered contract holding across a promotion: Range stays
+// strictly key-ordered even while the iteration merges the live segmented
+// shadow with the frozen lock-free backing.
+func ExampleOrdered() {
 	h := dego.MustRegister()
 	defer h.Release()
 
-	sl := dego.NewAdaptiveSkipList[int, string](1024, dego.HashInt)
+	o := dego.Must(dego.Ordered[int, string](dego.CommutingWriters(), dego.Adaptive(),
+		dego.Buckets(1024)))
+	fmt.Println("plan:", o.Plan())
+
+	sl := o.Adaptive()
 	for _, k := range []int{30, 10, 50} {
 		sl.Put(h, k, fmt.Sprintf("v%d", k))
 	}
@@ -56,19 +108,21 @@ func ExampleNewAdaptiveSkipList() {
 		return true
 	})
 	// Output:
+	// plan: Ordered (M2, CWMR) → AdaptiveSkipList (adaptive)
 	// 10 v10
 	// 20 v20
 	// 50 v50
 }
 
-// ExampleNewAdaptiveSet exercises the adaptive membership set across a
-// promote/demote cycle; zero-size values ride on the engine's tombstone
-// sentinel, so removals of backed elements stay removals.
-func ExampleNewAdaptiveSet() {
+// ExampleSet declares an adaptive commuting-writers membership set and
+// exercises it across a promote/demote cycle; zero-size values ride on the
+// engine's tombstone sentinel, so removals of backed elements stay removals.
+func ExampleSet() {
 	h := dego.MustRegister()
 	defer h.Release()
 
-	s := dego.NewAdaptiveSet[string](1024, dego.HashString)
+	s := dego.Must(dego.Set[string](dego.CommutingWriters(), dego.Adaptive(),
+		dego.Capacity(1024))).Adaptive()
 	s.Add(h, "reader")
 	s.Add(h, "writer")
 	s.ForcePromote()
@@ -81,4 +135,62 @@ func ExampleNewAdaptiveSet() {
 	// Output:
 	// reader: false admin: true
 	// len: 2 ranges: 1
+}
+
+// ExampleQueue declares a single-consumer queue profile: the planner yields
+// the multi-producer single-consumer queue of the paper's (Q1, MWSR).
+func ExampleQueue() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	q := dego.Must(dego.Queue[string](dego.SingleReader()))
+	fmt.Println("plan:", q.Plan())
+
+	q.Offer(h, "a")
+	q.Offer(h, "b")
+	v, _ := q.Poll(h)
+	fmt.Println("head:", v)
+	// Output:
+	// plan: Queue (Q1, MWSR) → MPSCQueue
+	// head: a
+}
+
+// ExampleRef declares a write-once reference profile (the paper's
+// Listing 1): initialized once, read forever after without synchronization
+// cost; a second initialization fails with ErrAlreadySet.
+func ExampleRef() {
+	h := dego.MustRegister()
+	defer h.Release()
+
+	type config struct{ MaxConns int }
+	cfg := dego.Must(dego.Ref[config](nil, dego.WriteOnce()))
+	fmt.Println("plan:", cfg.Plan())
+
+	if err := cfg.Set(h, &config{MaxConns: 128}); err != nil {
+		panic(err)
+	}
+	err := cfg.Set(h, &config{MaxConns: 256})
+	fmt.Println("second set:", errors.Is(err, dego.ErrAlreadySet))
+	fmt.Println("MaxConns:", cfg.Get(h).MaxConns)
+	// Output:
+	// plan: Ref (R2, ALL) → WriteOnceRef
+	// second set: true
+	// MaxConns: 128
+}
+
+// ExampleErrInvalidProfile shows the planner rejecting an impossible
+// declaration at construction: there is no single-reader map in the §4.2
+// catalog, so the profile fails with a typed error instead of building an
+// object whose contract nothing can certify.
+func ExampleErrInvalidProfile() {
+	_, err := dego.Map[string, int](dego.SingleReader())
+	fmt.Println("invalid:", errors.Is(err, dego.ErrInvalidProfile))
+
+	var perr *dego.InvalidProfileError
+	if errors.As(err, &perr) {
+		fmt.Println("datatype:", perr.Datatype)
+	}
+	// Output:
+	// invalid: true
+	// datatype: Map
 }

@@ -91,9 +91,12 @@ func main() {
 	// An eager policy so the demo converges in fractions of a second; the
 	// defaults sample 16x less often.
 	policy := dego.AdaptivePolicy{SampleEvery: 64, MinSamples: 2, DemoteSamples: 4}
-	counter := dego.NewAdaptiveCounterOn(reg, policy)
-	m := dego.NewAdaptiveMapOn[int, int](reg, 8, keyRange, keyRange*2, dego.HashInt, policy)
-	sl := dego.NewAdaptiveSkipListOn[int, int](reg, keyRange*2, dego.HashInt, policy)
+	counter := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.On(reg),
+		dego.Adaptive(dego.WithPolicy(policy)))).Adaptive()
+	m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.On(reg), dego.Stripes(8),
+		dego.Capacity(keyRange), dego.Adaptive(dego.WithPolicy(policy)))).Adaptive()
+	sl := dego.Must(dego.Ordered[int, int](dego.CommutingWriters(), dego.On(reg),
+		dego.Buckets(keyRange*2), dego.Adaptive(dego.WithPolicy(policy)))).Adaptive()
 
 	traces := newTracer(
 		tracedObj{"map     ", m.State},

@@ -14,7 +14,7 @@ func main() {
 	// 1. An increment-only counter: many goroutines count events, one
 	// goroutine reads the total. Adjusted to (C3, CWSR), it is a plain
 	// per-thread long — no compare-and-swap anywhere.
-	events := dego.NewCounter()
+	events := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader()))
 
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -37,7 +37,7 @@ func main() {
 	// 2. A write-once configuration reference (Listing 1 of the paper):
 	// initialized once, read forever after without synchronization cost.
 	type config struct{ MaxConns int }
-	cfg := dego.NewWriteOnce[config]()
+	cfg := dego.Must(dego.Ref[config](nil, dego.WriteOnce()))
 	if err := cfg.Set(reader, &config{MaxConns: 128}); err != nil {
 		panic(err)
 	}
@@ -48,7 +48,7 @@ func main() {
 
 	// 3. A segmented map: goroutines own disjoint key ranges (commuting
 	// writes), so puts never touch a shared cache line; any goroutine reads.
-	m := dego.NewSegmentedMap[string, int](1024, dego.HashString)
+	m := dego.Must(dego.Map[string, int](dego.CommutingWriters(), dego.Capacity(1024)))
 	wg = sync.WaitGroup{}
 	for w := 0; w < 4; w++ {
 		wg.Add(1)

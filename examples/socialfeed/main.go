@@ -29,21 +29,26 @@ type post struct {
 }
 
 type network struct {
-	followers *dego.SegmentedMap[userID, []userID] // immutable slices, replaced on change
-	timelines *dego.SegmentedMap[userID, *dego.MPSCQueue[post]]
-	profiles  *dego.SegmentedMap[userID, string]
-	community *dego.SegmentedSet[userID]
+	followers *dego.AdjustedMap[userID, []userID] // immutable slices, replaced on change
+	timelines *dego.AdjustedMap[userID, *dego.AdjustedQueue[post]]
+	profiles  *dego.AdjustedMap[userID, string]
+	community *dego.AdjustedSet[userID]
 }
 
 func hashUser(u userID) uint64 { return dego.Hash64(uint64(u)) }
 
 func main() {
 	reg := dego.NewRegistry(shards + 1)
+	// Per-user state is written by the owning shard only and writes of
+	// distinct shards commute (distinct keys), so every map declares
+	// CommutingWriters; the planner picks the extended segmentations.
+	shared := []dego.Option{dego.CommutingWriters(), dego.On(reg),
+		dego.Capacity(users), dego.WithHash(hashUser)}
 	net := &network{
-		followers: dego.NewSegmentedMapOn[userID, []userID](reg, users, users*2, hashUser, false),
-		timelines: dego.NewSegmentedMapOn[userID, *dego.MPSCQueue[post]](reg, users, users*2, hashUser, false),
-		profiles:  dego.NewSegmentedMapOn[userID, string](reg, users, users*2, hashUser, false),
-		community: dego.NewSegmentedSetOn[userID](reg, users, hashUser, false),
+		followers: dego.Must(dego.Map[userID, []userID](shared...)),
+		timelines: dego.Must(dego.Map[userID, *dego.AdjustedQueue[post]](shared...)),
+		profiles:  dego.Must(dego.Map[userID, string](shared...)),
+		community: dego.Must(dego.Set[userID](shared...)),
 	}
 
 	var wg sync.WaitGroup
@@ -58,7 +63,7 @@ func main() {
 			// shard's segments, so every later write by this shard commutes
 			// with the other shards' writes.
 			for u := userID(s); u < users; u += shards {
-				net.timelines.Put(h, u, dego.NewMPSCQueue[post](false))
+				net.timelines.Put(h, u, dego.Must(dego.Queue[post](dego.SingleReader())))
 				net.profiles.Put(h, u, fmt.Sprintf("user-%d", u))
 				// u follows its three "neighbours".
 				net.followers.Put(h, u, []userID{

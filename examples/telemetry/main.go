@@ -37,14 +37,20 @@ const (
 
 func main() {
 	reg := dego.NewRegistry(producers + 4)
-	pipe := dego.NewMPSCQueue[sample](true) // MWSR guard ON: misuse panics
-	cfg := dego.NewRCUBox(&agentConfig{SampleEvery: 10, Tags: []string{"host:a"}}, true)
+	// Declared profiles: the pipe is written by many producers and drained
+	// by one consumer (MWSR, guard ON: misuse panics); the config has a
+	// single control-plane writer (SWMR, an RCU box under the hood); the
+	// counters are blind increments read by the aggregator alone (CWSR,
+	// per-thread cells).
+	pipe := dego.Must(dego.Queue[sample](dego.SingleReader(), dego.Checked()))
+	cfg := dego.Must(dego.Ref(&agentConfig{SampleEvery: 10, Tags: []string{"host:a"}},
+		dego.SingleWriter(), dego.Checked()))
 
-	counters := make([]*dego.Counter, metrics)
+	counters := make([]*dego.AdjustedCounter, metrics)
 	for i := range counters {
-		counters[i] = dego.NewCounterOn(reg, false)
+		counters[i] = dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.On(reg)))
 	}
-	dropped := dego.NewCounterOn(reg, false)
+	dropped := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.On(reg)))
 
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -54,7 +60,7 @@ func main() {
 			h := reg.MustRegister()
 			defer h.Release()
 			for i := 0; i < perProd; i++ {
-				c := cfg.Read() // immutable snapshot, one atomic load
+				c := cfg.Get(h) // immutable snapshot, one atomic load
 				if i%c.SampleEvery != 0 {
 					dropped.Inc(h)
 					continue
@@ -104,7 +110,7 @@ func main() {
 	fmt.Printf("samples produced: %d, drained: %d, dropped (rate limit): %d\n",
 		produced, drained, dropped.Get(control))
 	fmt.Printf("final config: every=%d tags=%v\n",
-		cfg.Read().SampleEvery, cfg.Read().Tags)
+		cfg.Get(control).SampleEvery, cfg.Get(control).Tags)
 	if produced != drained {
 		fmt.Println("WARNING: pipeline lost samples")
 	}

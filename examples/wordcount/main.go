@@ -24,14 +24,15 @@ the five boxing wizards jump quickly
 
 func main() {
 	reg := dego.NewRegistry(workers + 2)
-	counts := dego.NewSegmentedMapOn[string, int](reg, 4096, 8192, dego.HashString, false)
-	linesDone := dego.NewCounterOn(reg, false)
+	counts := dego.Must(dego.Map[string, int](dego.CommutingWriters(), dego.On(reg),
+		dego.Capacity(4096), dego.Buckets(8192)))
+	linesDone := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.On(reg)))
 
 	// One MPSC work queue per worker: each worker is the single consumer of
 	// its own queue (Q1, MWSR), the producer is the dispatcher.
-	queues := make([]*dego.MPSCQueue[string], workers)
+	queues := make([]*dego.AdjustedQueue[string], workers)
 	for i := range queues {
-		queues[i] = dego.NewMPSCQueue[string](false)
+		queues[i] = dego.Must(dego.Queue[string](dego.SingleReader()))
 	}
 
 	dispatcher := reg.MustRegister()

@@ -1,0 +1,72 @@
+package dego
+
+import "github.com/adjusted-objects/dego/internal/stats"
+
+// defaultHasher returns the library hasher for K when K is a built-in
+// integer or string type, else nil. The type switch runs once at
+// construction; the returned function is monomorphic (asserted back to
+// func(K) uint64 via type identity), so per-operation hashing never boxes.
+func defaultHasher[K comparable]() func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		f := func(k string) uint64 { return stats.HashString(k) }
+		return any(f).(func(K) uint64)
+	case int:
+		f := func(k int) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case int8:
+		f := func(k int8) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case int16:
+		f := func(k int16) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case int32:
+		f := func(k int32) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case int64:
+		f := func(k int64) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case uint:
+		f := func(k uint) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case uint8:
+		f := func(k uint8) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case uint16:
+		f := func(k uint16) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case uint32:
+		f := func(k uint32) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	case uint64:
+		f := func(k uint64) uint64 { return stats.Hash64(k) }
+		return any(f).(func(K) uint64)
+	case uintptr:
+		f := func(k uintptr) uint64 { return stats.Hash64(uint64(k)) }
+		return any(f).(func(K) uint64)
+	}
+	return nil
+}
+
+// resolveHash produces the hash function a keyed plan will use: an explicit
+// WithHash if declared (rejecting a mismatched key type), else the default
+// hasher for built-in key types, else a typed rejection — never a nil
+// function that panics on first use.
+func resolveHash[K comparable](dt string, p *profile) (func(K) uint64, error) {
+	var zero K
+	if p.hash != nil {
+		f, ok := p.hash.(func(K) uint64)
+		if !ok {
+			return nil, invalid(dt, "WithHash function has type %T, want func(%T) uint64", p.hash, zero)
+		}
+		if f == nil {
+			return nil, invalid(dt, "WithHash function is nil")
+		}
+		return f, nil
+	}
+	if f := defaultHasher[K](); f != nil {
+		return f, nil
+	}
+	return nil, invalid(dt, "no default hasher for key type %T: pass WithHash(func(%T) uint64)", zero, zero)
+}

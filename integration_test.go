@@ -8,14 +8,25 @@ import (
 	"testing"
 )
 
-// Integration tests exercise the public facade end to end: every constructor
-// is used the way the README shows, across goroutines, under -race in CI.
+// Integration tests exercise the public facade end to end: every object is
+// constructed through the profile API the way the README shows, across
+// goroutines, under -race in CI.
 
 func TestFacadeCounterFamily(t *testing.T) {
 	reg := NewRegistry(16)
-	c := NewCounterOn(reg, false)
-	ad := NewAdder(8)
-	at := NewAtomicCounter()
+	c := Must(Counter(Blind(), SingleReader(), On(reg)))
+	ad := Must(Counter(Blind(), Capacity(8)))
+	at := Must(Counter())
+
+	if got, want := c.Plan().Rep, "IncrementOnlyCounter"; got != want {
+		t.Fatalf("CWSR counter planned %q, want %q", got, want)
+	}
+	if got, want := ad.Plan().Rep, "Adder"; got != want {
+		t.Fatalf("blind counter planned %q, want %q", got, want)
+	}
+	if got, want := at.Plan().Rep, "AtomicCounter"; got != want {
+		t.Fatalf("unadjusted counter planned %q, want %q", got, want)
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
@@ -27,7 +38,7 @@ func TestFacadeCounterFamily(t *testing.T) {
 			for j := 0; j < 10_000; j++ {
 				c.Inc(h)
 				ad.Inc(h)
-				at.IncrementAndGet()
+				at.Inc(h)
 			}
 		}()
 	}
@@ -38,10 +49,10 @@ func TestFacadeCounterFamily(t *testing.T) {
 	if got := c.Get(reader); got != want {
 		t.Errorf("Counter = %d, want %d", got, want)
 	}
-	if got := ad.Sum(); got != want {
+	if got := ad.Get(reader); got != want {
 		t.Errorf("Adder = %d, want %d", got, want)
 	}
-	if got := at.Get(); got != want {
+	if got := at.Get(reader); got != want {
 		t.Errorf("AtomicCounter = %d, want %d", got, want)
 	}
 }
@@ -49,7 +60,7 @@ func TestFacadeCounterFamily(t *testing.T) {
 func TestFacadeWriteOnceAndRCU(t *testing.T) {
 	reg := NewRegistry(8)
 	h := reg.MustRegister()
-	w := NewWriteOnceOn[string](reg)
+	w := Must(Ref[string](nil, WriteOnce(), On(reg)))
 	v1, v2 := "a", "b"
 	if err := w.Set(h, &v1); err != nil {
 		t.Fatal(err)
@@ -61,16 +72,19 @@ func TestFacadeWriteOnceAndRCU(t *testing.T) {
 		t.Fatal("write-once value lost")
 	}
 
-	box := NewRCUBox(&[]string{"x"}, false)
+	box := Must(Ref(&[]string{"x"}, SingleWriter()))
+	if got, want := box.Plan().Rep, "RCUBox"; got != want {
+		t.Fatalf("SWMR ref planned %q, want %q", got, want)
+	}
 	box.Update(h, func(old *[]string) *[]string {
 		next := append(append([]string(nil), *old...), "y")
 		return &next
 	})
-	if got := *box.Read(); len(got) != 2 || got[1] != "y" {
+	if got := *box.Get(h); len(got) != 2 || got[1] != "y" {
 		t.Fatalf("RCU snapshot = %v", got)
 	}
 
-	r := NewAtomicRef[int](nil)
+	r := Must(Ref[int](nil)).Representation().(*AtomicRef[int])
 	one := 1
 	if !r.CompareAndSet(nil, &one) || r.Get() != &one {
 		t.Fatal("AtomicRef CAS broken")
@@ -79,8 +93,8 @@ func TestFacadeWriteOnceAndRCU(t *testing.T) {
 
 func TestFacadeQueuesPipeline(t *testing.T) {
 	reg := NewRegistry(8)
-	mpsc := NewMPSCQueue[int](false)
-	ms := NewMSQueue[int]()
+	mpsc := Must(Queue[int](SingleReader()))
+	ms := Must(Queue[int]())
 
 	var wg sync.WaitGroup
 	for p := 0; p < 4; p++ {
@@ -91,7 +105,7 @@ func TestFacadeQueuesPipeline(t *testing.T) {
 			defer h.Release()
 			for i := 0; i < 5_000; i++ {
 				mpsc.Offer(h, p*5_000+i)
-				ms.Offer(p*5_000 + i)
+				ms.Offer(h, p*5_000+i)
 			}
 		}(p)
 	}
@@ -108,29 +122,29 @@ func TestFacadeQueuesPipeline(t *testing.T) {
 	if got != 20_000 {
 		t.Errorf("MPSC drained %d, want 20000", got)
 	}
-	if ms.Len() != 20_000 {
-		t.Errorf("MS len = %d, want 20000", ms.Len())
+	if n := ms.Representation().(*MSQueue[int]).Len(); n != 20_000 {
+		t.Errorf("MS len = %d, want 20000", n)
 	}
 }
 
 func TestFacadeMapsAgree(t *testing.T) {
 	reg := NewRegistry(8)
 	h := reg.MustRegister()
-	seg := NewSegmentedMapOn[string, int](reg, 128, 256, HashString, false)
-	swmr := NewSWMRMap[string, int](128, HashString, false)
-	striped := NewStripedMap[string, int](16, 128, HashString)
+	seg := Must(Map[string, int](CommutingWriters(), On(reg), Capacity(128), Buckets(256)))
+	swmr := Must(Map[string, int](SingleWriter(), Capacity(128)))
+	striped := Must(Map[string, int](Stripes(16), Capacity(128)))
 	oracle := map[string]int{}
 
 	for i := 0; i < 500; i++ {
 		k := fmt.Sprintf("k%d", i%97)
 		seg.Put(h, k, i)
 		swmr.Put(h, k, i)
-		striped.Put(k, i)
+		striped.Put(h, k, i)
 		oracle[k] = i
 		if i%5 == 0 {
 			seg.Remove(h, k)
 			swmr.Remove(h, k)
-			striped.Remove(k)
+			striped.Remove(h, k)
 			delete(oracle, k)
 		}
 	}
@@ -154,15 +168,15 @@ func TestFacadeMapsAgree(t *testing.T) {
 func TestFacadeSkipListsOrdered(t *testing.T) {
 	reg := NewRegistry(8)
 	h := reg.MustRegister()
-	seg := skipListViaFacade(reg)
-	swmr := NewSWMRSkipList[int, string](false)
-	conc := NewConcurrentSkipList[int, string]()
+	seg := Must(Ordered[int, string](CommutingWriters(), On(reg), Buckets(256)))
+	swmr := Must(Ordered[int, string](SingleWriter()))
+	conc := Must(Ordered[int, string]())
 
 	for _, k := range []int{5, 1, 9, 3, 7} {
 		v := fmt.Sprintf("v%d", k)
 		seg.Put(h, k, v)
 		swmr.Put(h, k, v)
-		conc.Put(k, v)
+		conc.Put(h, k, v)
 	}
 	wantOrder := []int{1, 3, 5, 7, 9}
 	check := func(name string, rng func(func(int, string) bool)) {
@@ -183,27 +197,39 @@ func TestFacadeSkipListsOrdered(t *testing.T) {
 	check("segmented", seg.Range)
 	check("swmr", swmr.Range)
 	check("concurrent", conc.Range)
-}
 
-func skipListViaFacade(r *Registry) *SegmentedSkipList[int, string] {
-	return NewSegmentedSkipListOn[int, string](r, 256, HashInt, false)
+	// RangeFrom and RangeBetween hold on every representation.
+	for name, o := range map[string]*AdjustedOrdered[int, string]{
+		"segmented": seg, "swmr": swmr, "concurrent": conc,
+	} {
+		var from []int
+		o.RangeFrom(5, func(k int, _ string) bool { from = append(from, k); return true })
+		if len(from) != 3 || from[0] != 5 || from[2] != 9 {
+			t.Fatalf("%s RangeFrom(5) = %v", name, from)
+		}
+		var between []int
+		o.RangeBetween(3, 9, func(k int, _ string) bool { between = append(between, k); return true })
+		if len(between) != 3 || between[0] != 3 || between[2] != 7 {
+			t.Fatalf("%s RangeBetween(3,9) = %v", name, between)
+		}
+	}
 }
 
 func TestFacadeSetsAndGuards(t *testing.T) {
 	reg := NewRegistry(8)
 	h := reg.MustRegister()
-	seg := NewSegmentedSetOn[int](reg, 64, HashInt, false)
-	striped := NewStripedSet[int](8, 64, HashInt)
+	seg := Must(Set[int](CommutingWriters(), On(reg), Capacity(64)))
+	striped := Must(Set[int](Stripes(8), Capacity(64)))
 	for i := 0; i < 50; i++ {
 		seg.Add(h, i)
-		striped.Add(i)
+		striped.Add(h, i)
 	}
 	if seg.Len() != 50 || striped.Len() != 50 {
 		t.Fatal("set lens wrong")
 	}
 
 	// Guards on: a second consumer on a checked MPSC queue must panic.
-	q := NewMPSCQueue[int](true)
+	q := Must(Queue[int](SingleReader(), Checked()))
 	c1, c2 := reg.MustRegister(), reg.MustRegister()
 	q.Offer(c1, 1)
 	q.Offer(c2, 2)
@@ -238,7 +264,7 @@ func TestFacadeScalesWithGOMAXPROCS(t *testing.T) {
 		t.Skip("single-proc environment")
 	}
 	reg := NewRegistry(procs + 1)
-	c := NewCounterOn(reg, false)
+	c := Must(Counter(Blind(), SingleReader(), On(reg)))
 	var wg sync.WaitGroup
 	for i := 0; i < procs; i++ {
 		wg.Add(1)

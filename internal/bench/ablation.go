@@ -6,9 +6,9 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
-	"github.com/adjusted-objects/dego/internal/counter"
 	"github.com/adjusted-objects/dego/internal/hashmap"
 )
 
@@ -74,7 +74,8 @@ func SegHash() Workload {
 // rows share the exact same op mix).
 func SegExtended() Workload {
 	return Workload{Name: "ExtendedSegmentation", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		m := hashmap.NewSegmented[int, int](reg, cfg.InitialItems, cfg.KeyRange*2, intHash, false)
+		m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.On(reg),
+			dego.Capacity(cfg.InitialItems), dego.Buckets(cfg.KeyRange*2))).Representation().(*dego.SegmentedMap[int, int])
 		keys := threadKeys(cfg)
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			mine := keys[tid]
@@ -112,7 +113,8 @@ func CounterUnpadded() Workload {
 // price the runtime permission checking.
 func CounterGuarded() Workload {
 	return Workload{Name: "CounterGuarded", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		c := counter.NewIncrementOnly(reg, true)
+		c := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.Checked(),
+			dego.On(reg))).Representation().(*dego.IncrementOnlyCounter)
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.Inc(h)
 		}, nil

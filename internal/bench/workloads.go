@@ -4,14 +4,9 @@ import (
 	"math/rand"
 	"runtime"
 
-	"github.com/adjusted-objects/dego/internal/adaptive"
+	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
-	"github.com/adjusted-objects/dego/internal/counter"
-	"github.com/adjusted-objects/dego/internal/hashmap"
-	"github.com/adjusted-objects/dego/internal/queue"
-	"github.com/adjusted-objects/dego/internal/ref"
-	"github.com/adjusted-objects/dego/internal/skiplist"
 	"github.com/adjusted-objects/dego/internal/stats"
 )
 
@@ -19,6 +14,11 @@ import (
 // figure legends. Update operations are commuting, as in §6.2: "each request
 // is routed to a particular thread (using, e.g., the hash of the data
 // item)" — thread t works on the keys k with Hash64(k) mod Threads == t.
+//
+// Every object is constructed through the public profile API — the workload
+// declares its usage and the planner picks the representation — then the
+// hot loop runs on the concrete representation (Representation/Adaptive),
+// so the sweep measures the object, not the facade's indirection.
 
 func intHash(k int) uint64 { return stats.Hash64(uint64(k)) }
 
@@ -38,7 +38,7 @@ func threadKeys(cfg Config) [][]int {
 func CounterJUC() Workload {
 	return Workload{Name: "CounterJUC", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		probe := contention.NewProbe()
-		c := counter.NewAtomic(probe)
+		c := dego.Must(dego.Counter(dego.WithProbe(probe))).Representation().(*dego.AtomicCounter)
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.IncrementAndGet()
 		}, probe
@@ -51,7 +51,8 @@ func LongAdder() Workload {
 		probe := contention.NewProbe()
 		// LongAdder grows its cell array up to the number of CPUs
 		// (Striped64); beyond that, threads share cells and CAS-retry.
-		c := counter.NewAdder(runtime.GOMAXPROCS(0), probe)
+		c := dego.Must(dego.Counter(dego.Blind(), dego.Capacity(runtime.GOMAXPROCS(0)),
+			dego.WithProbe(probe))).Representation().(*dego.Adder)
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.Inc(h)
 		}, probe
@@ -61,7 +62,8 @@ func LongAdder() Workload {
 // CounterIncrementOnly is the adjusted counter (C3, CWSR).
 func CounterIncrementOnly() Workload {
 	return Workload{Name: "CounterIncrementOnly", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		c := counter.NewIncrementOnly(reg, false)
+		c := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(),
+			dego.On(reg))).Representation().(*dego.IncrementOnlyCounter)
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.Inc(h)
 		}, nil
@@ -75,7 +77,8 @@ func CounterIncrementOnly() Workload {
 // track CounterIncrementOnly after its first promotion.
 func AdaptiveCounter() Workload {
 	return Workload{Name: "AdaptiveCounter", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		c := adaptive.NewCounter(reg, adaptive.DefaultPolicy())
+		c := dego.Must(dego.Counter(dego.Blind(), dego.SingleReader(), dego.Adaptive(),
+			dego.On(reg))).Adaptive()
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			c.Inc(h)
 		}, c.Probe()
@@ -133,7 +136,8 @@ func populate(cfg Config, put func(k int)) {
 func HashMapJUC() Workload {
 	return Workload{Name: "ConcurrentHashMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		probe := contention.NewProbe()
-		m := hashmap.NewStriped[int, *int](256, cfg.InitialItems, intHash, probe)
+		m := dego.Must(dego.Map[int, *int](dego.Stripes(256), dego.Capacity(cfg.InitialItems),
+			dego.WithProbe(probe))).Representation().(*dego.StripedMap[int, *int])
 		boxes := valueBoxes(cfg)
 		populate(cfg, func(k int) { m.Put(k, boxes[k]) })
 		return mapOps(cfg,
@@ -147,7 +151,8 @@ func HashMapJUC() Workload {
 // HashMapDEGO is the ExtendedSegmentedHashMap (M2, CWMR).
 func HashMapDEGO() Workload {
 	return Workload{Name: "ExtendedSegmentedHashMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		m := hashmap.NewSegmented[int, int](reg, cfg.InitialItems, cfg.KeyRange*2, intHash, false)
+		m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.On(reg),
+			dego.Capacity(cfg.InitialItems), dego.Buckets(cfg.KeyRange*2))).Representation().(*dego.SegmentedMap[int, int])
 		boxes := valueBoxes(cfg)
 		// Populate respecting the CWMR routing: one priming handle per
 		// thread partition, so each initial key binds to the segment that
@@ -179,8 +184,8 @@ func HashMapDEGO() Workload {
 // partition's worker on its first post-promotion write (the lazy drain).
 func AdaptiveMap() Workload {
 	return Workload{Name: "AdaptiveMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		m := adaptive.NewMap[int, int](reg, 256, cfg.InitialItems, cfg.KeyRange*2,
-			intHash, adaptive.DefaultPolicy())
+		m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.Adaptive(), dego.On(reg),
+			dego.Stripes(256), dego.Capacity(cfg.InitialItems), dego.Buckets(cfg.KeyRange*2))).Adaptive()
 		boxes := valueBoxes(cfg)
 		prime := reg.MustRegister()
 		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
@@ -198,7 +203,7 @@ func AdaptiveMap() Workload {
 func SkipListJUC() Workload {
 	return Workload{Name: "ConcurrentSkipListMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		probe := contention.NewProbe()
-		m := skiplist.NewConcurrent[int, int](probe)
+		m := dego.Must(dego.Ordered[int, int](dego.WithProbe(probe))).Representation().(*dego.ConcurrentSkipList[int, int])
 		boxes := valueBoxes(cfg)
 		populate(cfg, func(k int) { m.PutRef(k, boxes[k]) })
 		return mapOps(cfg,
@@ -212,7 +217,8 @@ func SkipListJUC() Workload {
 // SkipListDEGO is the ExtendedSegmentedSkipListMap.
 func SkipListDEGO() Workload {
 	return Workload{Name: "ExtendedSegmentedSkipListMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		m := skiplist.NewSegmented[int, int](reg, cfg.KeyRange*2, intHash, false)
+		m := dego.Must(dego.Ordered[int, int](dego.CommutingWriters(), dego.On(reg),
+			dego.Buckets(cfg.KeyRange*2))).Representation().(*dego.SegmentedSkipList[int, int])
 		boxes := valueBoxes(cfg)
 		handles := make([]*core.Handle, cfg.Threads)
 		for t := range handles {
@@ -240,8 +246,8 @@ func SkipListDEGO() Workload {
 // worker on its first post-promotion write.
 func AdaptiveSkipList() Workload {
 	return Workload{Name: "AdaptiveSkipList", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		m := adaptive.NewSortedMap[int, int](reg, cfg.KeyRange*2, intHash,
-			adaptive.DefaultPolicy())
+		m := dego.Must(dego.Ordered[int, int](dego.CommutingWriters(), dego.Adaptive(),
+			dego.On(reg), dego.Buckets(cfg.KeyRange*2))).Adaptive()
 		boxes := valueBoxes(cfg)
 		prime := reg.MustRegister()
 		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
@@ -273,11 +279,12 @@ const hotRangeBits = 4
 // is effectively disabled so the comparison cannot flap mid-run.
 func hotRangeMap(name string, ranges int) Workload {
 	return Workload{Name: name, Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		pol := adaptive.DefaultPolicy()
+		pol := dego.DefaultAdaptivePolicy()
 		pol.Ranges = ranges
 		pol.DemoteSamples = 1 << 30
-		m := adaptive.NewMap[int, int](reg, 256, cfg.InitialItems, cfg.KeyRange*2,
-			intHash, pol)
+		m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.Adaptive(dego.WithPolicy(pol)),
+			dego.On(reg), dego.Stripes(256), dego.Capacity(cfg.InitialItems),
+			dego.Buckets(cfg.KeyRange*2))).Adaptive()
 		boxes := valueBoxes(cfg)
 		prime := reg.MustRegister()
 		populate(cfg, func(k int) { m.PutRef(prime, k, boxes[k]) })
@@ -334,7 +341,7 @@ func AdaptiveMapHotPerRange() Workload {
 func ReferenceJUC() Workload {
 	return Workload{Name: "AtomicReference", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		v := 42
-		r := ref.NewAtomic(&v)
+		r := dego.Must(dego.Ref(&v)).Representation().(*dego.AtomicRef[int])
 		return func(tid int, h *core.Handle, rng *rand.Rand) {
 			if r.Get() == nil {
 				panic("bench: reference lost")
@@ -346,7 +353,8 @@ func ReferenceJUC() Workload {
 // ReferenceDEGO is the AtomicWriteOnceReference of Listing 1.
 func ReferenceDEGO() Workload {
 	return Workload{Name: "AtomicWriteOnceReference", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
-		w := ref.NewWriteOnce[int](reg)
+		w := dego.Must(dego.Ref[int](nil, dego.WriteOnce(),
+			dego.On(reg))).Representation().(*dego.WriteOnceRef[int])
 		init := reg.MustRegister()
 		v := 42
 		if !w.TrySet(init, &v) {
@@ -366,7 +374,7 @@ func ReferenceDEGO() Workload {
 func QueueJUC() Workload {
 	return Workload{Name: "ConcurrentLinkedQueue", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		probe := contention.NewProbe()
-		q := queue.NewMS[int](probe)
+		q := dego.Must(dego.Queue[int](dego.WithProbe(probe))).Representation().(*dego.MSQueue[int])
 		for i := 0; i < 1024; i++ {
 			q.Offer(i)
 		}
@@ -384,7 +392,8 @@ func QueueJUC() Workload {
 func QueueDEGO() Workload {
 	return Workload{Name: "QueueMASP", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
 		probe := contention.NewProbe()
-		q := queue.NewMPSC[int](probe, false)
+		q := dego.Must(dego.Queue[int](dego.SingleReader(),
+			dego.WithProbe(probe))).Representation().(*dego.MPSCQueue[int])
 		seed := reg.MustRegister()
 		for i := 0; i < 1024; i++ {
 			q.Offer(seed, i)

@@ -3,14 +3,24 @@ package retwis
 import (
 	"sort"
 
-	"github.com/adjusted-objects/dego/internal/adaptive"
+	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/contention"
 	"github.com/adjusted-objects/dego/internal/core"
-	"github.com/adjusted-objects/dego/internal/hashmap"
-	"github.com/adjusted-objects/dego/internal/queue"
 	"github.com/adjusted-objects/dego/internal/set"
 	"github.com/adjusted-objects/dego/internal/stats"
 )
+
+// Every top-level shared object is constructed through the public profile
+// API: the backend declares how it uses the structure (commuting per-user
+// writes, single-consumer timelines, ...) and the planner picks the
+// representation, which the backend then drives directly. UserID is a named
+// integer type, so the maps pass WithHash explicitly — the built-in default
+// hashers cover only the unnamed key types.
+//
+// The per-user inner sets (set.Locked) stay deliberately unadjusted and
+// un-planned (§6.3: adjusting them costs more in write amplification than
+// it saves); they are values inside the planned maps, not shared catalog
+// objects.
 
 func userHash(u UserID) uint64 { return stats.Hash64(uint64(u)) }
 
@@ -24,23 +34,31 @@ type profile struct {
 // JUC backend
 
 type jucBackend struct {
-	followers *hashmap.Striped[UserID, *set.Locked[UserID]]
-	following *hashmap.Striped[UserID, *set.Locked[UserID]]
-	timelines *hashmap.Striped[UserID, *queue.MS[Tweet]]
-	profiles  *hashmap.Striped[UserID, *profile]
-	community *set.Striped[UserID]
+	followers *dego.StripedMap[UserID, *set.Locked[UserID]]
+	following *dego.StripedMap[UserID, *set.Locked[UserID]]
+	timelines *dego.StripedMap[UserID, *dego.MSQueue[Tweet]]
+	profiles  *dego.StripedMap[UserID, *profile]
+	community *dego.StripedSet[UserID]
 	probe     *contention.Probe
+}
+
+// jucMap plans a baseline map: no adjustment declared, so the planner
+// yields the lock-striped representation.
+func jucMap[V any](expectedUsers int, probe *contention.Probe) *dego.StripedMap[UserID, V] {
+	return dego.Must(dego.Map[UserID, V](dego.Stripes(256), dego.Capacity(expectedUsers),
+		dego.WithHash(userHash), dego.WithProbe(probe))).Representation().(*dego.StripedMap[UserID, V])
 }
 
 // NewJUC builds the baseline backend; probe may be nil.
 func NewJUC(expectedUsers int, probe *contention.Probe) Backend {
 	return &jucBackend{
-		followers: hashmap.NewStriped[UserID, *set.Locked[UserID]](256, expectedUsers, userHash, probe),
-		following: hashmap.NewStriped[UserID, *set.Locked[UserID]](256, expectedUsers, userHash, probe),
-		timelines: hashmap.NewStriped[UserID, *queue.MS[Tweet]](256, expectedUsers, userHash, probe),
-		profiles:  hashmap.NewStriped[UserID, *profile](256, expectedUsers, userHash, probe),
-		community: set.NewStriped[UserID](256, expectedUsers/8+16, userHash, probe),
-		probe:     probe,
+		followers: jucMap[*set.Locked[UserID]](expectedUsers, probe),
+		following: jucMap[*set.Locked[UserID]](expectedUsers, probe),
+		timelines: jucMap[*dego.MSQueue[Tweet]](expectedUsers, probe),
+		profiles:  jucMap[*profile](expectedUsers, probe),
+		community: dego.Must(dego.Set[UserID](dego.Stripes(256), dego.Capacity(expectedUsers/8+16),
+			dego.WithHash(userHash), dego.WithProbe(probe))).Representation().(*dego.StripedSet[UserID]),
+		probe: probe,
 	}
 }
 
@@ -49,7 +67,7 @@ func (b *jucBackend) Name() string { return "JUC" }
 func (b *jucBackend) AddUser(_ *core.Handle, u UserID) {
 	b.followers.Put(u, set.NewLocked[UserID](4, b.probe))
 	b.following.Put(u, set.NewLocked[UserID](4, b.probe))
-	b.timelines.Put(u, queue.NewMS[Tweet](b.probe))
+	b.timelines.Put(u, dego.Must(dego.Queue[Tweet](dego.WithProbe(b.probe))).Representation().(*dego.MSQueue[Tweet]))
 	b.profiles.Put(u, &profile{})
 }
 
@@ -114,7 +132,7 @@ func (b *jucBackend) Users() int { return b.profiles.Len() }
 
 // drainLastMS fetches every queued message and keeps the most recent
 // len(out) of them (the paper reads the full queue and returns the last 50).
-func drainLastMS(q *queue.MS[Tweet], out []Tweet) int {
+func drainLastMS(q *dego.MSQueue[Tweet], out []Tweet) int {
 	n := 0
 	for {
 		t, ok := q.Poll()
@@ -136,12 +154,20 @@ func drainLastMS(q *queue.MS[Tweet], out []Tweet) int {
 // DEGO backend
 
 type degoBackend struct {
-	followers *hashmap.Segmented[UserID, *set.Locked[UserID]]
-	following *hashmap.Segmented[UserID, *set.Locked[UserID]]
-	timelines *hashmap.Segmented[UserID, *queue.MPSC[Tweet]]
-	profiles  *hashmap.Segmented[UserID, *profile]
-	community *set.Segmented[UserID]
+	followers *dego.SegmentedMap[UserID, *set.Locked[UserID]]
+	following *dego.SegmentedMap[UserID, *set.Locked[UserID]]
+	timelines *dego.SegmentedMap[UserID, *dego.MPSCQueue[Tweet]]
+	profiles  *dego.SegmentedMap[UserID, *profile]
+	community *dego.SegmentedSet[UserID]
 	probe     *contention.Probe
+}
+
+// degoMap plans an adjusted map: per-user writes commute (distinct threads
+// own distinct users), so the planner yields the extended segmentation of
+// (M2, CWMR).
+func degoMap[V any](r *core.Registry, expectedUsers, dir int) *dego.SegmentedMap[UserID, V] {
+	return dego.Must(dego.Map[UserID, V](dego.CommutingWriters(), dego.On(r),
+		dego.Capacity(expectedUsers), dego.Buckets(dir), dego.WithHash(userHash))).Representation().(*dego.SegmentedMap[UserID, V])
 }
 
 // NewDEGO builds the adjusted backend over a registry. The maps are
@@ -150,12 +176,13 @@ type degoBackend struct {
 func NewDEGO(r *core.Registry, expectedUsers int, probe *contention.Probe) Backend {
 	dir := expectedUsers * 2
 	return &degoBackend{
-		followers: hashmap.NewSegmented[UserID, *set.Locked[UserID]](r, expectedUsers, dir, userHash, false),
-		following: hashmap.NewSegmented[UserID, *set.Locked[UserID]](r, expectedUsers, dir, userHash, false),
-		timelines: hashmap.NewSegmented[UserID, *queue.MPSC[Tweet]](r, expectedUsers, dir, userHash, false),
-		profiles:  hashmap.NewSegmented[UserID, *profile](r, expectedUsers, dir, userHash, false),
-		community: set.NewSegmented[UserID](r, expectedUsers/8+16, dir, userHash, false),
-		probe:     probe,
+		followers: degoMap[*set.Locked[UserID]](r, expectedUsers, dir),
+		following: degoMap[*set.Locked[UserID]](r, expectedUsers, dir),
+		timelines: degoMap[*dego.MPSCQueue[Tweet]](r, expectedUsers, dir),
+		profiles:  degoMap[*profile](r, expectedUsers, dir),
+		community: dego.Must(dego.Set[UserID](dego.CommutingWriters(), dego.On(r),
+			dego.Capacity(expectedUsers/8+16), dego.Buckets(dir), dego.WithHash(userHash))).Representation().(*dego.SegmentedSet[UserID]),
+		probe: probe,
 	}
 }
 
@@ -164,7 +191,8 @@ func (b *degoBackend) Name() string { return "DEGO" }
 func (b *degoBackend) AddUser(h *core.Handle, u UserID) {
 	b.followers.Put(h, u, set.NewLocked[UserID](4, b.probe))
 	b.following.Put(h, u, set.NewLocked[UserID](4, b.probe))
-	b.timelines.Put(h, u, queue.NewMPSC[Tweet](b.probe, false))
+	b.timelines.Put(h, u, dego.Must(dego.Queue[Tweet](dego.SingleReader(),
+		dego.WithProbe(b.probe))).Representation().(*dego.MPSCQueue[Tweet]))
 	b.profiles.Put(h, u, &profile{})
 }
 
@@ -293,30 +321,35 @@ type tlCursor struct {
 // and — like Post's FanoutLimit in the push backends — a reader scans at
 // most FanoutLimit followees per refresh.
 type adaptiveBackend struct {
-	followers *adaptive.Map[UserID, *set.Locked[UserID]]
-	following *adaptive.Map[UserID, *set.Locked[UserID]]
-	posts     *adaptive.SortedMap[uint64, Tweet]
-	cursors   *adaptive.Map[UserID, *tlCursor]
-	profiles  *adaptive.Map[UserID, *profile]
-	community *adaptive.Map[UserID, struct{}]
+	followers *dego.AdaptiveMap[UserID, *set.Locked[UserID]]
+	following *dego.AdaptiveMap[UserID, *set.Locked[UserID]]
+	posts     *dego.AdaptiveSkipList[uint64, Tweet]
+	cursors   *dego.AdaptiveMap[UserID, *tlCursor]
+	profiles  *dego.AdaptiveMap[UserID, *profile]
+	community *dego.AdaptiveMap[UserID, struct{}]
 	probe     *contention.Probe
+}
+
+// adMap plans a contention-adaptive per-user map: commuting writers in
+// every state, striped until the stall rate promotes it.
+func adMap[V any](r *core.Registry, capacity, dir int) *dego.AdaptiveMap[UserID, V] {
+	return dego.Must(dego.Map[UserID, V](dego.CommutingWriters(), dego.Adaptive(), dego.On(r),
+		dego.Stripes(256), dego.Capacity(capacity), dego.Buckets(dir), dego.WithHash(userHash))).Adaptive()
 }
 
 // NewAdaptive builds the contention-adaptive backend over a registry; probe
 // may be nil (each adaptive object carries its own probe regardless).
 func NewAdaptive(r *core.Registry, expectedUsers int, probe *contention.Probe) Backend {
 	dir := expectedUsers * 2
-	pol := adaptive.DefaultPolicy()
-	newUserMap := func() *adaptive.Map[UserID, *set.Locked[UserID]] {
-		return adaptive.NewMap[UserID, *set.Locked[UserID]](r, 256, expectedUsers, dir, userHash, pol)
-	}
 	return &adaptiveBackend{
-		followers: newUserMap(),
-		following: newUserMap(),
-		posts:     adaptive.NewSortedMap[uint64, Tweet](r, dir*adaptivePostLog/8, stats.Hash64, pol),
-		cursors:   adaptive.NewMap[UserID, *tlCursor](r, 256, expectedUsers, dir, userHash, pol),
-		profiles:  adaptive.NewMap[UserID, *profile](r, 256, expectedUsers, dir, userHash, pol),
-		community: adaptive.NewMap[UserID, struct{}](r, 256, expectedUsers/8+16, dir, userHash, pol),
+		followers: adMap[*set.Locked[UserID]](r, expectedUsers, dir),
+		following: adMap[*set.Locked[UserID]](r, expectedUsers, dir),
+		// The post log's uint64 keys hash with the built-in default hasher.
+		posts: dego.Must(dego.Ordered[uint64, Tweet](dego.CommutingWriters(), dego.Adaptive(),
+			dego.On(r), dego.Buckets(dir*adaptivePostLog/8))).Adaptive(),
+		cursors:   adMap[*tlCursor](r, expectedUsers, dir),
+		profiles:  adMap[*profile](r, expectedUsers, dir),
+		community: adMap[struct{}](r, expectedUsers/8+16, dir),
 		probe:     probe,
 	}
 }

@@ -1,0 +1,909 @@
+package dego
+
+import (
+	"cmp"
+	"runtime"
+
+	"github.com/adjusted-objects/dego/internal/adaptive"
+	"github.com/adjusted-objects/dego/internal/counter"
+	"github.com/adjusted-objects/dego/internal/hashmap"
+	"github.com/adjusted-objects/dego/internal/queue"
+	"github.com/adjusted-objects/dego/internal/ref"
+	"github.com/adjusted-objects/dego/internal/set"
+	"github.com/adjusted-objects/dego/internal/skiplist"
+)
+
+// This file holds the profile constructors: Counter, Map, Set, Ordered,
+// Queue and Ref take a declared usage profile (functional options) and plan
+// the representation, instead of making the caller name one of the ~25
+// representation-specific constructors. Each constructor
+//
+//  1. folds its options into a profile and rejects inapplicable ones,
+//  2. resolves the declared §4.2 mode,
+//  3. picks the most adjusted representation whose contract the declared
+//     profile satisfies (the planner proper),
+//  4. cross-checks the declared Table 1 object against the executable
+//     Definition 1 (internal/spec) before constructing,
+//
+// and returns an Adjusted* wrapper exposing the narrowed interface, the
+// Plan that was made, and — for audits, benchmarks and migrations — the
+// underlying representation.
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// counterRep is the planner's view of a counter representation.
+type counterRep interface {
+	Inc(h *Handle)
+	Add(h *Handle, delta int64)
+	Get(h *Handle) int64
+}
+
+// atomicCounterRep adapts the handle-free atomic baseline.
+type atomicCounterRep struct{ a *counter.Atomic }
+
+func (r atomicCounterRep) Inc(*Handle)                { r.a.IncrementAndGet() }
+func (r atomicCounterRep) Add(_ *Handle, delta int64) { r.a.AddAndGet(delta) }
+func (r atomicCounterRep) Get(*Handle) int64          { return r.a.Get() }
+
+// adderCounterRep adapts the striped adder (reads sum every cell, any
+// thread).
+type adderCounterRep struct{ a *counter.Adder }
+
+func (r adderCounterRep) Inc(h *Handle)              { r.a.Inc(h) }
+func (r adderCounterRep) Add(h *Handle, delta int64) { r.a.Add(h, delta) }
+func (r adderCounterRep) Get(*Handle) int64          { return r.a.Sum() }
+
+// AdjustedCounter is a counter built from a declared profile. Its interface
+// is the narrowed one every dego counter representation shares — blind
+// increments, a read — so the planner may substitute any representation the
+// declaration permits.
+type AdjustedCounter struct {
+	plan  Plan
+	rep   counterRep
+	raw   any
+	ad    *AdaptiveCounter
+	probe *Probe
+}
+
+// Inc adds one.
+func (c *AdjustedCounter) Inc(h *Handle) { c.rep.Inc(h) }
+
+// Add adds delta (non-negative: dego counters are increment-only).
+func (c *AdjustedCounter) Add(h *Handle, delta int64) { c.rep.Add(h, delta) }
+
+// Get returns the current count. Under a SingleReader declaration only the
+// declared reader may call it.
+func (c *AdjustedCounter) Get(h *Handle) int64 { return c.rep.Get(h) }
+
+// Plan returns the planner's decision for this object.
+func (c *AdjustedCounter) Plan() Plan { return c.plan }
+
+// Adaptive returns the underlying contention-adaptive counter when the
+// profile declared Adaptive, else nil.
+func (c *AdjustedCounter) Adaptive() *AdaptiveCounter { return c.ad }
+
+// Representation returns the underlying representation (e.g.
+// *dego.AtomicCounter, *dego.Adder) for audits and rep-specific access.
+func (c *AdjustedCounter) Representation() any { return c.raw }
+
+// Probe returns the contention probe observing this object: the adaptive
+// probe when planned adaptive, else the WithProbe one (possibly nil).
+func (c *AdjustedCounter) Probe() *Probe {
+	if c.ad != nil {
+		return c.ad.Probe()
+	}
+	return c.probe
+}
+
+// Counter builds a counter from a declared usage profile.
+//
+// Planning: without Blind the increment conceptually returns the new value
+// (C2), which forces the shared atomic cell. Blind (C3) unlocks the striped
+// adder; Blind with a single declared reader (CWSR — counter writes always
+// commute, so SingleReader alone suffices) unlocks the per-thread cells of
+// the paper's (C3, CWSR) object; Adaptive on that profile switches between
+// the atomic cell and the cells under measured contention.
+func Counter(opts ...Option) (*AdjustedCounter, error) {
+	const dt = "Counter"
+	p := &profile{}
+	p.apply(opts)
+	if p.writeOnce {
+		return nil, invalid(dt, "WriteOnce narrows references (R1→R2), not counters")
+	}
+	if p.fences != nil {
+		return nil, invalid(dt, "Fenced applies to adaptive Ordered objects")
+	}
+	if p.hash != nil {
+		return nil, invalid(dt, "counters are unkeyed; WithHash does not apply")
+	}
+	if p.stripes > 0 {
+		return nil, invalid(dt, "Stripes applies to Map and Set; size blind counter cells with Capacity")
+	}
+	if p.buckets > 0 {
+		return nil, invalid(dt, "Buckets applies to Map, Set and Ordered")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+	// Counter writes (inc, add) commute by the datatype, so a declared
+	// single reader is the full CWSR adjustment even without
+	// CommutingWriters.
+	if mode == ModeMWSR {
+		mode = ModeCWSR
+	}
+
+	c := &AdjustedCounter{plan: Plan{Datatype: dt, Mode: mode}, probe: p.probe}
+	switch {
+	case p.adaptive:
+		if !p.blind {
+			return nil, invalid(dt, "the adaptive counter is increment-only: declare Blind")
+		}
+		if mode != ModeCWSR {
+			return nil, invalid(dt, "the adaptive counter promotes to per-thread cells with one reader: declare SingleReader (CWSR), not %s", mode)
+		}
+		if p.checked {
+			return nil, invalid(dt, "the adaptive counter has no runtime guard; drop Checked")
+		}
+		c.ad = adaptive.NewCounter(p.reg(), p.resolvedPolicy())
+		c.rep, c.raw = c.ad, c.ad
+		c.plan.Variant, c.plan.Rep, c.plan.Adaptive = "C3", "AdaptiveCounter", true
+	case p.blind && mode == ModeCWSR:
+		rep := counter.NewIncrementOnly(p.reg(), p.checked)
+		c.rep, c.raw = rep, rep
+		c.plan.Variant, c.plan.Rep = "C3", "IncrementOnlyCounter"
+	case p.blind && mode != ModeSWMR:
+		if p.checked {
+			return nil, invalid(dt, "the striped adder has no runtime guard; drop Checked")
+		}
+		rep := counter.NewAdder(p.capacityOr(runtime.GOMAXPROCS(0)), p.probe)
+		c.rep, c.raw = adderCounterRep{rep}, rep
+		c.plan.Variant, c.plan.Rep = "C3", "Adder"
+	default:
+		// Un-blind profiles (and a blind single writer, where a plain cell
+		// is already uncontended) get the atomic baseline.
+		if p.checked {
+			return nil, invalid(dt, "the atomic counter has no runtime guard; drop Checked")
+		}
+		rep := counter.NewAtomic(p.probe)
+		c.rep, c.raw = atomicCounterRep{rep}, rep
+		c.plan.Variant, c.plan.Rep = "C2", "AtomicCounter"
+		if p.blind {
+			c.plan.Variant = "C3"
+		}
+	}
+	if err := c.plan.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Map
+
+// mapRep is the planner's view of a hash-map representation. The segmented,
+// SWMR and adaptive maps satisfy it directly; the striped baseline is
+// adapted (it routes by lock, not by thread identity, and ignores the
+// handle).
+type mapRep[K comparable, V any] interface {
+	Put(h *Handle, key K, val V)
+	Get(key K) (V, bool)
+	Remove(h *Handle, key K) bool
+	Contains(key K) bool
+	Len() int
+	Range(f func(key K, val V) bool)
+}
+
+type stripedMapRep[K comparable, V any] struct{ m *hashmap.Striped[K, V] }
+
+func (r stripedMapRep[K, V]) Put(_ *Handle, k K, v V)    { r.m.Put(k, v) }
+func (r stripedMapRep[K, V]) Get(k K) (V, bool)          { return r.m.Get(k) }
+func (r stripedMapRep[K, V]) Remove(_ *Handle, k K) bool { return r.m.Remove(k) }
+func (r stripedMapRep[K, V]) Contains(k K) bool          { return r.m.Contains(k) }
+func (r stripedMapRep[K, V]) Len() int                   { return r.m.Len() }
+func (r stripedMapRep[K, V]) Range(f func(K, V) bool)    { r.m.Range(f) }
+
+// AdjustedMap is a hash map built from a declared profile. Writes are
+// handle-routed (representations that do not route by thread ignore the
+// handle), reads are unrestricted unless the profile says otherwise.
+type AdjustedMap[K comparable, V any] struct {
+	plan  Plan
+	rep   mapRep[K, V]
+	raw   any
+	ad    *AdaptiveMap[K, V]
+	probe *Probe
+}
+
+// Put stores key → val.
+func (m *AdjustedMap[K, V]) Put(h *Handle, key K, val V) { m.rep.Put(h, key, val) }
+
+// Get returns the value for key.
+func (m *AdjustedMap[K, V]) Get(key K) (V, bool) { return m.rep.Get(key) }
+
+// Remove deletes key, reporting whether it was present.
+func (m *AdjustedMap[K, V]) Remove(h *Handle, key K) bool { return m.rep.Remove(h, key) }
+
+// Contains reports whether key is present.
+func (m *AdjustedMap[K, V]) Contains(key K) bool { return m.rep.Contains(key) }
+
+// Len returns the entry count.
+func (m *AdjustedMap[K, V]) Len() int { return m.rep.Len() }
+
+// Range iterates entries (no ordering guarantee) until f returns false.
+func (m *AdjustedMap[K, V]) Range(f func(key K, val V) bool) { m.rep.Range(f) }
+
+// Plan returns the planner's decision for this object.
+func (m *AdjustedMap[K, V]) Plan() Plan { return m.plan }
+
+// Adaptive returns the underlying contention-adaptive map when the profile
+// declared Adaptive, else nil.
+func (m *AdjustedMap[K, V]) Adaptive() *AdaptiveMap[K, V] { return m.ad }
+
+// Representation returns the underlying representation (e.g.
+// *dego.SegmentedMap[K, V]).
+func (m *AdjustedMap[K, V]) Representation() any { return m.raw }
+
+// Probe returns the contention probe observing this object.
+func (m *AdjustedMap[K, V]) Probe() *Probe {
+	if m.ad != nil {
+		return m.ad.Probe()
+	}
+	return m.probe
+}
+
+// Map builds a hash map from a declared usage profile.
+//
+// Planning: no restriction yields the lock-striped baseline (M1);
+// SingleWriter yields the SWMR map; CommutingWriters yields the extended
+// segmentation of the paper's (M2, CWMR) — with SingleReader too (CWSR, a
+// stronger restriction the segmentation's contract also admits) the same
+// representation serves; Adaptive on a commuting profile yields the
+// contention-adaptive map (optionally split per-range with Ranges).
+// Integer and string keys hash by default; other key types need WithHash.
+func Map[K comparable, V any](opts ...Option) (*AdjustedMap[K, V], error) {
+	const dt = "Map"
+	p := &profile{}
+	p.apply(opts)
+	if p.writeOnce {
+		return nil, invalid(dt, "WriteOnce narrows references (R1→R2), not maps")
+	}
+	if p.fences != nil {
+		return nil, invalid(dt, "Fenced applies to adaptive Ordered objects; hash-keyed maps split with Adaptive(Ranges(n))")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := resolveHash[K](dt, p)
+	if err != nil {
+		return nil, err
+	}
+	capacity := p.capacityOr(1024)
+	buckets := p.bucketsOr(capacity * 2)
+
+	m := &AdjustedMap[K, V]{plan: Plan{Datatype: dt, Mode: mode, Ranges: 1}, probe: p.probe}
+	switch {
+	case p.adaptive:
+		if !mode.CommutingWrites() {
+			return nil, invalid(dt, "the adaptive map requires commuting writers in every state: declare CommutingWriters (CWMR), not %s", mode)
+		}
+		if p.checked {
+			return nil, invalid(dt, "the adaptive map has no runtime guard; drop Checked")
+		}
+		pol := p.resolvedPolicy()
+		m.ad = adaptive.NewMap[K, V](p.reg(), p.stripesOr(256), capacity, buckets, hash, pol)
+		m.rep, m.raw = m.ad, m.ad
+		m.plan.Variant, m.plan.Rep, m.plan.Adaptive = "M2", "AdaptiveMap", true
+		m.plan.Ranges = m.ad.Ranges()
+	case mode.CommutingWrites():
+		rep := hashmap.NewSegmented[K, V](p.reg(), capacity, buckets, hash, p.checked)
+		m.rep, m.raw = rep, rep
+		m.plan.Variant, m.plan.Rep = "M2", "SegmentedMap"
+	case mode == ModeSWMR:
+		rep := hashmap.NewSWMR[K, V](capacity, hash, p.checked)
+		m.rep, m.raw = rep, rep
+		m.plan.Variant, m.plan.Rep = "M2", "SWMRMap"
+	case mode == ModeAll:
+		if p.checked {
+			return nil, invalid(dt, "the striped map has no runtime guard; drop Checked")
+		}
+		rep := hashmap.NewStriped[K, V](p.stripesOr(256), capacity, hash, p.probe)
+		m.rep, m.raw = stripedMapRep[K, V]{rep}, rep
+		m.plan.Variant, m.plan.Rep = "M1", "StripedMap"
+		if p.blind {
+			m.plan.Variant = "M2"
+		}
+	default:
+		return nil, invalid(dt, "no map representation exploits a single reader alone (declared %s); add CommutingWriters (CWSR) or drop SingleReader", mode)
+	}
+	if err := m.plan.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Set
+
+// setRep is the planner's view of a set representation.
+type setRep[K comparable] interface {
+	Add(h *Handle, x K)
+	Remove(h *Handle, x K) bool
+	Contains(x K) bool
+	Len() int
+	Range(f func(x K) bool)
+}
+
+type stripedSetRep[K comparable] struct{ s *set.Striped[K] }
+
+func (r stripedSetRep[K]) Add(_ *Handle, x K)         { r.s.Add(x) }
+func (r stripedSetRep[K]) Remove(_ *Handle, x K) bool { return r.s.Remove(x) }
+func (r stripedSetRep[K]) Contains(x K) bool          { return r.s.Contains(x) }
+func (r stripedSetRep[K]) Len() int                   { return r.s.Len() }
+func (r stripedSetRep[K]) Range(f func(K) bool)       { r.s.Range(f) }
+
+// AdjustedSet is a membership set built from a declared profile.
+type AdjustedSet[K comparable] struct {
+	plan  Plan
+	rep   setRep[K]
+	raw   any
+	ad    *AdaptiveSet[K]
+	probe *Probe
+}
+
+// Add inserts x.
+func (s *AdjustedSet[K]) Add(h *Handle, x K) { s.rep.Add(h, x) }
+
+// Remove deletes x, reporting whether it was present.
+func (s *AdjustedSet[K]) Remove(h *Handle, x K) bool { return s.rep.Remove(h, x) }
+
+// Contains reports membership.
+func (s *AdjustedSet[K]) Contains(x K) bool { return s.rep.Contains(x) }
+
+// Len returns the element count.
+func (s *AdjustedSet[K]) Len() int { return s.rep.Len() }
+
+// Range iterates elements until f returns false.
+func (s *AdjustedSet[K]) Range(f func(x K) bool) { s.rep.Range(f) }
+
+// Plan returns the planner's decision for this object.
+func (s *AdjustedSet[K]) Plan() Plan { return s.plan }
+
+// Adaptive returns the underlying contention-adaptive set when the profile
+// declared Adaptive, else nil.
+func (s *AdjustedSet[K]) Adaptive() *AdaptiveSet[K] { return s.ad }
+
+// Representation returns the underlying representation.
+func (s *AdjustedSet[K]) Representation() any { return s.raw }
+
+// Probe returns the contention probe observing this object.
+func (s *AdjustedSet[K]) Probe() *Probe {
+	if s.ad != nil {
+		return s.ad.Probe()
+	}
+	return s.probe
+}
+
+// Set builds a membership set from a declared usage profile. Planning
+// follows Map: unrestricted → striped baseline (S1); SingleWriter → SWMR
+// (S2); CommutingWriters → the segmented set of the paper's (S3, CWMR)
+// node; Adaptive on the commuting profile → the adaptive set.
+func Set[K comparable](opts ...Option) (*AdjustedSet[K], error) {
+	const dt = "Set"
+	p := &profile{}
+	p.apply(opts)
+	if p.writeOnce {
+		return nil, invalid(dt, "WriteOnce narrows references (R1→R2), not sets")
+	}
+	if p.fences != nil {
+		return nil, invalid(dt, "Fenced applies to adaptive Ordered objects; hash-keyed sets split with Adaptive(Ranges(n))")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := resolveHash[K](dt, p)
+	if err != nil {
+		return nil, err
+	}
+	capacity := p.capacityOr(1024)
+	buckets := p.bucketsOr(capacity * 2)
+
+	s := &AdjustedSet[K]{plan: Plan{Datatype: dt, Mode: mode, Ranges: 1}, probe: p.probe}
+	switch {
+	case p.adaptive:
+		if !mode.CommutingWrites() {
+			return nil, invalid(dt, "the adaptive set requires commuting writers in every state: declare CommutingWriters (CWMR), not %s", mode)
+		}
+		if p.checked {
+			return nil, invalid(dt, "the adaptive set has no runtime guard; drop Checked")
+		}
+		pol := p.resolvedPolicy()
+		s.ad = adaptive.NewSet[K](p.reg(), p.stripesOr(256), capacity, buckets, hash, pol)
+		s.rep, s.raw = s.ad, s.ad
+		s.plan.Variant, s.plan.Rep, s.plan.Adaptive = "S3", "AdaptiveSet", true
+		s.plan.Ranges = s.ad.Ranges()
+	case mode.CommutingWrites():
+		rep := set.NewSegmented[K](p.reg(), capacity, buckets, hash, p.checked)
+		s.rep, s.raw = rep, rep
+		s.plan.Variant, s.plan.Rep = "S3", "SegmentedSet"
+	case mode == ModeSWMR:
+		rep := set.NewSWMR[K](capacity, hash, p.checked)
+		s.rep, s.raw = rep, rep
+		s.plan.Variant, s.plan.Rep = "S2", "SWMRSet"
+	case mode == ModeAll:
+		if p.checked {
+			return nil, invalid(dt, "the striped set has no runtime guard; drop Checked")
+		}
+		rep := set.NewStriped[K](p.stripesOr(256), capacity, hash, p.probe)
+		s.rep, s.raw = stripedSetRep[K]{rep}, rep
+		s.plan.Variant, s.plan.Rep = "S1", "StripedSet"
+		if p.blind {
+			s.plan.Variant = "S2"
+		}
+	default:
+		return nil, invalid(dt, "no set representation exploits a single reader alone (declared %s); add CommutingWriters (CWSR) or drop SingleReader", mode)
+	}
+	if err := s.plan.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ordered
+
+// orderedRep is the planner's view of an ordered-map representation.
+type orderedRep[K cmp.Ordered, V any] interface {
+	Put(h *Handle, key K, val V)
+	Get(key K) (V, bool)
+	Remove(h *Handle, key K) bool
+	Contains(key K) bool
+	Len() int
+	Range(f func(key K, val V) bool)
+	RangeFrom(from K, f func(key K, val V) bool)
+}
+
+// concurrentListRep adapts the handle-free lock-free baseline.
+type concurrentListRep[K cmp.Ordered, V any] struct{ m *skiplist.Concurrent[K, V] }
+
+func (r concurrentListRep[K, V]) Put(_ *Handle, k K, v V)             { r.m.Put(k, v) }
+func (r concurrentListRep[K, V]) Get(k K) (V, bool)                   { return r.m.Get(k) }
+func (r concurrentListRep[K, V]) Remove(_ *Handle, k K) bool          { return r.m.Remove(k) }
+func (r concurrentListRep[K, V]) Contains(k K) bool                   { return r.m.Contains(k) }
+func (r concurrentListRep[K, V]) Len() int                            { return r.m.Len() }
+func (r concurrentListRep[K, V]) Range(f func(K, V) bool)             { r.m.Range(f) }
+func (r concurrentListRep[K, V]) RangeFrom(from K, f func(K, V) bool) { r.m.RangeFrom(from, f) }
+
+// swmrListRep adapts the SWMR skip list (its from-iteration is ref-based).
+type swmrListRep[K cmp.Ordered, V any] struct{ m *skiplist.SWMR[K, V] }
+
+func (r swmrListRep[K, V]) Put(h *Handle, k K, v V)    { r.m.Put(h, k, v) }
+func (r swmrListRep[K, V]) Get(k K) (V, bool)          { return r.m.Get(k) }
+func (r swmrListRep[K, V]) Remove(h *Handle, k K) bool { return r.m.Remove(h, k) }
+func (r swmrListRep[K, V]) Contains(k K) bool          { return r.m.Contains(k) }
+func (r swmrListRep[K, V]) Len() int                   { return r.m.Len() }
+func (r swmrListRep[K, V]) Range(f func(K, V) bool)    { r.m.Range(f) }
+func (r swmrListRep[K, V]) RangeFrom(from K, f func(K, V) bool) {
+	r.m.RangeRefFrom(from, func(k K, v *V) bool { return f(k, *v) })
+}
+
+// AdjustedOrdered is an ordered map built from a declared profile. Ordered
+// iteration is strictly ascending in every representation and state.
+type AdjustedOrdered[K cmp.Ordered, V any] struct {
+	plan  Plan
+	rep   orderedRep[K, V]
+	raw   any
+	ad    *AdaptiveSkipList[K, V]
+	probe *Probe
+}
+
+// Put stores key → val.
+func (m *AdjustedOrdered[K, V]) Put(h *Handle, key K, val V) { m.rep.Put(h, key, val) }
+
+// Get returns the value for key.
+func (m *AdjustedOrdered[K, V]) Get(key K) (V, bool) { return m.rep.Get(key) }
+
+// Remove deletes key, reporting whether it was present.
+func (m *AdjustedOrdered[K, V]) Remove(h *Handle, key K) bool { return m.rep.Remove(h, key) }
+
+// Contains reports whether key is present.
+func (m *AdjustedOrdered[K, V]) Contains(key K) bool { return m.rep.Contains(key) }
+
+// Len returns the entry count.
+func (m *AdjustedOrdered[K, V]) Len() int { return m.rep.Len() }
+
+// Range iterates all entries in ascending key order until f returns false.
+func (m *AdjustedOrdered[K, V]) Range(f func(key K, val V) bool) { m.rep.Range(f) }
+
+// RangeFrom iterates entries with key ≥ from in ascending order.
+func (m *AdjustedOrdered[K, V]) RangeFrom(from K, f func(key K, val V) bool) {
+	m.rep.RangeFrom(from, f)
+}
+
+// RangeBetween iterates entries with from ≤ key < to in ascending order.
+func (m *AdjustedOrdered[K, V]) RangeBetween(from, to K, f func(key K, val V) bool) {
+	if m.ad != nil {
+		m.ad.RangeBetween(from, to, f)
+		return
+	}
+	m.rep.RangeFrom(from, func(k K, v V) bool {
+		if !(k < to) {
+			return false
+		}
+		return f(k, v)
+	})
+}
+
+// Plan returns the planner's decision for this object.
+func (m *AdjustedOrdered[K, V]) Plan() Plan { return m.plan }
+
+// Adaptive returns the underlying contention-adaptive skip list when the
+// profile declared Adaptive, else nil.
+func (m *AdjustedOrdered[K, V]) Adaptive() *AdaptiveSkipList[K, V] { return m.ad }
+
+// Representation returns the underlying representation.
+func (m *AdjustedOrdered[K, V]) Representation() any { return m.raw }
+
+// Probe returns the contention probe observing this object.
+func (m *AdjustedOrdered[K, V]) Probe() *Probe {
+	if m.ad != nil {
+		return m.ad.Probe()
+	}
+	return m.probe
+}
+
+// Ordered builds an ordered map (skip list) from a declared usage profile.
+// The catalog rows are shared with Map — an ordered map narrows M1's
+// interface no differently — but the representations keep iteration
+// sorted: unrestricted → lock-free CAS baseline; SingleWriter → SWMR list;
+// CommutingWriters → the extended segmented list; Adaptive on the
+// commuting profile → the adaptive skip list, optionally split at Fenced
+// keys into independently adjusting ranges.
+func Ordered[K cmp.Ordered, V any](opts ...Option) (*AdjustedOrdered[K, V], error) {
+	const dt = "Ordered"
+	p := &profile{}
+	p.apply(opts)
+	if p.writeOnce {
+		return nil, invalid(dt, "WriteOnce narrows references (R1→R2), not ordered maps")
+	}
+	if p.stripes > 0 {
+		return nil, invalid(dt, "Stripes applies to Map and Set; ordered baselines are lock-free")
+	}
+	if p.ranges > 0 {
+		return nil, invalid(dt, "Ranges splits hash-keyed objects; split Ordered with Fenced(keys...)")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+	var fences []K
+	if p.fences != nil {
+		var ok bool
+		if fences, ok = p.fences.([]K); !ok {
+			var zero K
+			return nil, invalid(dt, "Fenced keys have type %T, want []%T", p.fences, zero)
+		}
+		if !p.adaptive {
+			return nil, invalid(dt, "Fenced defines adaptive range boundaries; declare Adaptive")
+		}
+		for i := 1; i < len(fences); i++ {
+			if fences[i] <= fences[i-1] {
+				return nil, invalid(dt, "Fenced keys must be strictly increasing (key %d)", i)
+			}
+		}
+	}
+	capacity := p.capacityOr(1024)
+	buckets := p.bucketsOr(capacity * 2)
+
+	m := &AdjustedOrdered[K, V]{plan: Plan{Datatype: dt, Mode: mode, Ranges: 1}, probe: p.probe}
+	switch {
+	case p.adaptive:
+		if !mode.CommutingWrites() {
+			return nil, invalid(dt, "the adaptive skip list requires commuting writers in every state: declare CommutingWriters (CWMR), not %s", mode)
+		}
+		if p.checked {
+			return nil, invalid(dt, "the adaptive skip list has no runtime guard; drop Checked")
+		}
+		hash, err := resolveHash[K](dt, p)
+		if err != nil {
+			return nil, err
+		}
+		m.ad = adaptive.NewSortedMapFenced[K, V](p.reg(), buckets, hash, fences, p.resolvedPolicy())
+		m.rep, m.raw = m.ad, m.ad
+		m.plan.Variant, m.plan.Rep, m.plan.Adaptive = "M2", "AdaptiveSkipList", true
+		m.plan.Ranges, m.plan.Fences = len(fences)+1, len(fences)
+	case mode.CommutingWrites():
+		hash, err := resolveHash[K](dt, p)
+		if err != nil {
+			return nil, err
+		}
+		rep := skiplist.NewSegmented[K, V](p.reg(), buckets, hash, p.checked)
+		m.rep, m.raw = rep, rep
+		m.plan.Variant, m.plan.Rep = "M2", "SegmentedSkipList"
+	case mode == ModeSWMR:
+		rep := skiplist.NewSWMR[K, V](p.checked)
+		m.rep, m.raw = swmrListRep[K, V]{rep}, rep
+		m.plan.Variant, m.plan.Rep = "M2", "SWMRSkipList"
+	case mode == ModeAll:
+		if p.checked {
+			return nil, invalid(dt, "the lock-free skip list has no runtime guard; drop Checked")
+		}
+		rep := skiplist.NewConcurrent[K, V](p.probe)
+		m.rep, m.raw = concurrentListRep[K, V]{rep}, rep
+		m.plan.Variant, m.plan.Rep = "M1", "ConcurrentSkipList"
+		if p.blind {
+			m.plan.Variant = "M2"
+		}
+	default:
+		return nil, invalid(dt, "no ordered representation exploits a single reader alone (declared %s); add CommutingWriters (CWSR) or drop SingleReader", mode)
+	}
+	if err := m.plan.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+
+// queueRep is the planner's view of a queue representation.
+type queueRep[T any] interface {
+	Offer(h *Handle, v T)
+	Poll(h *Handle) (T, bool)
+	Peek(h *Handle) (T, bool)
+	IsEmpty(h *Handle) bool
+	Drain(h *Handle, out []T, max int) int
+}
+
+// msQueueRep adapts the handle-free Michael–Scott baseline.
+type msQueueRep[T any] struct{ q *queue.MS[T] }
+
+func (r msQueueRep[T]) Offer(_ *Handle, v T)   { r.q.Offer(v) }
+func (r msQueueRep[T]) Poll(*Handle) (T, bool) { return r.q.Poll() }
+func (r msQueueRep[T]) Peek(*Handle) (T, bool) { return r.q.Peek() }
+func (r msQueueRep[T]) IsEmpty(*Handle) bool   { return r.q.IsEmpty() }
+func (r msQueueRep[T]) Drain(_ *Handle, out []T, max int) int {
+	n := 0
+	for n < max && n < len(out) {
+		v, ok := r.q.Poll()
+		if !ok {
+			break
+		}
+		out[n] = v
+		n++
+	}
+	return n
+}
+
+// AdjustedQueue is a FIFO queue built from a declared profile.
+type AdjustedQueue[T any] struct {
+	plan  Plan
+	rep   queueRep[T]
+	raw   any
+	probe *Probe
+}
+
+// Offer enqueues v.
+func (q *AdjustedQueue[T]) Offer(h *Handle, v T) { q.rep.Offer(h, v) }
+
+// Poll dequeues the head. Under SingleReader only the declared consumer may
+// call it.
+func (q *AdjustedQueue[T]) Poll(h *Handle) (T, bool) { return q.rep.Poll(h) }
+
+// Peek returns the head without removing it.
+func (q *AdjustedQueue[T]) Peek(h *Handle) (T, bool) { return q.rep.Peek(h) }
+
+// IsEmpty reports emptiness.
+func (q *AdjustedQueue[T]) IsEmpty(h *Handle) bool { return q.rep.IsEmpty(h) }
+
+// Drain dequeues up to max elements into out, returning the count.
+func (q *AdjustedQueue[T]) Drain(h *Handle, out []T, max int) int {
+	return q.rep.Drain(h, out, max)
+}
+
+// Plan returns the planner's decision for this object.
+func (q *AdjustedQueue[T]) Plan() Plan { return q.plan }
+
+// Representation returns the underlying representation.
+func (q *AdjustedQueue[T]) Representation() any { return q.raw }
+
+// Probe returns the contention probe observing this object (possibly nil).
+func (q *AdjustedQueue[T]) Probe() *Probe { return q.probe }
+
+// Queue builds a FIFO queue from a declared usage profile: unrestricted →
+// the Michael–Scott baseline (Q1, ALL); SingleReader → the multi-producer
+// single-consumer queue of the paper's (Q1, MWSR) — producers never touch
+// the consumer's head. Queue offers do not commute (enqueue order is
+// observable), so CommutingWriters is rejected, as is SingleWriter (a
+// queue with one producer and many consumers has no adjusted
+// representation here).
+func Queue[T any](opts ...Option) (*AdjustedQueue[T], error) {
+	const dt = "Queue"
+	p := &profile{}
+	p.apply(opts)
+	if p.writeOnce {
+		return nil, invalid(dt, "WriteOnce narrows references (R1→R2), not queues")
+	}
+	if p.fences != nil {
+		return nil, invalid(dt, "Fenced applies to adaptive Ordered objects")
+	}
+	if p.hash != nil {
+		return nil, invalid(dt, "queues are unkeyed; WithHash does not apply")
+	}
+	if p.adaptive {
+		return nil, invalid(dt, "no adaptive queue representation")
+	}
+	if p.capacity > 0 || p.stripes > 0 || p.buckets > 0 {
+		return nil, invalid(dt, "queues are unbounded; Capacity, Stripes and Buckets do not apply")
+	}
+	if p.commuting {
+		return nil, invalid(dt, "queue offers do not commute (enqueue order is observable); drop CommutingWriters")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+
+	q := &AdjustedQueue[T]{plan: Plan{Datatype: dt, Variant: "Q1", Mode: mode}, probe: p.probe}
+	switch mode {
+	case ModeMWSR:
+		rep := queue.NewMPSC[T](p.probe, p.checked)
+		q.rep, q.raw = rep, rep
+		q.plan.Rep = "MPSCQueue"
+	case ModeAll:
+		if p.checked {
+			return nil, invalid(dt, "the Michael–Scott queue has no runtime guard; drop Checked")
+		}
+		rep := queue.NewMS[T](p.probe)
+		q.rep, q.raw = msQueueRep[T]{rep}, rep
+		q.plan.Rep = "MSQueue"
+	default:
+		return nil, invalid(dt, "no single-writer queue representation (declared %s)", mode)
+	}
+	if err := q.plan.validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ref
+
+// refRep is the planner's view of a reference representation.
+type refRep[T any] interface {
+	Get(h *Handle) *T
+	Set(h *Handle, v *T) error
+	Update(h *Handle, f func(old *T) *T) error
+}
+
+type atomicRefRep[T any] struct{ r *ref.Atomic[T] }
+
+func (a atomicRefRep[T]) Get(*Handle) *T            { return a.r.Get() }
+func (a atomicRefRep[T]) Set(_ *Handle, v *T) error { a.r.Set(v); return nil }
+func (a atomicRefRep[T]) Update(_ *Handle, f func(*T) *T) error {
+	for {
+		old := a.r.Get()
+		if a.r.CompareAndSet(old, f(old)) {
+			return nil
+		}
+	}
+}
+
+type rcuRefRep[T any] struct{ r *ref.RCUBox[T] }
+
+func (a rcuRefRep[T]) Get(*Handle) *T { return a.r.Read() }
+func (a rcuRefRep[T]) Set(h *Handle, v *T) error {
+	a.r.Update(h, func(*T) *T { return v })
+	return nil
+}
+func (a rcuRefRep[T]) Update(h *Handle, f func(*T) *T) error {
+	a.r.Update(h, f)
+	return nil
+}
+
+type writeOnceRefRep[T any] struct{ w *ref.WriteOnce[T] }
+
+func (a writeOnceRefRep[T]) Get(h *Handle) *T          { return a.w.Get(h) }
+func (a writeOnceRefRep[T]) Set(h *Handle, v *T) error { return a.w.Set(h, v) }
+func (a writeOnceRefRep[T]) Update(h *Handle, f func(*T) *T) error {
+	return a.w.Set(h, f(a.w.Get(h)))
+}
+
+// AdjustedRef is a shared reference built from a declared profile.
+type AdjustedRef[T any] struct {
+	plan Plan
+	rep  refRep[T]
+	raw  any
+}
+
+// Get returns the current referent (nil while unset).
+func (r *AdjustedRef[T]) Get(h *Handle) *T { return r.rep.Get(h) }
+
+// Set replaces the referent. Under WriteOnce a second Set returns
+// ErrAlreadySet; under SingleWriter only the declared writer may call it.
+func (r *AdjustedRef[T]) Set(h *Handle, v *T) error { return r.rep.Set(h, v) }
+
+// Update replaces the referent with f(old). Under WriteOnce it succeeds
+// only as the initializing write. f must be pure: the unrestricted plan
+// retries a CAS loop and may invoke f more than once under write
+// contention (the single-writer and write-once plans invoke it exactly
+// once).
+func (r *AdjustedRef[T]) Update(h *Handle, f func(old *T) *T) error {
+	return r.rep.Update(h, f)
+}
+
+// Plan returns the planner's decision for this object.
+func (r *AdjustedRef[T]) Plan() Plan { return r.plan }
+
+// Representation returns the underlying representation.
+func (r *AdjustedRef[T]) Representation() any { return r.raw }
+
+// Ref builds a shared reference holding v (nil allowed) from a declared
+// usage profile: unrestricted → the atomic reference (R1); SingleWriter →
+// the RCU box (R1, SWMR), whose readers take immutable snapshots;
+// WriteOnce → the write-once reference of Listing 1 (R2), which must start
+// unset. Reference writes replace the whole referent, so they never
+// commute and CommutingWriters is rejected.
+func Ref[T any](v *T, opts ...Option) (*AdjustedRef[T], error) {
+	const dt = "Ref"
+	p := &profile{}
+	p.apply(opts)
+	if p.blind {
+		return nil, invalid(dt, "the reference family has no blind narrowing (R1's set already returns nothing)")
+	}
+	if p.fences != nil {
+		return nil, invalid(dt, "Fenced applies to adaptive Ordered objects")
+	}
+	if p.hash != nil {
+		return nil, invalid(dt, "references are unkeyed; WithHash does not apply")
+	}
+	if p.adaptive {
+		return nil, invalid(dt, "no adaptive reference representation")
+	}
+	if p.capacity > 0 || p.stripes > 0 || p.buckets > 0 {
+		return nil, invalid(dt, "references hold one referent; Capacity, Stripes and Buckets do not apply")
+	}
+	if p.commuting {
+		return nil, invalid(dt, "reference writes replace the referent and do not commute; drop CommutingWriters")
+	}
+	mode, err := p.mode(dt)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &AdjustedRef[T]{plan: Plan{Datatype: dt, Mode: mode}}
+	switch {
+	case p.writeOnce:
+		if v != nil {
+			return nil, invalid(dt, "WriteOnce starts unset: construct with a nil initial value and Set once")
+		}
+		if mode != ModeAll && mode != ModeSWMR {
+			return nil, invalid(dt, "no %s write-once representation; WriteOnce takes SingleWriter or no restriction", mode)
+		}
+		if p.checked {
+			return nil, invalid(dt, "the write-once reference needs no guard (its precondition is checked by Set); drop Checked")
+		}
+		rep := ref.NewWriteOnce[T](p.reg())
+		r.rep, r.raw = writeOnceRefRep[T]{rep}, rep
+		r.plan.Variant, r.plan.Rep = "R2", "WriteOnceRef"
+	case mode == ModeSWMR:
+		rep := ref.NewRCUBox[T](v, p.checked)
+		r.rep, r.raw = rcuRefRep[T]{rep}, rep
+		r.plan.Variant, r.plan.Rep = "R1", "RCUBox"
+	case mode == ModeAll:
+		if p.checked {
+			return nil, invalid(dt, "the atomic reference has no runtime guard; drop Checked")
+		}
+		rep := ref.NewAtomic[T](v)
+		r.rep, r.raw = atomicRefRep[T]{rep}, rep
+		r.plan.Variant, r.plan.Rep = "R1", "AtomicRef"
+	default:
+		return nil, invalid(dt, "no single-reader reference representation (declared %s); drop SingleReader", mode)
+	}
+	if err := r.plan.validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,147 @@
+package dego
+
+import "cmp"
+
+// An Option declares one aspect of how a program will use a shared object.
+// The profile constructors (Counter, Map, Set, Ordered, Queue, Ref) fold
+// their options into a usage profile and hand it to the planner, which picks
+// the representation — callers say what they do, not which data structure
+// they want. Options divide into
+//
+//   - interface narrowings: Blind, WriteOnce — give up part of the base
+//     interface (return values, re-initialization);
+//   - access restrictions: SingleWriter, SingleReader, CommutingWriters —
+//     promise which threads call what;
+//   - adaptivity: Adaptive — ask for a representation that switches itself
+//     under measured contention;
+//   - context and tuning: On, Checked, WithHash, WithProbe, Capacity,
+//     Stripes, Buckets, Fenced — they size or instrument whatever the
+//     planner picks, and never change which object is declared.
+//
+// Narrowings, restrictions and granularities that do not exist for a
+// datatype (WriteOnce on a map, Fenced on a counter, Checked on a plan
+// with no guard) make the whole profile invalid: the constructor returns
+// an error wrapping ErrInvalidProfile rather than guessing what was meant.
+// The sizing options (Capacity, Stripes, Buckets) are likewise rejected on
+// datatypes they can never size (queues, references); on the sized
+// datatypes they are hints, consumed where the planned representation has
+// the corresponding knob and harmlessly unused where it does not (e.g.
+// Capacity on an unrestricted Ordered plan — the lock-free list has no
+// preallocation).
+type Option func(*profile)
+
+// An AdaptiveOption tunes the Adaptive declaration.
+type AdaptiveOption func(*profile)
+
+// On places the object on a specific registry; without it the process-wide
+// default registry is used. Representations that never route by thread
+// identity (striped and lock-free baselines, atomic cells) ignore it.
+func On(r *Registry) Option { return func(p *profile) { p.registry = r } }
+
+// Checked enables the planned representation's runtime permission guard:
+// violations of the declared access restriction panic instead of silently
+// corrupting. Valid only when the planned representation carries a guard
+// (the handle-routed adjusted representations do; the any-thread baselines
+// have nothing to check).
+func Checked() Option { return func(p *profile) { p.checked = true } }
+
+// Blind declares that write operations need not return information about
+// the previous state (the r-arrows of Figure 3: a voided postcondition).
+// For counters this is the C2→C3 step that unlocks the striped and
+// per-thread cell representations — an increment that must return the new
+// value is inherently a read-modify-write on shared state.
+func Blind() Option { return func(p *profile) { p.blind = true } }
+
+// WriteOnce declares the reference is initialized at most once (the
+// p-arrow R1→R2: set's precondition strengthens to "unset"). Applies to
+// Ref only.
+func WriteOnce() Option { return func(p *profile) { p.writeOnce = true } }
+
+// SingleWriter declares that one thread performs every write (SWMR).
+func SingleWriter() Option { return func(p *profile) { p.singleWriter = true } }
+
+// SingleReader declares that one thread performs every read (MWSR; with
+// CommutingWriters, CWSR).
+func SingleReader() Option { return func(p *profile) { p.singleReader = true } }
+
+// CommutingWriters declares that concurrent writes by distinct threads
+// commute — e.g. they target distinct keys (CWMR; with SingleReader, CWSR).
+// This is the contract that makes the extended segmentations sound, and it
+// must hold for the object's whole lifetime.
+func CommutingWriters() Option { return func(p *profile) { p.commuting = true } }
+
+// Adaptive asks for a contention-adaptive representation: the unadjusted
+// one until the windowed stall rate says otherwise, the adjusted one while
+// contention lasts. The declared access restriction must still hold in
+// every state — adaptivity changes the representation, never the contract.
+func Adaptive(opts ...AdaptiveOption) Option {
+	return func(p *profile) {
+		p.adaptive = true
+		for _, o := range opts {
+			o(p)
+		}
+	}
+}
+
+// WithPolicy overrides the adaptive switching policy (thresholds, window
+// sizes, range count).
+func WithPolicy(pol AdaptivePolicy) AdaptiveOption {
+	return func(p *profile) { p.policy, p.policySet = pol, true }
+}
+
+// Ranges splits a hash-keyed adaptive object (Map, Set) into n hash-prefix
+// ranges that promote and demote independently, so a hot range pays the
+// adjusted representation while cold ranges keep single-lookup reads.
+// Ordered objects take Fenced instead — hash-prefix buckets would scatter
+// adjacent keys and break ordered iteration.
+func Ranges(n int) AdaptiveOption { return func(p *profile) { p.ranges = n } }
+
+// Fenced splits an adaptive ordered object's key space at the given keys:
+// len(keys)+1 contiguous intervals, each adjusting independently, whose
+// concatenation keeps global iteration sorted. Keys must be strictly
+// increasing. Applies to Ordered with Adaptive only.
+func Fenced[K cmp.Ordered](keys ...K) Option {
+	return func(p *profile) { p.fences = append([]K(nil), keys...) }
+}
+
+// WithHash supplies the key hash for keyed objects. Optional for built-in
+// integer and string key types, which get the library's default hashers
+// (Hash64 / HashString); required for every other key type.
+func WithHash[K comparable](f func(K) uint64) Option {
+	return func(p *profile) { p.hash = f }
+}
+
+// WithProbe attaches a contention probe to representations that accept
+// external instrumentation (the lock- and CAS-based baselines). Adaptive
+// representations carry their own probe regardless — read it from the
+// constructed object. Advisory: representations with nothing to record
+// ignore it.
+func WithProbe(pr *Probe) Option { return func(p *profile) { p.probe = pr } }
+
+// Capacity sizes the object: hash-table capacity for maps and sets, the
+// cell count for blind ALL-mode counters, the segment-directory default
+// for commuting Ordered plans. Defaults are workload-neutral (1024
+// entries; one cell per CPU). A hint: plans whose representation has no
+// preallocation (per-thread counter cells, the lock-free and SWMR skip
+// lists) leave it unused.
+func Capacity(n int) Option { return func(p *profile) { p.capacity = n } }
+
+// Stripes sizes the lock-stripe array of the striped representations
+// (default 256). Applies to Map and Set; a hint on plans without a striped
+// representation (SWMR, segmented).
+func Stripes(n int) Option { return func(p *profile) { p.stripes = n } }
+
+// Buckets sizes the segment directory of the extended segmentations
+// (default: twice the capacity). Applies to Map, Set and Ordered; a hint
+// on plans without a segment directory.
+func Buckets(n int) Option { return func(p *profile) { p.buckets = n } }
+
+// Must unwraps a profile-constructor result, panicking on error. For
+// program-shaped profiles that cannot be invalid — typically package-level
+// construction where the profile is a literal.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

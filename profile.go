@@ -1,0 +1,150 @@
+package dego
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidProfile is the sentinel every profile-rejection error wraps:
+// errors.Is(err, dego.ErrInvalidProfile) is true exactly when a profile
+// constructor (Counter, Map, Set, Ordered, Queue, Ref) refused to build
+// because the declared usage is not a valid adjustment — the combination
+// names no mode of §4.2, the narrowing does not exist in the object's
+// Table 1 family, or the library has no representation for the declared
+// object. The concrete error is an *InvalidProfileError carrying the
+// datatype and the reason.
+var ErrInvalidProfile = errors.New("invalid profile")
+
+// InvalidProfileError reports why a declared profile was rejected. It wraps
+// ErrInvalidProfile.
+type InvalidProfileError struct {
+	// Datatype is the profile constructor that rejected ("Counter", "Map",
+	// "Set", "Ordered", "Queue", "Ref").
+	Datatype string
+	// Detail is the reason, phrased against the paper's model where the
+	// rejection is theoretical (no such mode, no such narrowing) and
+	// against the library where it is practical (no representation).
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *InvalidProfileError) Error() string {
+	return fmt.Sprintf("dego: %s: %s: %s", e.Datatype, ErrInvalidProfile.Error(), e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidProfile) hold.
+func (e *InvalidProfileError) Unwrap() error { return ErrInvalidProfile }
+
+// invalid builds the rejection error for datatype dt.
+func invalid(dt, format string, args ...any) error {
+	return &InvalidProfileError{Datatype: dt, Detail: fmt.Sprintf(format, args...)}
+}
+
+// profile is the declared usage a constructor collects from its options
+// before planning a representation. Zero value = no adjustment declared:
+// full interface, every thread may do everything.
+type profile struct {
+	registry *Registry
+	probe    *Probe
+
+	// Interface narrowings (the d/p/r arrows of Figure 3).
+	blind     bool
+	writeOnce bool
+
+	// Access restrictions (the m/c arrows).
+	singleWriter bool
+	singleReader bool
+	commuting    bool
+
+	// Adaptivity.
+	adaptive  bool
+	policy    AdaptivePolicy
+	policySet bool
+	ranges    int
+
+	// Tuning.
+	capacity int
+	stripes  int
+	buckets  int
+	checked  bool
+
+	// Key typing (carried as any because options are not generic over the
+	// object's key type; the constructor re-types them).
+	hash   any // func(K) uint64
+	fences any // []K, strictly increasing
+}
+
+// apply folds the options into a profile.
+func (p *profile) apply(opts []Option) {
+	for _, o := range opts {
+		o(p)
+	}
+}
+
+// mode resolves the declared access restriction to one of the five §4.2
+// modes. Declaring both a single writer and a single reader is rejected:
+// the paper's permission maps have no SWSR point (a single thread doing
+// everything needs no shared object at all).
+func (p *profile) mode(dt string) (Mode, error) {
+	if p.singleWriter && p.singleReader {
+		return 0, invalid(dt, "SingleWriter and SingleReader together name no §4.2 mode (SWSR is not a shared-object permission map)")
+	}
+	switch {
+	case p.singleWriter:
+		// A single writer trivially commutes with itself, so
+		// CommutingWriters alongside SingleWriter is redundant, not wrong.
+		return ModeSWMR, nil
+	case p.singleReader && p.commuting:
+		return ModeCWSR, nil
+	case p.singleReader:
+		return ModeMWSR, nil
+	case p.commuting:
+		return ModeCWMR, nil
+	}
+	return ModeAll, nil
+}
+
+// resolvedPolicy returns the adaptive policy with the Ranges option folded
+// in.
+func (p *profile) resolvedPolicy() AdaptivePolicy {
+	pol := p.policy
+	if !p.policySet {
+		pol = DefaultAdaptivePolicy()
+	}
+	if p.ranges > 0 {
+		pol.Ranges = p.ranges
+	}
+	return pol
+}
+
+// reg returns the declared registry, defaulting to the process-wide one.
+func (p *profile) reg() *Registry {
+	if p.registry != nil {
+		return p.registry
+	}
+	return DefaultRegistry()
+}
+
+// capacityOr returns the declared capacity or def.
+func (p *profile) capacityOr(def int) int {
+	if p.capacity > 0 {
+		return p.capacity
+	}
+	return def
+}
+
+// stripesOr returns the declared stripe count or def.
+func (p *profile) stripesOr(def int) int {
+	if p.stripes > 0 {
+		return p.stripes
+	}
+	return def
+}
+
+// bucketsOr returns the declared directory bucket count or def.
+func (p *profile) bucketsOr(def int) int {
+	if p.buckets > 0 {
+		return p.buckets
+	}
+	return def
+}
