@@ -3,9 +3,10 @@
 
 GO ?= go
 
-# Packages covered by the race-detector job: the adaptive machine and the
-# objects it migrates between.
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/...
+# Packages covered by the race-detector job: the adaptive machine, the
+# objects it migrates between, and the serving layer (pipelined TCP clients
+# against shards under forced promote/demote flapping).
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
 # without burning CI minutes; the JSON lands as a workflow artifact. The
@@ -16,9 +17,16 @@ RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... .
 BENCH_SMOKE_FLAGS = -fig all -threads 1,2 -duration 25ms -warmup 5ms -items 1024 -range 2048
 BENCH_SMOKE_JSON  = bench-smoke.json
 
+# Networked retwis smoke: tiny closed-loop run of the Table-2 workload as
+# RESP pipelines against a self-hosted dego-server, one point per store
+# kind; the latency JSON lands as a CI artifact (net-<short-sha>.json, same
+# diffable-trajectory idea as the bench smoke).
+NET_SMOKE_FLAGS = -net -stores adaptive,striped -conns 2 -pipeline 8 -netusers 2000 -netduration 300ms
+NET_SMOKE_JSON  = net-smoke.json
+
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke cover fmt fmt-check vet docs-check api api-check deprecations
+.PHONY: build test race bench-smoke server-smoke net-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -31,6 +39,15 @@ race:
 
 bench-smoke:
 	$(GO) run ./cmd/dego-bench $(BENCH_SMOKE_FLAGS) -json $(BENCH_SMOKE_JSON)
+
+# Boot dego-server on an ephemeral port and run the scripted
+# GET/SET/INCR/LRANGE self-session through the repo's own wire client
+# (CI images have no redis-cli); every reply is checked.
+server-smoke:
+	$(GO) run ./cmd/dego-server -smoke -shards 2
+
+net-smoke:
+	$(GO) run ./cmd/retwis-bench $(NET_SMOKE_FLAGS) -json $(NET_SMOKE_JSON)
 
 # The full test suite with coverage, atomic mode so the concurrent tests
 # count correctly; prints the total line into the log. CI runs this as its

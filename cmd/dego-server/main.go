@@ -1,0 +1,146 @@
+// Command dego-server serves the RESP subset of docs/PROTOCOL.md over TCP,
+// backed by the sharded, profile-planned adaptive store of internal/server.
+// Stock redis clients can talk to it:
+//
+//	dego-server -addr :6399 &
+//	redis-cli -p 6399 SET greeting hello
+//	redis-cli -p 6399 GET greeting
+//
+// Flags:
+//
+//	-addr      listen address (default 127.0.0.1:6399; :0 picks a free port)
+//	-shards    event-loop shards, each owning a keyspace slice (default GOMAXPROCS)
+//	-store     shard map kind: adaptive, segmented or striped
+//	-capacity  per-shard capacity hint for the planner
+//	-ranges    adaptive ranges per shard map
+//	-pipeline  max commands executed per pipeline batch
+//	-smoke     bind an ephemeral port, run a scripted self-session, exit
+//
+// -smoke exists for CI: the container images have no redis-cli, so the
+// server proves the wire path with its own client — boot, connect over
+// TCP, run a GET/SET/INCR/LRANGE session, verify every reply, shut down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"github.com/adjusted-objects/dego/internal/retwis"
+	"github.com/adjusted-objects/dego/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dego-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dego-server", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6399", "TCP listen address")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "keyspace shards (event loops)")
+	store := fs.String("store", server.StoreAdaptive, "shard map kind: adaptive, segmented or striped")
+	capacity := fs.Int("capacity", 0, "per-shard capacity hint (0 = default)")
+	ranges := fs.Int("ranges", 0, "adaptive ranges per shard (0 = default)")
+	pipeline := fs.Int("pipeline", 0, "max commands per pipeline batch (0 = default)")
+	smoke := fs.Bool("smoke", false, "self-test: ephemeral port, scripted session, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		Addr: *addr,
+		Store: server.StoreConfig{
+			Shards:   *shards,
+			Kind:     *store,
+			Capacity: *capacity,
+			Ranges:   *ranges,
+		},
+		MaxPipeline: *pipeline,
+	}
+	if *smoke {
+		cfg.Addr = "127.0.0.1:0"
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(); err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(out, "dego-server: listening on %s (%d shards, %s store)\n",
+		srv.Addr(), srv.Store().Shards(), *store)
+
+	if *smoke {
+		defer srv.Close()
+		go srv.Serve()
+		return smokeSession(srv.Addr().String(), out)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(out, "dego-server: shutting down")
+		srv.Close()
+	}()
+	return srv.Serve()
+}
+
+// smokeSession drives the scripted self-session: one pipelined connection
+// exercising every verb family, each reply checked against its expectation.
+func smokeSession(addr string, out *os.File) error {
+	kv, err := retwis.DialKV(addr)
+	if err != nil {
+		return err
+	}
+	defer kv.Close()
+
+	session := []struct {
+		cmd  []string
+		want string // redis-cli-style rendering of the expected reply
+	}{
+		{[]string{"PING"}, "PONG"},
+		{[]string{"SET", "greeting", "hello"}, "OK"},
+		{[]string{"GET", "greeting"}, `"hello"`},
+		{[]string{"INCR", "visits"}, "(integer) 1"},
+		{[]string{"INCR", "visits"}, "(integer) 2"},
+		{[]string{"EXISTS", "greeting", "visits", "nope"}, "(integer) 2"},
+		{[]string{"SADD", "community", "1", "2", "3"}, "(integer) 3"},
+		{[]string{"SMEMBERS", "community"}, `["1" "2" "3"]`},
+		{[]string{"LPUSH", "timeline:1", "b", "a"}, "(integer) 2"},
+		{[]string{"LRANGE", "timeline:1", "0", "-1"}, `["a" "b"]`},
+		{[]string{"ZADD", "posts:1", "1", "first", "2", "second"}, "(integer) 2"},
+		{[]string{"ZRANGEBYSCORE", "posts:1", "-inf", "+inf"}, `["first" "second"]`},
+		{[]string{"DEL", "greeting"}, "(integer) 1"},
+		{[]string{"GET", "greeting"}, "(nil)"},
+	}
+
+	cmds := make([][][]byte, len(session))
+	for i, s := range session {
+		args := make([][]byte, len(s.cmd))
+		for j, a := range s.cmd {
+			args[j] = []byte(a)
+		}
+		cmds[i] = args
+	}
+	reps, err := kv.ExecPipe(cmds)
+	if err != nil {
+		return err
+	}
+	for i, s := range session {
+		if got := reps[i].String(); got != s.want {
+			return fmt.Errorf("smoke: %v replied %s, want %s", s.cmd, got, s.want)
+		}
+		fmt.Fprintf(out, "smoke: %v -> %s\n", s.cmd, reps[i])
+	}
+	fmt.Fprintf(out, "smoke: %d/%d replies ok\n", len(session), len(session))
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSmokeMode runs the CI self-session in-process: boot on an ephemeral
+// port, pipeline the scripted GET/SET/INCR/LRANGE session through the wire
+// client, verify every reply.
+func TestSmokeMode(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := run([]string{"-smoke", "-shards", "2", "-store", "adaptive"}, null); err != nil {
+		t.Fatal(err)
+	}
+	// Every store kind must answer the same session identically.
+	for _, kind := range []string{"segmented", "striped"} {
+		if err := run([]string{"-smoke", "-store", kind}, null); err != nil {
+			t.Fatalf("store %s: %v", kind, err)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	if err := run([]string{"-smoke", "-store", "bogus"}, null); err == nil {
+		t.Fatal("bogus store kind should fail")
+	}
+}

@@ -11,9 +11,21 @@
 //	retwis-bench -fig 9 [-users 100000,500000,1000000] [-threads 1,5,10,20,40,80]
 //	retwis-bench -fig 10 [-alphas 0,0.25,0.5,0.75,1,2]
 //	retwis-bench -fig all
+//
+// -net switches to the networked evaluation: the same Table-2 workload is
+// generated client-side and shipped to a dego-server as RESP pipelines,
+// producing latency-vs-throughput points (p50/p95/p99 of the pipeline round
+// trip). By default it self-hosts one server per store kind in -stores; with
+// -addr it targets a live server instead. -json writes the points as a JSON
+// array (the CI artifact):
+//
+//	retwis-bench -net [-stores adaptive,striped] [-conns 4] [-pipeline 8]
+//	             [-netusers 10000] [-netduration 2s] [-json net.json]
+//	retwis-bench -net -addr 127.0.0.1:6399
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +53,23 @@ func run(args []string) error {
 	threads10 := fs.Int("threads10", 0, "thread count for figure 10 (default: max of -threads)")
 	duration := fs.Duration("duration", 500*time.Millisecond, "measured duration per point")
 	alpha := fs.Float64("alpha", 1, "user-selection bias for figure 9")
+
+	netMode := fs.Bool("net", false, "networked mode: drive dego-server over TCP instead of the figures")
+	netAddr := fs.String("addr", "", "live server address for -net ('' self-hosts per store kind)")
+	storesFlag := fs.String("stores", "adaptive,striped", "store kinds for self-hosted -net")
+	conns := fs.Int("conns", 4, "client connections for -net")
+	pipelineDepth := fs.Int("pipeline", 8, "ops batched per pipeline flush for -net")
+	netUsers := fs.Int("netusers", 10_000, "seeded users for -net")
+	netDuration := fs.Duration("netduration", 2*time.Second, "measured duration per -net point")
+	netOps := fs.Int("netops", 0, "ops per connection for -net (0 = duration mode)")
+	jsonPath := fs.String("json", "", "write -net points as a JSON array to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *netMode {
+		return runNet(*netAddr, *storesFlag, *conns, *pipelineDepth, *netUsers,
+			*netDuration, *netOps, *alpha, *jsonPath)
 	}
 
 	users, err := parseInts(*usersFlag)
@@ -77,6 +104,52 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown figure %q (want 9, 10 or all)", *fig)
 	}
+}
+
+// runNet measures latency-vs-throughput points: one per store kind when
+// self-hosting, a single "remote" point when -addr targets a live server.
+func runNet(addr, stores string, conns, pipeline, users int,
+	duration time.Duration, opsPerConn int, alpha float64, jsonPath string) error {
+	p := retwis.DefaultParams()
+	p.Users = users
+	p.Threads = conns
+	p.Alpha = alpha
+	p.Duration = duration
+	p.OpsPerThread = opsPerConn
+	base := retwis.NetParams{Workload: p, Addr: addr, Pipeline: pipeline}
+
+	var points []retwis.NetPoint
+	if addr != "" {
+		pt, err := retwis.RunNet(base)
+		if err != nil {
+			return err
+		}
+		points = append(points, pt)
+		fmt.Printf("remote %s: %.0f ops/s, p50 %dµs, p95 %dµs, p99 %dµs\n",
+			addr, pt.OpsPerSec, pt.P50us, pt.P95us, pt.P99us)
+	} else {
+		kinds := strings.Split(stores, ",")
+		for i := range kinds {
+			kinds[i] = strings.TrimSpace(kinds[i])
+		}
+		var err error
+		points, err = retwis.NetCurve(os.Stdout, base, kinds)
+		if err != nil {
+			return err
+		}
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d point(s) to %s\n", len(points), jsonPath)
+	}
+	return nil
 }
 
 func runFigure10(base retwis.Params, alphas []float64, users, threads10 int, threads []int) error {

@@ -1,0 +1,258 @@
+package retwis
+
+import (
+	"net"
+	"sort"
+	"strconv"
+
+	"github.com/adjusted-objects/dego/internal/server"
+	"github.com/adjusted-objects/dego/internal/stats"
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// KV abstracts "somewhere that answers the RESP subset" so the retwis
+// client runs identically against the in-process store and a live
+// dego-server over TCP. ExecPipe executes one pipeline: every command is
+// sent, then every reply is read, in order.
+type KV interface {
+	ExecPipe(cmds [][][]byte) ([]wire.Reply, error)
+	Close() error
+}
+
+// LocalKV runs the pipeline directly against an in-process store — the
+// zero-wire baseline that isolates protocol+network cost when compared with
+// WireKV against the same store kind.
+type LocalKV struct {
+	St *server.Store
+}
+
+// ExecPipe implements KV.
+func (l *LocalKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
+	return l.St.ExecBatch(cmds), nil
+}
+
+// Close implements KV; the store is owned by the caller and stays open.
+func (l *LocalKV) Close() error { return nil }
+
+// WireKV is one TCP connection to a dego-server (or any RESP server
+// answering the subset).
+type WireKV struct {
+	conn net.Conn
+	r    *wire.Reader
+	w    *wire.Writer
+}
+
+// DialKV connects to addr.
+func DialKV(addr string) (*WireKV, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &WireKV{conn: conn, r: wire.NewReader(conn), w: wire.NewWriter(conn)}, nil
+}
+
+// ExecPipe implements KV: one write burst, one flush, len(cmds) replies.
+func (c *WireKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
+	for _, cm := range cmds {
+		if err := c.w.WriteCommand(cm...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	reps := make([]wire.Reply, len(cmds))
+	for i := range reps {
+		rep, err := c.r.ReadReply()
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = rep
+	}
+	return reps, nil
+}
+
+// Close implements KV.
+func (c *WireKV) Close() error { return c.conn.Close() }
+
+// Graph is the deterministic initial social graph of §6.3 in adjacency
+// form: Followers[u] lists who follows u, deduplicated and capped at
+// FanoutLimit (the synchronous-delivery bound). It mirrors the power-law /
+// Zipf seeding of Build so the wire workload posts into the same graph
+// shape the in-process backends use — and so the client can fan a post out
+// WITHOUT first asking the server for the follower set, which would stall
+// the pipeline on a round trip.
+type Graph struct {
+	Users     int
+	Followers [][]UserID
+}
+
+// BuildGraph draws the graph for p (same draws as Build's edge loop).
+func BuildGraph(p Params) *Graph {
+	degrees := stats.PowerLawDegrees(p.Users, p.MaxDegree, 2.0, p.Seed)
+	pick := stats.NewZipfian(p.Users, p.Alpha, p.Seed+1)
+	fol := make([][]UserID, p.Users)
+	seen := map[UserID]struct{}{}
+	for u := 0; u < p.Users; u++ {
+		uid := UserID(u)
+		clear(seen)
+		for d := 0; d < degrees[u]; d++ {
+			f := UserID(pick.Next())
+			if f == uid {
+				continue
+			}
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			if len(fol[u]) < FanoutLimit {
+				fol[u] = append(fol[u], f)
+			}
+		}
+		sort.Slice(fol[u], func(i, j int) bool { return fol[u][i] < fol[u][j] })
+	}
+	return &Graph{Users: p.Users, Followers: fol}
+}
+
+// Key scheme of the wire workload (documented in docs/PROTOCOL.md):
+//
+//	profile:<u>    string   profile version       SET / GET
+//	followers:<u>  set      who follows u         SADD / SREM / SMEMBERS
+//	following:<u>  set      whom u follows        SADD / SREM
+//	timeline:<u>   list     delivered tweets      LPUSH / LTRIM / LRANGE
+//	posts:<u>      zset     u's post log by seq   ZADD / ZREMRANGEBYSCORE
+//	community      set      interest group        SADD / SREM
+//	stat:posts     string   global post counter   INCR
+func userKey(prefix string, u UserID) []byte {
+	return strconv.AppendInt(append([]byte(prefix), ':'), int64(u), 10)
+}
+
+func uidBytes(u UserID) []byte { return strconv.AppendInt(nil, int64(u), 10) }
+
+// NetClient turns generated Ops into RESP command pipelines against a KV.
+// One NetClient serves one worker; it is not goroutine-safe.
+type NetClient struct {
+	kv    KV
+	graph *Graph
+	buf   [][][]byte
+}
+
+// NewNetClient wraps kv. graph drives client-side post fanout.
+func NewNetClient(kv KV, graph *Graph) *NetClient {
+	return &NetClient{kv: kv, graph: graph}
+}
+
+func (c *NetClient) push(args ...[]byte) { c.buf = append(c.buf, args) }
+
+// AppendOp expands op into its commands on the pending pipeline.
+func (c *NetClient) AppendOp(op Op) {
+	switch op.Kind {
+	case OpAddUser:
+		c.push([]byte("SET"), userKey("profile", op.User), []byte("0"))
+	case OpFollow:
+		u, t := uidBytes(op.User), uidBytes(op.Target)
+		// Follow both directions, then the converse (§6.3): not measured
+		// separately, but part of the op's cost exactly as in-process.
+		c.push([]byte("SADD"), userKey("following", op.User), t)
+		c.push([]byte("SADD"), userKey("followers", op.Target), u)
+		c.push([]byte("SREM"), userKey("following", op.User), t)
+		c.push([]byte("SREM"), userKey("followers", op.Target), u)
+	case OpPost:
+		seq := strconv.AppendInt(nil, op.Seq, 10)
+		payload := append(append(uidBytes(op.User), ':'), seq...)
+		c.push([]byte("INCR"), []byte("stat:posts"))
+		c.push([]byte("ZADD"), userKey("posts", op.User), seq, payload)
+		if op.Seq > int64(TimelineSize) {
+			// Prune the post log to the sliding window a timeline can show.
+			old := strconv.AppendInt(nil, op.Seq-int64(TimelineSize), 10)
+			c.push([]byte("ZREMRANGEBYSCORE"), userKey("posts", op.User), []byte("-inf"), old)
+		}
+		var fol []UserID
+		if int(op.User) < len(c.graph.Followers) {
+			fol = c.graph.Followers[op.User]
+		}
+		for _, f := range fol {
+			c.push([]byte("LPUSH"), userKey("timeline", f), payload)
+			c.push([]byte("LTRIM"), userKey("timeline", f), []byte("0"), []byte("49"))
+		}
+	case OpTimeline:
+		c.push([]byte("GET"), userKey("profile", op.User))
+		c.push([]byte("LRANGE"), userKey("timeline", op.User), []byte("0"), []byte("49"))
+	case OpJoinGroup:
+		c.push([]byte("SADD"), []byte("community"), uidBytes(op.User))
+	case OpLeaveGroup:
+		c.push([]byte("SREM"), []byte("community"), uidBytes(op.User))
+	case OpUpdateProfile:
+		c.push([]byte("SET"), userKey("profile", op.User), strconv.AppendInt(nil, op.Seq, 10))
+	}
+}
+
+// Pending returns how many commands the pipeline holds.
+func (c *NetClient) Pending() int { return len(c.buf) }
+
+// Flush executes the pending pipeline and checks every reply; the first
+// error reply is returned as a *ReplyError. The buffer is reset either way.
+func (c *NetClient) Flush() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	reps, err := c.kv.ExecPipe(c.buf)
+	c.buf = c.buf[:0]
+	if err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		if rep.IsError() {
+			return &ReplyError{Message: rep.Text()}
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying KV.
+func (c *NetClient) Close() error { return c.kv.Close() }
+
+// ReplyError is an error reply the server returned for a workload command —
+// a workload/mapping bug, not a transport failure.
+type ReplyError struct{ Message string }
+
+func (e *ReplyError) Error() string { return "retwis: server replied " + e.Message }
+
+// SeedKV loads the initial state for p into kv: one profile per user plus
+// the follower/following edges of graph, pipelined in chunks. It is the
+// wire-side counterpart of Build's seeding phase.
+func SeedKV(kv KV, p Params, graph *Graph) error {
+	const chunk = 512
+	var buf [][][]byte
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		reps, err := kv.ExecPipe(buf)
+		buf = buf[:0]
+		if err != nil {
+			return err
+		}
+		for _, rep := range reps {
+			if rep.IsError() {
+				return &ReplyError{Message: rep.Text()}
+			}
+		}
+		return nil
+	}
+	for u := 0; u < p.Users; u++ {
+		uid := UserID(u)
+		buf = append(buf, [][]byte{[]byte("SET"), userKey("profile", uid), []byte("0")})
+		for _, f := range graph.Followers[u] {
+			buf = append(buf,
+				[][]byte{[]byte("SADD"), userKey("followers", uid), uidBytes(f)},
+				[][]byte{[]byte("SADD"), userKey("following", f), uidBytes(uid)})
+		}
+		if len(buf) >= chunk {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}

@@ -1,0 +1,231 @@
+package retwis
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adjusted-objects/dego/internal/server"
+	"github.com/adjusted-objects/dego/internal/stats"
+)
+
+// NetParams configures one networked benchmark run: the Table-2 workload of
+// Params generated client-side, shipped as RESP pipelines over TCP. Threads
+// doubles as the connection count — each connection is one closed-loop
+// worker owning the users u with u mod Threads == tid, exactly like an
+// in-process worker thread.
+type NetParams struct {
+	Workload Params
+	// Addr is a live server to target; "" self-hosts an in-process
+	// dego-server on an ephemeral loopback port.
+	Addr string
+	// Store is the self-hosted store kind (server.StoreAdaptive by
+	// default); ignored when Addr is set.
+	Store string
+	// Shards is the self-hosted shard count (0 = server default).
+	Shards int
+	// Pipeline is how many generated ops each worker batches per flush.
+	Pipeline int
+}
+
+// NetPoint is one measured latency-vs-throughput point. Latency is the
+// round-trip time of one pipeline flush (write burst → last reply read), so
+// deeper pipelines trade latency for throughput — the curve the paper-style
+// serving evaluation wants.
+type NetPoint struct {
+	Store     string  `json:"store"`
+	Conns     int     `json:"conns"`
+	Pipeline  int     `json:"pipeline"`
+	Users     int     `json:"users"`
+	Ops       int64   `json:"ops"`
+	Commands  int64   `json:"commands"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     uint64  `json:"p50_us"`
+	P95us     uint64  `json:"p95_us"`
+	P99us     uint64  `json:"p99_us"`
+	MaxUs     uint64  `json:"max_us"`
+}
+
+// RunNet seeds the target and drives the measured phase. Self-hosted mode
+// boots a server, runs, and tears it down; targeting a live Addr it issues
+// FLUSHALL first so successive points start from the same state.
+func RunNet(np NetParams) (NetPoint, error) {
+	p := np.Workload
+	if err := p.Mix.Validate(); err != nil {
+		return NetPoint{}, err
+	}
+	if p.Users < p.Threads {
+		return NetPoint{}, fmt.Errorf("retwis: need at least one user per connection (%d < %d)", p.Users, p.Threads)
+	}
+	if np.Pipeline <= 0 {
+		np.Pipeline = 8
+	}
+
+	addr := np.Addr
+	label := "remote"
+	if addr == "" {
+		kind := np.Store
+		if kind == "" {
+			kind = server.StoreAdaptive
+		}
+		label = kind
+		srv, err := server.New(server.Config{
+			Store: server.StoreConfig{Shards: np.Shards, Kind: kind},
+		})
+		if err != nil {
+			return NetPoint{}, err
+		}
+		if err := srv.Listen(); err != nil {
+			return NetPoint{}, err
+		}
+		go srv.Serve()
+		defer srv.Close()
+		addr = srv.Addr().String()
+	}
+
+	graph := BuildGraph(p)
+	seeder, err := DialKV(addr)
+	if err != nil {
+		return NetPoint{}, err
+	}
+	if _, err := seeder.ExecPipe([][][]byte{{[]byte("FLUSHALL")}}); err != nil {
+		seeder.Close()
+		return NetPoint{}, err
+	}
+	if err := SeedKV(seeder, p, graph); err != nil {
+		seeder.Close()
+		return NetPoint{}, err
+	}
+	seeder.Close()
+
+	partUsers := make([][]UserID, p.Threads)
+	for u := 0; u < p.Users; u++ {
+		t := owner(UserID(u), p.Threads)
+		partUsers[t] = append(partUsers[t], UserID(u))
+	}
+
+	var (
+		stop     atomic.Bool
+		begin    = make(chan struct{})
+		started  sync.WaitGroup
+		finished sync.WaitGroup
+		ops      = make([]int64, p.Threads)
+		cmds     = make([]int64, p.Threads)
+		hists    = make([]stats.LatencyHist, p.Threads)
+		errs     = make([]error, p.Threads)
+	)
+
+	worker := func(tid int) {
+		defer finished.Done()
+		kv, err := DialKV(addr)
+		if err != nil {
+			errs[tid] = err
+			started.Done()
+			return
+		}
+		cl := NewNetClient(kv, graph)
+		defer cl.Close()
+		gen := NewGenerator(tid, p, partUsers[tid], false)
+		h := &hists[tid]
+
+		oneBatch := func() error {
+			for i := 0; i < np.Pipeline; i++ {
+				cl.AppendOp(gen.Next())
+			}
+			n := cl.Pending()
+			t0 := time.Now()
+			if err := cl.Flush(); err != nil {
+				return err
+			}
+			h.Record(uint64(time.Since(t0).Microseconds()))
+			ops[tid] += int64(np.Pipeline)
+			cmds[tid] += int64(n)
+			return nil
+		}
+
+		started.Done()
+		<-begin
+		if p.OpsPerThread > 0 {
+			for done := 0; done < p.OpsPerThread; done += np.Pipeline {
+				if err := oneBatch(); err != nil {
+					errs[tid] = err
+					return
+				}
+			}
+		} else {
+			for !stop.Load() {
+				if err := oneBatch(); err != nil {
+					errs[tid] = err
+					return
+				}
+			}
+		}
+	}
+
+	started.Add(p.Threads)
+	finished.Add(p.Threads)
+	for tid := 0; tid < p.Threads; tid++ {
+		go worker(tid)
+	}
+	started.Wait()
+	t0 := time.Now()
+	close(begin)
+	if p.OpsPerThread == 0 {
+		time.Sleep(p.Duration)
+		stop.Store(true)
+	}
+	finished.Wait()
+	elapsed := time.Since(t0)
+
+	var all stats.LatencyHist
+	var totalOps, totalCmds int64
+	for tid := 0; tid < p.Threads; tid++ {
+		if errs[tid] != nil {
+			return NetPoint{}, fmt.Errorf("retwis: net worker %d: %w", tid, errs[tid])
+		}
+		all.Merge(&hists[tid])
+		totalOps += ops[tid]
+		totalCmds += cmds[tid]
+	}
+	return NetPoint{
+		Store:     label,
+		Conns:     p.Threads,
+		Pipeline:  np.Pipeline,
+		Users:     p.Users,
+		Ops:       totalOps,
+		Commands:  totalCmds,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		OpsPerSec: float64(totalOps) / elapsed.Seconds(),
+		P50us:     all.Percentile(0.50),
+		P95us:     all.Percentile(0.95),
+		P99us:     all.Percentile(0.99),
+		MaxUs:     all.Max(),
+	}, nil
+}
+
+// NetCurve measures one point per store kind (self-hosted) and prints a
+// table; the returned points are what retwis-bench -net serializes to JSON.
+func NetCurve(w io.Writer, base NetParams, storeKinds []string) ([]NetPoint, error) {
+	fmt.Fprintf(w, "=== dego-server: pipelined retwis over TCP (users=%d, conns=%d, pipeline=%d) ===\n\n",
+		base.Workload.Users, base.Workload.Threads, base.Pipeline)
+	fmt.Fprintf(w, "%-12s%12s%12s%12s%12s%12s\n",
+		"store", "ops/s", "cmds/s", "p50 µs", "p95 µs", "p99 µs")
+	points := make([]NetPoint, 0, len(storeKinds))
+	for _, kind := range storeKinds {
+		np := base
+		np.Store = kind
+		pt, err := RunNet(np)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+		cmdRate := float64(pt.Commands) / (pt.ElapsedMS / 1e3)
+		fmt.Fprintf(w, "%-12s%12.0f%12.0f%12d%12d%12d\n",
+			pt.Store, pt.OpsPerSec, cmdRate, pt.P50us, pt.P95us, pt.P99us)
+	}
+	fmt.Fprintln(w)
+	return points, nil
+}

@@ -3,7 +3,6 @@ package retwis
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -179,56 +178,29 @@ func Run(kind Kind, p Params) (Result, error) {
 	worker := func(tid int) {
 		defer finished.Done()
 		h := workers[tid]
-		mine := partUsers[tid]
-		rng := rand.New(rand.NewSource(p.Seed + int64(tid)*104729))
-		actZipf := stats.NewZipfian(len(mine), p.Alpha, p.Seed+int64(tid)*31)
-		globalZipf := stats.NewZipfian(p.Users, p.Alpha, p.Seed+int64(tid)*37)
-		nextID := int64(p.Users + (((tid-p.Users)%p.Threads)+p.Threads)%p.Threads)
+		gen := NewGenerator(tid, p, partUsers[tid], kind == KindDAP)
 		tl := make([]Tweet, TimelineSize)
-		seq := int64(0)
-
-		// Cumulative mix thresholds (Table 2).
-		m := p.Mix
-		cAdd := m.AddUser
-		cFollow := cAdd + m.Follow
-		cPost := cFollow + m.Post
-		cTimeline := cPost + m.Timeline
-		cGroup := cTimeline + m.Group
-
-		pickTarget := func(self UserID) UserID {
-			if kind == KindDAP {
-				t := mine[rng.Intn(len(mine))]
-				return t
-			}
-			return UserID(globalZipf.Next())
-		}
 
 		oneOp := func() {
-			u := mine[actZipf.Next()]
-			r := rng.Intn(100)
-			switch {
-			case r < cAdd:
-				b.AddUser(h, UserID(nextID))
-				nextID += int64(p.Threads)
-			case r < cFollow:
-				t := pickTarget(u)
+			op := gen.Next()
+			switch op.Kind {
+			case OpAddUser:
+				b.AddUser(h, op.User)
+			case OpFollow:
 				// Follow, then immediately apply the converse to keep the
 				// graph invariant (§6.3); the converse is not measured.
-				b.Follow(h, u, t)
-				b.Unfollow(h, u, t)
-			case r < cPost:
-				seq++
-				b.Post(h, u, Tweet{Author: u, Seq: seq})
-			case r < cTimeline:
-				b.Timeline(h, u, tl)
-			case r < cGroup:
-				if rng.Intn(2) == 0 {
-					b.JoinGroup(h, u)
-				} else {
-					b.LeaveGroup(h, u)
-				}
+				b.Follow(h, op.User, op.Target)
+				b.Unfollow(h, op.User, op.Target)
+			case OpPost:
+				b.Post(h, op.User, Tweet{Author: op.User, Seq: op.Seq})
+			case OpTimeline:
+				b.Timeline(h, op.User, tl)
+			case OpJoinGroup:
+				b.JoinGroup(h, op.User)
+			case OpLeaveGroup:
+				b.LeaveGroup(h, op.User)
 			default:
-				b.UpdateProfile(h, u, seq)
+				b.UpdateProfile(h, op.User, op.Seq)
 			}
 		}
 

@@ -1,0 +1,57 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/adjusted-objects/dego/internal/server"
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// Example starts an in-process dego-server on an ephemeral port, connects a
+// raw wire client, and pipelines a small session — the same round-trip a
+// stock redis client performs.
+func Example() {
+	srv, err := server.New(server.Config{
+		Store: server.StoreConfig{Shards: 2, Kind: server.StoreAdaptive},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Listen(); err != nil {
+		panic(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer conn.Close()
+	r, w := wire.NewReader(conn), wire.NewWriter(conn)
+
+	// One pipeline flush, replies in order.
+	w.WriteCommandString("SET", "user:1:name", "ada")
+	w.WriteCommandString("GET", "user:1:name")
+	w.WriteCommandString("INCR", "visits")
+	w.WriteCommandString("LPUSH", "timeline:1", "post:2", "post:1")
+	w.WriteCommandString("LRANGE", "timeline:1", "0", "-1")
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 5; i++ {
+		rep, err := r.ReadReply()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(rep)
+	}
+
+	// Output:
+	// OK
+	// "ada"
+	// (integer) 1
+	// (integer) 2
+	// ["post:1" "post:2"]
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// TestRacePipelinedClientsVsForcedFlapping is the serving-layer analogue of
+// the engine's flapping race tests: pipelined TCP clients hammer a
+// single-shard adaptive store with mixed reads and writes while another
+// goroutine forces every range of the shard's map through
+// promote/demote cycles. The race detector checks the synchronization; the
+// final counter values check that no write was lost across transitions and
+// that per-connection pipeline order held. Wired into `make race` via
+// RACE_PKGS.
+func TestRacePipelinedClientsVsForcedFlapping(t *testing.T) {
+	const (
+		clients  = 4
+		rounds   = 30
+		pipeline = 16
+	)
+
+	srv := startTestServer(t, Config{
+		Store: StoreConfig{Shards: 1, Kind: StoreAdaptive, Capacity: 512, Ranges: 4},
+	})
+	ad := srv.Store().shards[0].obj.Adaptive()
+	if ad == nil {
+		t.Fatal("adaptive store has no adaptive engine")
+	}
+
+	var stop atomic.Bool
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		for !stop.Load() {
+			for i := 0; i < ad.Ranges(); i++ {
+				ad.ForcePromoteRange(i)
+			}
+			for i := 0; i < ad.Ranges(); i++ {
+				ad.ForceDemoteRange(i)
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	errs := make(chan error, clients)
+	for cid := 0; cid < clients; cid++ {
+		workers.Add(1)
+		go func(cid int) {
+			defer workers.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r, w := wire.NewReader(conn), wire.NewWriter(conn)
+			ctr := fmt.Sprintf("ctr:%d", cid)
+			for round := 0; round < rounds; round++ {
+				// One pipeline flush: INCR my counter, SET/GET a shared key,
+				// SADD a shared set — all on the single shard.
+				n := 0
+				for i := 0; i < pipeline; i++ {
+					w.WriteCommandString("INCR", ctr)
+					w.WriteCommandString("SET", fmt.Sprintf("k:%d:%d", cid, i), "v")
+					w.WriteCommandString("GET", ctr)
+					w.WriteCommandString("SADD", "shared", fmt.Sprintf("m%d", i))
+					n += 4
+				}
+				if err := w.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < n; i++ {
+					rep, err := r.ReadReply()
+					if err != nil {
+						errs <- fmt.Errorf("client %d round %d reply %d: %w", cid, round, i, err)
+						return
+					}
+					if rep.IsError() {
+						errs <- fmt.Errorf("client %d: error reply %v", cid, rep)
+						return
+					}
+				}
+			}
+		}(cid)
+	}
+	workers.Wait()
+	stop.Store(true)
+	flips.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// No increment lost, no pipeline reordered: each connection's counter
+	// saw exactly rounds*pipeline INCRs.
+	st := srv.Store()
+	for cid := 0; cid < clients; cid++ {
+		rep := st.Exec(cmd("GET", fmt.Sprintf("ctr:%d", cid)))
+		if want := fmt.Sprintf("%d", rounds*pipeline); rep.Text() != want {
+			t.Fatalf("ctr:%d = %v, want %s", cid, rep, want)
+		}
+	}
+	rep := st.Exec(cmd("SMEMBERS", "shared"))
+	if len(rep.Elems) != pipeline {
+		t.Fatalf("shared set has %d members, want %d", len(rep.Elems), pipeline)
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address; "" means "127.0.0.1:0" (an ephemeral
+	// port, reported by Addr after Listen).
+	Addr string
+	// Store sizes the sharded keyspace.
+	Store StoreConfig
+	// AcceptLoops is the number of concurrent accept goroutines; 0 means
+	// one per shard.
+	AcceptLoops int
+	// MaxPipeline caps how many pipelined commands one batch executes
+	// before replies are flushed; 0 means 256.
+	MaxPipeline int
+}
+
+// Server serves the RESP subset over TCP: accept loops hand each
+// connection to a goroutine that batches pipelined commands into store
+// dispatches and flushes replies once per batch.
+type Server struct {
+	cfg   Config
+	store *Store
+	ln    net.Listener
+
+	mu      sync.Mutex
+	open    map[net.Conn]struct{}
+	closed  bool
+	conns   sync.WaitGroup
+	accepts sync.WaitGroup
+}
+
+// New builds the store (starting the shard loops) but does not bind yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxPipeline <= 0 {
+		cfg.MaxPipeline = 256
+	}
+	st, err := NewStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AcceptLoops <= 0 {
+		cfg.AcceptLoops = st.Shards()
+	}
+	return &Server{
+		cfg:   cfg,
+		store: st,
+		open:  map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Store returns the shared sharded store (also the in-process target for
+// retwis' local client).
+func (s *Server) Store() *Store { return s.store }
+
+// Listen binds the configured address.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loops and blocks until Close. Listen must have
+// succeeded first.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for i := 0; i < s.cfg.AcceptLoops; i++ {
+		s.accepts.Add(1)
+		go func() {
+			defer s.accepts.Done()
+			s.acceptLoop()
+		}()
+	}
+	s.accepts.Wait()
+	s.conns.Wait()
+	return nil
+}
+
+// ListenAndServe binds and serves.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting, closes every open connection, and shuts the store
+// down. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.open {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.accepts.Wait()
+	s.conns.Wait()
+	s.store.Close()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal error: stop this loop.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.open[c] = struct{}{}
+		s.conns.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+func (s *Server) forget(c net.Conn) {
+	s.mu.Lock()
+	delete(s.open, c)
+	s.mu.Unlock()
+}
+
+// handle runs one connection: read the first command blocking, drain
+// whatever complete pipeline follow-up is already buffered (up to
+// MaxPipeline), execute the batch through the store, write the replies in
+// order, flush once. QUIT replies +OK and closes; framing errors reply
+// -ERR Protocol error and close, since the stream position is gone.
+func (s *Server) handle(c net.Conn) {
+	defer s.conns.Done()
+	defer s.forget(c)
+	defer c.Close()
+
+	r := wire.NewReader(c)
+	w := wire.NewWriter(c)
+	cmds := make([][][]byte, 0, 16)
+
+	for {
+		cmd, err := r.ReadCommand()
+		if err != nil {
+			writeReadError(w, err)
+			return
+		}
+		cmds = append(cmds[:0], cmd)
+		var deferredErr error
+		for len(cmds) < s.cfg.MaxPipeline && r.Buffered() > 0 {
+			next, err := r.ReadCommand()
+			if err != nil {
+				deferredErr = err
+				break
+			}
+			cmds = append(cmds, next)
+		}
+
+		// QUIT closes after its reply; later pipelined commands are moot.
+		quitAt := -1
+		for i, cm := range cmds {
+			if len(cm) > 0 && strings.EqualFold(string(cm[0]), "QUIT") {
+				quitAt = i
+				cmds = cmds[:i+1]
+				break
+			}
+		}
+
+		for _, rep := range s.store.ExecBatch(cmds) {
+			if err := w.WriteReply(rep); err != nil {
+				return
+			}
+		}
+		if quitAt >= 0 {
+			w.Flush()
+			return
+		}
+		if deferredErr != nil {
+			writeReadError(w, deferredErr)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// writeReadError surfaces a framing violation to the client before the
+// connection closes; io errors (EOF, disconnect) close silently — there is
+// nothing to say to a gone peer.
+func writeReadError(w *wire.Writer, err error) {
+	var pe *wire.ProtocolError
+	if errors.As(err, &pe) {
+		w.WriteReply(wire.Errf("ERR Protocol error: %s", pe.Detail))
+		w.Flush()
+	}
+}

@@ -1,0 +1,401 @@
+package server
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+func cmd(args ...string) [][]byte {
+	out := make([][]byte, len(args))
+	for i, a := range args {
+		out[i] = []byte(a)
+	}
+	return out
+}
+
+func newTestStore(t *testing.T, kind string, shards int) *Store {
+	t.Helper()
+	st, err := NewStore(StoreConfig{Shards: shards, Kind: kind, Capacity: 256, Ranges: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close)
+	return st
+}
+
+func wantInt(t *testing.T, rep wire.Reply, n int64) {
+	t.Helper()
+	if rep.Kind != wire.KindInt || rep.Int != n {
+		t.Fatalf("reply = %v, want (integer) %d", rep, n)
+	}
+}
+
+func wantBulk(t *testing.T, rep wire.Reply, s string) {
+	t.Helper()
+	if rep.Kind != wire.KindBulk || rep.Text() != s {
+		t.Fatalf("reply = %v, want bulk %q", rep, s)
+	}
+}
+
+func wantOK(t *testing.T, rep wire.Reply) {
+	t.Helper()
+	if rep.Kind != wire.KindSimple || rep.Text() != "OK" {
+		t.Fatalf("reply = %v, want +OK", rep)
+	}
+}
+
+func wantMembers(t *testing.T, rep wire.Reply, members ...string) {
+	t.Helper()
+	if rep.Kind != wire.KindArray || len(rep.Elems) != len(members) {
+		t.Fatalf("reply = %v, want %d-element array %v", rep, len(members), members)
+	}
+	for i, m := range members {
+		if rep.Elems[i].Text() != m {
+			t.Fatalf("elem %d = %v, want %q (full: %v)", i, rep.Elems[i], m, rep)
+		}
+	}
+}
+
+func TestStoreStringOps(t *testing.T) {
+	st := newTestStore(t, StoreAdaptive, 2)
+	if rep := st.Exec(cmd("GET", "k")); rep.Kind != wire.KindNull {
+		t.Fatalf("GET missing = %v, want (nil)", rep)
+	}
+	wantOK(t, st.Exec(cmd("SET", "k", "v1")))
+	wantBulk(t, st.Exec(cmd("GET", "k")), "v1")
+	wantOK(t, st.Exec(cmd("SET", "k", "v2")))
+	wantBulk(t, st.Exec(cmd("GET", "k")), "v2")
+
+	wantInt(t, st.Exec(cmd("INCR", "n")), 1)
+	wantInt(t, st.Exec(cmd("INCR", "n")), 2)
+	wantBulk(t, st.Exec(cmd("GET", "n")), "2")
+	if rep := st.Exec(cmd("INCR", "k")); !rep.IsError() || !strings.Contains(rep.Text(), "not an integer") {
+		t.Fatalf("INCR non-int = %v", rep)
+	}
+
+	wantInt(t, st.Exec(cmd("EXISTS", "k", "n", "ghost")), 2)
+	wantInt(t, st.Exec(cmd("DEL", "k", "ghost")), 1)
+	wantInt(t, st.Exec(cmd("EXISTS", "k")), 0)
+
+	// Type guard: a string verb against a collection key.
+	wantInt(t, st.Exec(cmd("SADD", "s", "a")), 1)
+	if rep := st.Exec(cmd("GET", "s")); !rep.IsError() || !strings.HasPrefix(rep.Text(), "WRONGTYPE") {
+		t.Fatalf("GET on set = %v, want WRONGTYPE", rep)
+	}
+	if rep := st.Exec(cmd("INCR", "s")); !rep.IsError() || !strings.HasPrefix(rep.Text(), "WRONGTYPE") {
+		t.Fatalf("INCR on set = %v, want WRONGTYPE", rep)
+	}
+	// SET replaces regardless of the old type, as in redis.
+	wantOK(t, st.Exec(cmd("SET", "s", "now-a-string")))
+	wantBulk(t, st.Exec(cmd("GET", "s")), "now-a-string")
+}
+
+func TestStoreSetOps(t *testing.T) {
+	st := newTestStore(t, StoreSegmented, 2)
+	wantInt(t, st.Exec(cmd("SADD", "s", "b", "a", "b")), 2)
+	wantInt(t, st.Exec(cmd("SADD", "s", "c", "a")), 1)
+	wantMembers(t, st.Exec(cmd("SMEMBERS", "s")), "a", "b", "c")
+	wantInt(t, st.Exec(cmd("SREM", "s", "a", "ghost")), 1)
+	wantMembers(t, st.Exec(cmd("SMEMBERS", "s")), "b", "c")
+	// Removing the last member deletes the key.
+	wantInt(t, st.Exec(cmd("SREM", "s", "b", "c")), 2)
+	wantInt(t, st.Exec(cmd("EXISTS", "s")), 0)
+	wantMembers(t, st.Exec(cmd("SMEMBERS", "s")))
+}
+
+func TestStoreListOps(t *testing.T) {
+	st := newTestStore(t, StoreStriped, 1)
+	wantInt(t, st.Exec(cmd("LPUSH", "l", "a", "b")), 2)
+	wantInt(t, st.Exec(cmd("LPUSH", "l", "c")), 3)
+	// LPUSH a b, then c: head order is c, b, a.
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "0", "-1")), "c", "b", "a")
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "0", "0")), "c")
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "-2", "-1")), "b", "a")
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "1", "0")))
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "0", "99")), "c", "b", "a")
+
+	wantOK(t, st.Exec(cmd("LTRIM", "l", "0", "1")))
+	wantMembers(t, st.Exec(cmd("LRANGE", "l", "0", "-1")), "c", "b")
+	// Trimming to an empty window deletes the key.
+	wantOK(t, st.Exec(cmd("LTRIM", "l", "5", "3")))
+	wantInt(t, st.Exec(cmd("EXISTS", "l")), 0)
+
+	if rep := st.Exec(cmd("LRANGE", "l2", "x", "1")); rep.Kind != wire.KindArray {
+		t.Fatalf("LRANGE on missing key with bad index = %v, want empty array", rep)
+	}
+	wantInt(t, st.Exec(cmd("LPUSH", "l2", "v")), 1)
+	if rep := st.Exec(cmd("LRANGE", "l2", "x", "1")); !rep.IsError() {
+		t.Fatalf("LRANGE bad index = %v, want error", rep)
+	}
+}
+
+func TestStoreZSetOps(t *testing.T) {
+	st := newTestStore(t, StoreAdaptive, 1)
+	wantInt(t, st.Exec(cmd("ZADD", "z", "2", "b", "1", "a", "3", "c")), 3)
+	wantInt(t, st.Exec(cmd("ZADD", "z", "2.5", "bb", "1", "a")), 1) // a rescored-not-added
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "-inf", "+inf")), "a", "b", "bb", "c")
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "2", "3")), "b", "bb", "c")
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "(2", "3")), "bb", "c")
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "2", "(3")), "b", "bb")
+
+	// Rescoring moves a member in the order.
+	wantInt(t, st.Exec(cmd("ZADD", "z", "9", "a")), 0)
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "4", "+inf")), "a")
+
+	// a was rescored to 9 above, so only b(2) and bb(2.5) fall in the window.
+	wantInt(t, st.Exec(cmd("ZREMRANGEBYSCORE", "z", "-inf", "2.5")), 2)
+	wantMembers(t, st.Exec(cmd("ZRANGEBYSCORE", "z", "-inf", "+inf")), "c", "a")
+	wantInt(t, st.Exec(cmd("ZREMRANGEBYSCORE", "z", "-inf", "+inf")), 2)
+	wantInt(t, st.Exec(cmd("EXISTS", "z")), 0)
+
+	if rep := st.Exec(cmd("ZADD", "z", "notafloat", "m")); !rep.IsError() {
+		t.Fatalf("ZADD bad score = %v, want error", rep)
+	}
+	wantInt(t, st.Exec(cmd("ZADD", "z", "1", "m")), 1)
+	if rep := st.Exec(cmd("ZRANGEBYSCORE", "z", "x", "1")); !rep.IsError() {
+		t.Fatalf("ZRANGEBYSCORE bad bound = %v, want error", rep)
+	}
+}
+
+func TestStoreMultiKeyAndFlush(t *testing.T) {
+	st := newTestStore(t, StoreAdaptive, 4)
+	const n = 64
+	for i := 0; i < n; i++ {
+		wantOK(t, st.Exec(cmd("SET", "k"+strconv.Itoa(i), "v")))
+	}
+	if got := st.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	wantInt(t, st.Exec(cmd("DBSIZE")), n)
+	// Spot-check keys really spread over shards.
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		seen[st.ShardOf([]byte("k"+strconv.Itoa(i)))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all keys landed on %d shard(s)", len(seen))
+	}
+	wantInt(t, st.Exec(cmd("DEL", "k0", "k1", "k2", "ghost")), 3)
+	wantInt(t, st.Exec(cmd("EXISTS", "k0", "k3", "k4")), 2)
+	wantOK(t, st.Exec(cmd("FLUSHALL")))
+	if got := st.Len(); got != 0 {
+		t.Fatalf("Len after FLUSHALL = %d, want 0", got)
+	}
+}
+
+func TestStoreControlAndErrors(t *testing.T) {
+	st := newTestStore(t, StoreStriped, 1)
+	if rep := st.Exec(cmd("PING")); rep.Text() != "PONG" {
+		t.Fatalf("PING = %v", rep)
+	}
+	wantBulk(t, st.Exec(cmd("PING", "hi")), "hi")
+	wantBulk(t, st.Exec(cmd("ECHO", "yo")), "yo")
+	wantOK(t, st.Exec(cmd("SELECT", "0")))
+	wantOK(t, st.Exec(cmd("QUIT")))
+	if rep := st.Exec(cmd("COMMAND", "DOCS")); rep.Kind != wire.KindArray {
+		t.Fatalf("COMMAND = %v, want array", rep)
+	}
+	if rep := st.Exec(cmd("CONFIG", "GET", "save")); rep.Kind != wire.KindArray {
+		t.Fatalf("CONFIG GET = %v, want array", rep)
+	}
+	if rep := st.Exec(cmd("NOPE", "x")); !rep.IsError() || !strings.Contains(rep.Text(), "unknown command") {
+		t.Fatalf("unknown = %v", rep)
+	}
+	for _, bad := range [][][]byte{
+		cmd("GET"), cmd("SET", "k"), cmd("INCR"), cmd("DEL"), cmd("SADD", "s"),
+		cmd("SMEMBERS"), cmd("LPUSH", "l"), cmd("LRANGE", "l", "0"),
+		cmd("ZADD", "z", "1"), cmd("ZADD", "z", "1", "m", "2"), cmd("ZRANGEBYSCORE", "z", "0"),
+	} {
+		if rep := st.Exec(bad); !rep.IsError() {
+			t.Fatalf("Exec(%q) = %v, want arity error", bad, rep)
+		}
+	}
+	if rep := st.Exec(cmd("SET", "k", "v", "EX", "10")); !rep.IsError() {
+		t.Fatalf("SET with options = %v, want syntax error (outside the subset)", rep)
+	}
+}
+
+func TestStoreKindsPlanAsDeclared(t *testing.T) {
+	for _, kind := range StoreKinds() {
+		st := newTestStore(t, kind, 2)
+		wantOK(t, st.Exec(cmd("SET", "k", "v")))
+		wantBulk(t, st.Exec(cmd("GET", "k")), "v")
+		adaptive := st.shards[0].obj.Adaptive() != nil
+		if want := kind == StoreAdaptive; adaptive != want {
+			t.Fatalf("kind %s: adaptive engine present = %v, want %v", kind, adaptive, want)
+		}
+		if st.Kind() != kind {
+			t.Fatalf("Kind = %q, want %q", st.Kind(), kind)
+		}
+	}
+	if _, err := NewStore(StoreConfig{Kind: "bogus"}); err == nil {
+		t.Fatal("bogus store kind accepted")
+	}
+}
+
+// TestStoreBatchOrderPerShard: commands in one pipeline batch that touch
+// the same key execute in batch order.
+func TestStoreBatchOrderPerShard(t *testing.T) {
+	st := newTestStore(t, StoreAdaptive, 4)
+	reps := st.ExecBatch([][][]byte{
+		cmd("SET", "k", "a"),
+		cmd("GET", "k"),
+		cmd("SET", "k", "b"),
+		cmd("GET", "k"),
+		cmd("INCR", "ctr"),
+		cmd("INCR", "ctr"),
+		cmd("DEL", "k"),
+		cmd("GET", "k"),
+	})
+	wantOK(t, reps[0])
+	wantBulk(t, reps[1], "a")
+	wantOK(t, reps[2])
+	wantBulk(t, reps[3], "b")
+	wantInt(t, reps[4], 1)
+	wantInt(t, reps[5], 2)
+	wantInt(t, reps[6], 1)
+	if reps[7].Kind != wire.KindNull {
+		t.Fatalf("GET after DEL = %v, want (nil)", reps[7])
+	}
+}
+
+func dialTestServer(t *testing.T, srv *Server) (*wire.Reader, *wire.Writer, net.Conn) {
+	t.Helper()
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return wire.NewReader(c), wire.NewWriter(c), c
+}
+
+func startTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve()
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return srv
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := startTestServer(t, Config{Store: StoreConfig{Shards: 2, Capacity: 128}})
+	r, w, _ := dialTestServer(t, srv)
+
+	// A mixed pipeline: write it all, flush once, read replies in order.
+	for _, c := range [][]string{
+		{"PING"},
+		{"SET", "greeting", "hello"},
+		{"GET", "greeting"},
+		{"INCR", "visits"},
+		{"SADD", "tags", "go", "resp"},
+		{"SMEMBERS", "tags"},
+		{"LPUSH", "log", "one", "two"},
+		{"LRANGE", "log", "0", "-1"},
+		{"ZADD", "scores", "1.5", "alice", "2.5", "bob"},
+		{"ZRANGEBYSCORE", "scores", "2", "+inf"},
+		{"DEL", "greeting", "nope"},
+	} {
+		if err := w.WriteCommandString(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]wire.Reply, 11)
+	for i := range reps {
+		rep, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		reps[i] = rep
+	}
+	if reps[0].Text() != "PONG" {
+		t.Fatalf("PING = %v", reps[0])
+	}
+	wantOK(t, reps[1])
+	wantBulk(t, reps[2], "hello")
+	wantInt(t, reps[3], 1)
+	wantInt(t, reps[4], 2)
+	wantMembers(t, reps[5], "go", "resp")
+	wantInt(t, reps[6], 2)
+	wantMembers(t, reps[7], "two", "one")
+	wantInt(t, reps[8], 2)
+	wantMembers(t, reps[9], "bob")
+	wantInt(t, reps[10], 1)
+}
+
+func TestServerQuitClosesConnection(t *testing.T) {
+	srv := startTestServer(t, Config{Store: StoreConfig{Shards: 1, Capacity: 64}})
+	r, w, _ := dialTestServer(t, srv)
+	w.WriteCommandString("SET", "k", "v")
+	w.WriteCommandString("QUIT")
+	w.WriteCommandString("GET", "k") // after QUIT: never answered
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOK(t, rep)
+	if rep, err = r.ReadReply(); err != nil {
+		t.Fatal(err)
+	}
+	wantOK(t, rep) // +OK for QUIT
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+func TestServerProtocolErrorCloses(t *testing.T) {
+	srv := startTestServer(t, Config{Store: StoreConfig{Shards: 1, Capacity: 64}})
+	r, _, c := dialTestServer(t, srv)
+	if _, err := c.Write([]byte("*1\r\n$-5\r\nxx\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsError() || !strings.Contains(rep.Text(), "Protocol error") {
+		t.Fatalf("reply = %v, want -ERR Protocol error", rep)
+	}
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+}
+
+func TestServerInlineCommands(t *testing.T) {
+	srv := startTestServer(t, Config{Store: StoreConfig{Shards: 1, Capacity: 64}})
+	r, _, c := dialTestServer(t, srv)
+	if _, err := c.Write([]byte("SET inline yes\r\nGET inline\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOK(t, rep)
+	if rep, err = r.ReadReply(); err != nil {
+		t.Fatal(err)
+	}
+	wantBulk(t, rep, "yes")
+}

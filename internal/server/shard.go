@@ -1,0 +1,512 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/adjusted-objects/dego"
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// objKind discriminates the value types a key can hold; the PROTOCOL.md
+// type-mapping table is the documented form of this enum.
+type objKind uint8
+
+const (
+	objString objKind = iota + 1
+	objSet
+	objList
+	objZSet
+)
+
+// object is one key's value. The struct itself is confined to the owning
+// shard goroutine: only the top-level map is a shared planner-built object.
+// Mutations never edit reply-visible memory in place — str is replaced
+// wholesale, list elements are immutable once pushed, set/zset replies are
+// materialized at execution time — so a reply assembled for an earlier
+// command in a batch stays valid while later commands mutate the object.
+type object struct {
+	kind objKind
+	str  []byte
+	set  map[string]struct{}
+	list [][]byte // head-first: index 0 is the most recent LPUSH
+	zs   *zset
+}
+
+// zset is a score-ordered member set: the map is the membership index, the
+// slice is kept sorted by (score, member) for the range verbs.
+type zset struct {
+	score  map[string]float64
+	sorted []zentry
+}
+
+type zentry struct {
+	member string
+	score  float64
+}
+
+// search returns the insertion index of (score, member).
+func (z *zset) search(score float64, member string) int {
+	return sort.Search(len(z.sorted), func(i int) bool {
+		e := z.sorted[i]
+		if e.score != score {
+			return e.score > score
+		}
+		return e.member >= member
+	})
+}
+
+func (z *zset) insert(member string, score float64) (added bool) {
+	if old, ok := z.score[member]; ok {
+		if old == score {
+			return false
+		}
+		i := z.search(old, member)
+		z.sorted = append(z.sorted[:i], z.sorted[i+1:]...)
+	} else {
+		added = true
+	}
+	z.score[member] = score
+	i := z.search(score, member)
+	z.sorted = append(z.sorted, zentry{})
+	copy(z.sorted[i+1:], z.sorted[i:])
+	z.sorted[i] = zentry{member: member, score: score}
+	return added
+}
+
+// batch is one shard's slice of a pipeline dispatch: indices into the
+// batch-wide unit slice, in command order.
+type batch struct {
+	units []unit
+	idxs  []int
+	wg    *sync.WaitGroup
+}
+
+// shard owns one slice of the keyspace: a planner-built map plus the
+// mailbox its event loop drains. All writes to obj go through the loop
+// goroutine's handle — the shard-confinement invariant.
+type shard struct {
+	id   int
+	obj  *dego.AdjustedMap[string, *object]
+	mail chan *batch
+	quit chan struct{}
+	reg  *dego.Registry
+}
+
+// planShardMap asks the planner for the shard's representation. The
+// commuting-writers declaration is certified by shard confinement: distinct
+// shards own distinct keys, so shard writes commute.
+func planShardMap(cfg StoreConfig, reg *dego.Registry) (*dego.AdjustedMap[string, *object], error) {
+	opts := []dego.Option{dego.On(reg), dego.Capacity(cfg.Capacity)}
+	switch cfg.Kind {
+	case StoreStriped:
+		opts = append(opts, dego.Stripes(256))
+	case StoreSegmented:
+		opts = append(opts, dego.CommutingWriters(), dego.Buckets(cfg.Capacity*2))
+	case StoreAdaptive:
+		opts = append(opts, dego.CommutingWriters(), dego.Adaptive(dego.Ranges(cfg.Ranges)),
+			dego.Stripes(256), dego.Buckets(cfg.Capacity*2))
+	}
+	return dego.Map[string, *object](opts...)
+}
+
+func newShard(id int, cfg StoreConfig, reg *dego.Registry) (*shard, error) {
+	m, err := planShardMap(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &shard{
+		id:   id,
+		obj:  m,
+		mail: make(chan *batch),
+		quit: make(chan struct{}),
+		reg:  reg,
+	}, nil
+}
+
+// loop is the shard's event loop: it registers the shard's writer identity
+// on its own goroutine, then executes mailbox batches until quit. Dispatch
+// uses an unbuffered mailbox and selects on quit, so no sender can block on
+// a stopped loop.
+func (sh *shard) loop() {
+	h := sh.reg.MustRegister()
+	defer h.Release()
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case b := <-sh.mail:
+			for _, i := range b.idxs {
+				b.units[i].out = sh.exec(h, &b.units[i])
+			}
+			b.wg.Done()
+		}
+	}
+}
+
+func (sh *shard) get(key string) *object {
+	o, ok := sh.obj.Get(key)
+	if !ok {
+		return nil
+	}
+	return o
+}
+
+var wrongType = wire.Err("WRONGTYPE Operation against a key holding the wrong kind of value")
+var errNotInt = wire.Err("ERR value is not an integer or out of range")
+var errNotFloat = wire.Err("ERR value is not a valid float")
+var errMinMax = wire.Err("ERR min or max is not a float")
+
+// exec runs one unit against the shard state. Every mutation ends in a
+// Put/Remove on the planner-built map even when the object pointer is
+// unchanged: adaptive sampling rides the write path, so the map must see
+// every write the shard absorbs.
+func (sh *shard) exec(h *dego.Handle, u *unit) wire.Reply {
+	switch u.op {
+	case opGet:
+		o := sh.get(u.key)
+		switch {
+		case o == nil:
+			return wire.Null()
+		case o.kind != objString:
+			return wrongType
+		}
+		return wire.Bulk(o.str)
+
+	case opSet:
+		sh.obj.Put(h, u.key, &object{kind: objString, str: u.args[0]})
+		return wire.OK()
+
+	case opDel:
+		if sh.obj.Remove(h, u.key) {
+			return wire.Int64(1)
+		}
+		return wire.Int64(0)
+
+	case opExists:
+		if sh.obj.Contains(u.key) {
+			return wire.Int64(1)
+		}
+		return wire.Int64(0)
+
+	case opIncr:
+		o := sh.get(u.key)
+		if o == nil {
+			sh.obj.Put(h, u.key, &object{kind: objString, str: []byte("1")})
+			return wire.Int64(1)
+		}
+		if o.kind != objString {
+			return wrongType
+		}
+		n, err := strconv.ParseInt(string(o.str), 10, 64)
+		if err != nil || n == int64(1<<63-1) {
+			return errNotInt
+		}
+		n++
+		o.str = strconv.AppendInt(nil, n, 10)
+		sh.obj.Put(h, u.key, o)
+		return wire.Int64(n)
+
+	case opSAdd:
+		o := sh.get(u.key)
+		if o == nil {
+			o = &object{kind: objSet, set: make(map[string]struct{}, len(u.args))}
+		} else if o.kind != objSet {
+			return wrongType
+		}
+		added := int64(0)
+		for _, m := range u.args {
+			k := string(m)
+			if _, ok := o.set[k]; !ok {
+				o.set[k] = struct{}{}
+				added++
+			}
+		}
+		sh.obj.Put(h, u.key, o)
+		return wire.Int64(added)
+
+	case opSRem:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.Int64(0)
+		}
+		if o.kind != objSet {
+			return wrongType
+		}
+		removed := int64(0)
+		for _, m := range u.args {
+			k := string(m)
+			if _, ok := o.set[k]; ok {
+				delete(o.set, k)
+				removed++
+			}
+		}
+		if len(o.set) == 0 {
+			sh.obj.Remove(h, u.key)
+		} else {
+			sh.obj.Put(h, u.key, o)
+		}
+		return wire.Int64(removed)
+
+	case opSMembers:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.Array()
+		}
+		if o.kind != objSet {
+			return wrongType
+		}
+		members := make([]string, 0, len(o.set))
+		for m := range o.set {
+			members = append(members, m)
+		}
+		// Sorted for determinism; redis leaves set order unspecified.
+		sort.Strings(members)
+		elems := make([]wire.Reply, len(members))
+		for i, m := range members {
+			elems[i] = wire.BulkString(m)
+		}
+		return wire.Array(elems...)
+
+	case opLPush:
+		o := sh.get(u.key)
+		if o == nil {
+			o = &object{kind: objList}
+		} else if o.kind != objList {
+			return wrongType
+		}
+		// LPUSH a b c leaves c at the head: prepend the args in reverse.
+		fresh := make([][]byte, 0, len(u.args)+len(o.list))
+		for i := len(u.args) - 1; i >= 0; i-- {
+			fresh = append(fresh, u.args[i])
+		}
+		o.list = append(fresh, o.list...)
+		sh.obj.Put(h, u.key, o)
+		return wire.Int64(int64(len(o.list)))
+
+	case opLRange:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.Array()
+		}
+		if o.kind != objList {
+			return wrongType
+		}
+		start, stop, ok := parseRangeIndexes(u.args, len(o.list))
+		if !ok {
+			return errNotInt
+		}
+		if start > stop {
+			return wire.Array()
+		}
+		elems := make([]wire.Reply, 0, stop-start+1)
+		for _, v := range o.list[start : stop+1] {
+			elems = append(elems, wire.Bulk(v))
+		}
+		return wire.Array(elems...)
+
+	case opLTrim:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.OK()
+		}
+		if o.kind != objList {
+			return wrongType
+		}
+		start, stop, ok := parseRangeIndexes(u.args, len(o.list))
+		if !ok {
+			return errNotInt
+		}
+		if start > stop {
+			sh.obj.Remove(h, u.key)
+			return wire.OK()
+		}
+		// Copy so the dropped tail is released.
+		o.list = append([][]byte(nil), o.list[start:stop+1]...)
+		sh.obj.Put(h, u.key, o)
+		return wire.OK()
+
+	case opZAdd:
+		o := sh.get(u.key)
+		if o == nil {
+			o = &object{kind: objZSet, zs: &zset{score: make(map[string]float64)}}
+		} else if o.kind != objZSet {
+			return wrongType
+		}
+		added := int64(0)
+		for i := 0; i+1 < len(u.args); i += 2 {
+			score, err := strconv.ParseFloat(string(u.args[i]), 64)
+			if err != nil {
+				return errNotFloat
+			}
+			if o.zs.insert(string(u.args[i+1]), score) {
+				added++
+			}
+		}
+		sh.obj.Put(h, u.key, o)
+		return wire.Int64(added)
+
+	case opZRangeByScore:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.Array()
+		}
+		if o.kind != objZSet {
+			return wrongType
+		}
+		lo, hi, ok := parseScoreBounds(u.args)
+		if !ok {
+			return errMinMax
+		}
+		from, to := o.zs.boundIndexes(lo, hi)
+		elems := make([]wire.Reply, 0, to-from)
+		for _, e := range o.zs.sorted[from:to] {
+			elems = append(elems, wire.BulkString(e.member))
+		}
+		return wire.Array(elems...)
+
+	case opZRemRangeByScore:
+		o := sh.get(u.key)
+		if o == nil {
+			return wire.Int64(0)
+		}
+		if o.kind != objZSet {
+			return wrongType
+		}
+		lo, hi, ok := parseScoreBounds(u.args)
+		if !ok {
+			return errMinMax
+		}
+		from, to := o.zs.boundIndexes(lo, hi)
+		for _, e := range o.zs.sorted[from:to] {
+			delete(o.zs.score, e.member)
+		}
+		removed := int64(to - from)
+		o.zs.sorted = append(o.zs.sorted[:from], o.zs.sorted[to:]...)
+		if len(o.zs.sorted) == 0 {
+			sh.obj.Remove(h, u.key)
+		} else {
+			sh.obj.Put(h, u.key, o)
+		}
+		return wire.Int64(removed)
+
+	case opFlush:
+		var keys []string
+		sh.obj.Range(func(k string, _ *object) bool {
+			keys = append(keys, k)
+			return true
+		})
+		for _, k := range keys {
+			sh.obj.Remove(h, k)
+		}
+		return wire.OK()
+
+	default:
+		return wire.Errf("ERR internal: unknown opcode %d", u.op)
+	}
+}
+
+// parseRangeIndexes resolves redis start/stop list indexes (negatives count
+// from the tail) against a list of length n, clamped to valid bounds.
+func parseRangeIndexes(args [][]byte, n int) (start, stop int, ok bool) {
+	s64, err1 := strconv.ParseInt(string(args[0]), 10, 64)
+	e64, err2 := strconv.ParseInt(string(args[1]), 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	start, stop = normIndex(s64, n), normIndex(e64, n)
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	return start, stop, true
+}
+
+func normIndex(i int64, n int) int {
+	if i < 0 {
+		i += int64(n)
+	}
+	if i > int64(n) {
+		i = int64(n)
+	}
+	if i < -int64(n) {
+		i = -1
+	}
+	return int(i)
+}
+
+// scoreBound is one end of a ZRANGEBYSCORE interval.
+type scoreBound struct {
+	val       float64
+	exclusive bool
+	inf       int // -1: -inf, +1: +inf, 0: finite
+}
+
+func parseScoreBound(b []byte) (scoreBound, bool) {
+	s := string(b)
+	var sb scoreBound
+	if len(s) > 0 && s[0] == '(' {
+		sb.exclusive = true
+		s = s[1:]
+	}
+	switch s {
+	case "-inf", "-INF", "-Inf":
+		sb.inf = -1
+		return sb, true
+	case "+inf", "inf", "+INF", "INF", "+Inf", "Inf":
+		sb.inf = +1
+		return sb, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return sb, false
+	}
+	sb.val = v
+	return sb, true
+}
+
+func parseScoreBounds(args [][]byte) (lo, hi scoreBound, ok bool) {
+	if lo, ok = parseScoreBound(args[0]); !ok {
+		return
+	}
+	hi, ok = parseScoreBound(args[1])
+	return
+}
+
+// boundIndexes returns the half-open [from, to) window of sorted entries
+// inside the score interval.
+func (z *zset) boundIndexes(lo, hi scoreBound) (from, to int) {
+	switch {
+	case lo.inf < 0:
+		from = 0
+	case lo.inf > 0:
+		from = len(z.sorted)
+	default:
+		from = sort.Search(len(z.sorted), func(i int) bool {
+			if lo.exclusive {
+				return z.sorted[i].score > lo.val
+			}
+			return z.sorted[i].score >= lo.val
+		})
+	}
+	switch {
+	case hi.inf > 0:
+		to = len(z.sorted)
+	case hi.inf < 0:
+		to = 0
+	default:
+		to = sort.Search(len(z.sorted), func(i int) bool {
+			if hi.exclusive {
+				return z.sorted[i].score >= hi.val
+			}
+			return z.sorted[i].score > hi.val
+		})
+	}
+	if to < from {
+		to = from
+	}
+	return from, to
+}

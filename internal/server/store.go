@@ -1,0 +1,227 @@
+// Package server is dego's serving layer: a sharded in-memory store behind
+// the RESP subset of internal/wire, exposed over TCP by Server and
+// in-process by Store. docs/PROTOCOL.md documents the protocol surface;
+// ARCHITECTURE.md places this layer above the profile API.
+//
+// # Sharding and the shard-confinement invariant
+//
+// The keyspace is split across a fixed set of shards by key hash. Each
+// shard runs one event-loop goroutine that owns its slice of the keyspace:
+// every write to a key is executed by the owning shard's goroutine, never
+// by a connection goroutine. Connections parse pipelines, plan each command
+// into per-key units, hand each shard its units in one mailbox message per
+// pipeline batch, and assemble the replies in order.
+//
+// This is the serving-layer mirror of the engine's range-confinement
+// invariant, and it is what certifies the store's representation choice:
+// distinct shards write distinct keys, so shard writes commute — exactly
+// the commuting-writers (CWMR) declaration the planner needs to hand each
+// shard an extended-segmentation or contention-adaptive map. The shard's
+// handle is the writer identity; connection goroutines never touch a dego
+// object directly.
+//
+// Values inside a shard's map (the string/set/list/zset bodies) are plain
+// Go structures confined to the shard goroutine, the same deliberate
+// non-adjustment as retwis' inner follower sets: the top-level map is the
+// shared, planner-built object; interiors never cross a shard boundary.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/adjusted-objects/dego"
+	"github.com/adjusted-objects/dego/internal/stats"
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// Store kinds: which representation the planner is asked for per shard.
+const (
+	// StoreAdaptive plans contention-adaptive maps (striped until promoted,
+	// per-range directory inside each shard). The serving default.
+	StoreAdaptive = "adaptive"
+	// StoreSegmented plans the extended segmentation of (M2, CWMR) directly.
+	StoreSegmented = "segmented"
+	// StoreStriped plans the unadjusted lock-striped baseline.
+	StoreStriped = "striped"
+)
+
+// StoreKinds lists the valid Config.Kind values.
+func StoreKinds() []string { return []string{StoreAdaptive, StoreSegmented, StoreStriped} }
+
+// StoreConfig sizes a Store.
+type StoreConfig struct {
+	// Shards is the number of keyspace slices and event loops; 0 means 1.
+	Shards int
+	// Kind picks the planned representation per shard (Store* constants);
+	// "" means StoreAdaptive.
+	Kind string
+	// Capacity is the expected key count per shard; 0 means 1<<14.
+	Capacity int
+	// Ranges is the adaptive per-range directory size per shard (hash-prefix
+	// buckets); 0 means 8. Ignored unless Kind is StoreAdaptive.
+	Ranges int
+}
+
+func (c *StoreConfig) fill() error {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Kind == "" {
+		c.Kind = StoreAdaptive
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 14
+	}
+	if c.Ranges <= 0 {
+		c.Ranges = 8
+	}
+	switch c.Kind {
+	case StoreAdaptive, StoreSegmented, StoreStriped:
+		return nil
+	default:
+		return fmt.Errorf("server: unknown store kind %q (want %v)", c.Kind, StoreKinds())
+	}
+}
+
+// Store is the sharded keyspace. It is safe for concurrent use: Exec and
+// ExecBatch may be called from any goroutine (connection handlers, the
+// in-process retwis client, tests); execution is serialized per shard by
+// the shard mailboxes.
+type Store struct {
+	cfg    StoreConfig
+	reg    *dego.Registry
+	shards []*shard
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewStore builds the shards and starts their event loops.
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg: cfg,
+		reg: dego.NewRegistry(cfg.Shards + 8),
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh, err := newShard(i, cfg, s.reg)
+		if err != nil {
+			// Unwind the shards already running.
+			for _, prev := range s.shards[:i] {
+				close(prev.quit)
+			}
+			s.wg.Wait()
+			return nil, err
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sh.loop()
+		}()
+	}
+	return s, nil
+}
+
+// Kind returns the planned representation kind.
+func (s *Store) Kind() string { return s.cfg.Kind }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// ShardOf returns the index of the shard owning key.
+func (s *Store) ShardOf(key []byte) int {
+	if len(s.shards) == 1 {
+		return 0
+	}
+	return int(stats.HashString(string(key)) % uint64(len(s.shards)))
+}
+
+// Len returns the total number of live keys. The per-shard maps are
+// planner-built shared objects, so reading their lengths from any goroutine
+// is safe.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.obj.Len()
+	}
+	return n
+}
+
+// Plan describes shard 0's planned representation (all shards share it).
+func (s *Store) Plan() dego.Plan { return s.shards[0].obj.Plan() }
+
+// Close stops the shard event loops. In-flight batches complete; batches
+// submitted after Close receive error replies.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			close(sh.quit)
+		}
+	})
+	s.wg.Wait()
+}
+
+// Exec plans and executes one command, for in-process clients. The reply is
+// never a ProtocolError — unknown verbs and arity violations are error
+// replies, exactly as over the wire.
+func (s *Store) Exec(args [][]byte) wire.Reply {
+	return s.ExecBatch([][][]byte{args})[0]
+}
+
+// ExecBatch executes one pipeline batch: every command is planned, the
+// per-key units are handed to their owning shards in one mailbox message
+// per shard, and the replies come back in command order. Commands for
+// different shards execute concurrently; commands touching the same shard
+// execute in batch order (see docs/PROTOCOL.md, "Pipelining").
+func (s *Store) ExecBatch(cmds [][][]byte) []wire.Reply {
+	plans := make([]cmdPlan, len(cmds))
+	var units []unit
+	for i, args := range cmds {
+		plans[i] = planCommand(args, s, &units)
+	}
+	if len(units) > 0 {
+		s.dispatch(units)
+	}
+	replies := make([]wire.Reply, len(cmds))
+	for i := range plans {
+		replies[i] = plans[i].reply(units)
+	}
+	return replies
+}
+
+// dispatch groups units by owning shard, preserving order within each
+// shard, sends each shard exactly one message, and waits for completion.
+func (s *Store) dispatch(units []unit) {
+	perShard := make([][]int, len(s.shards))
+	touched := 0
+	for i := range units {
+		sh := units[i].shard
+		if perShard[sh] == nil {
+			touched++
+		}
+		perShard[sh] = append(perShard[sh], i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(touched)
+	for shID, idxs := range perShard {
+		if idxs == nil {
+			continue
+		}
+		b := &batch{units: units, idxs: idxs, wg: &wg}
+		sh := s.shards[shID]
+		select {
+		case sh.mail <- b:
+		case <-sh.quit:
+			for _, i := range idxs {
+				units[i].out = wire.Err("ERR store is shut down")
+			}
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}

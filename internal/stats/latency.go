@@ -1,0 +1,97 @@
+package stats
+
+import "math/bits"
+
+// latencyBuckets is the bucket count of LatencyHist: 16 exact buckets for
+// values below 16, then 16 sub-buckets per power of two up to the full
+// uint64 range (HdrHistogram-style log-linear layout, fixed precision of
+// ~6%).
+const latencyBuckets = 976
+
+// LatencyHist is a fixed-size log-linear histogram for latency samples.
+// Units are the caller's (the benchmarks record microseconds). Recording is
+// O(1) with no allocation, so it can sit on a benchmark's hot path; the
+// zero value is ready to use. It is not goroutine-safe — each worker keeps
+// its own histogram and the collector Merges them.
+type LatencyHist struct {
+	counts [latencyBuckets]uint64
+	total  uint64
+	max    uint64
+}
+
+// bucketOf maps a value to its bucket index: exact below 16, then
+// (msb-3)*16 + the next four bits.
+func bucketOf(v uint64) int {
+	if v < 16 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	return (msb-3)*16 + int((v>>(msb-4))&15)
+}
+
+// bucketFloor returns the smallest value mapping to bucket idx (the value
+// reported for percentiles falling in that bucket).
+func bucketFloor(idx int) uint64 {
+	if idx < 16 {
+		return uint64(idx)
+	}
+	return uint64(16+idx%16) << (idx/16 - 1)
+}
+
+// Record adds one sample.
+func (h *LatencyHist) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.total }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LatencyHist) Max() uint64 { return h.max }
+
+// Merge folds other into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Percentile returns the value at quantile q in [0,1] (0.99 = p99): the
+// floor of the bucket holding the q-th sample, except q high enough to hit
+// the last non-empty bucket reports the exact recorded max. Returns 0 when
+// empty.
+func (h *LatencyHist) Percentile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			if cum == h.total && bucketOf(h.max) == i {
+				// q falls in the last non-empty bucket: report the exact max.
+				return h.max
+			}
+			return bucketFloor(i)
+		}
+	}
+	return h.max // unreachable: total > 0 guarantees the loop returns
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLatencyHistBuckets(t *testing.T) {
+	// Exact below 16.
+	for v := uint64(0); v < 16; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d", v, got)
+		}
+		if got := bucketFloor(int(v)); got != v {
+			t.Fatalf("bucketFloor(%d) = %d", v, got)
+		}
+	}
+	// Log-linear above: floors are monotone, bucketOf(floor) round-trips,
+	// and every value maps to a bucket whose floor does not exceed it.
+	for idx := 16; idx < latencyBuckets; idx++ {
+		f := bucketFloor(idx)
+		if got := bucketOf(f); got != idx {
+			t.Fatalf("bucketOf(bucketFloor(%d)=%d) = %d", idx, f, got)
+		}
+		if prev := bucketFloor(idx - 1); prev >= f {
+			t.Fatalf("floors not monotone at %d: %d >= %d", idx, prev, f)
+		}
+	}
+	for _, v := range []uint64{16, 17, 31, 32, 63, 100, 1000, 1 << 20, 1<<63 + 12345} {
+		idx := bucketOf(v)
+		if f := bucketFloor(idx); f > v {
+			t.Fatalf("bucketFloor(bucketOf(%d)) = %d > value", v, f)
+		}
+	}
+}
+
+func TestLatencyHistPercentile(t *testing.T) {
+	var h LatencyHist
+	if h.Percentile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zero")
+	}
+	// 1..1000: percentiles should land within one bucket (~6%) of the true
+	// rank value.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		got := h.Percentile(tc.q)
+		lo := tc.want - tc.want/10
+		if got < lo || got > tc.want {
+			t.Fatalf("p%v = %d, want within [%d, %d]", tc.q, got, lo, tc.want)
+		}
+	}
+	if got := h.Percentile(1); got != 1000 {
+		t.Fatalf("p100 = %d, want exact max 1000", got)
+	}
+}
+
+func TestLatencyHistMergeMatchesCombined(t *testing.T) {
+	var a, b, all LatencyHist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() {
+		t.Fatalf("merge count/max mismatch: %d/%d vs %d/%d", a.Count(), a.Max(), all.Count(), all.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("p%v: merged %d != combined %d", q, a.Percentile(q), all.Percentile(q))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// A client encodes commands as multibulk frames; the server decodes them
+// with ReadCommand. The buffer stands in for the TCP connection.
+func ExampleWriter_WriteCommand() {
+	var conn bytes.Buffer
+	w := wire.NewWriter(&conn)
+	w.WriteCommandString("SET", "greeting", "hello")
+	w.WriteCommandString("GET", "greeting")
+	w.Flush()
+
+	r := wire.NewReader(&conn)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			break
+		}
+		fmt.Printf("%s\n", bytes.Join(args, []byte(" ")))
+	}
+	// Output:
+	// SET greeting hello
+	// GET greeting
+}
+
+// ReadCommand also accepts inline commands — the space-separated text lines
+// a human types over telnet/netcat — and skips blank lines between them.
+func ExampleReader_ReadCommand() {
+	r := wire.NewReader(bytes.NewReader([]byte("PING\r\n\r\nGET greeting\r\n")))
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			break
+		}
+		fmt.Printf("%d args: %s\n", len(args), bytes.Join(args, []byte(" ")))
+	}
+	// Output:
+	// 1 args: PING
+	// 2 args: GET greeting
+}
+
+// Server replies are Reply trees: the shard executors build them,
+// WriteReply serializes them, and the client's ReadReply decodes the same
+// structure back. Reply.String renders redis-cli style.
+func ExampleReader_ReadReply() {
+	var conn bytes.Buffer
+	w := wire.NewWriter(&conn)
+	w.WriteReply(wire.OK())
+	w.WriteReply(wire.Int64(42))
+	w.WriteReply(wire.Null())
+	w.WriteReply(wire.Array(wire.BulkString("a"), wire.BulkString("b")))
+	w.Flush()
+
+	r := wire.NewReader(&conn)
+	for {
+		rep, err := r.ReadReply()
+		if err != nil {
+			break
+		}
+		fmt.Println(rep)
+	}
+	// Output:
+	// OK
+	// (integer) 42
+	// (nil)
+	// ["a" "b"]
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// Reader decodes RESP frames from a stream. One Reader serves both roles:
+// servers call ReadCommand, clients call ReadReply. It is not safe for
+// concurrent use; a connection has exactly one reader goroutine.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader returns a Reader over r. The internal buffer is MaxInlineLine
+// bytes, which doubles as the inline-command length limit.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, MaxInlineLine)}
+}
+
+// Buffered returns the number of decoded-but-unconsumed bytes already in
+// the reader. A server uses it after one ReadCommand to keep draining a
+// pipeline before flushing replies: Buffered() > 0 means the client has
+// already sent more.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// readLine reads up to LF and strips the terminator (CRLF or bare LF). A
+// line longer than the buffer or an EOF mid-line is an error.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErrf("line exceeds %d bytes", MaxInlineLine)
+		}
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// readInt parses the decimal integer of a length or :integer line.
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, protoErrf("invalid integer %q", line)
+	}
+	return n, nil
+}
+
+// readBulkPayload reads n payload bytes plus the line terminator.
+func (r *Reader) readBulkPayload(n int64) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	b, err := r.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if b == '\r' {
+		if b, err = r.br.ReadByte(); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	if b != '\n' {
+		return nil, protoErrf("bulk string not terminated by CRLF")
+	}
+	return buf, nil
+}
+
+// ReadCommand decodes one client command: a multibulk frame (*N array of
+// bulk strings) or an inline command (a space-separated line). Empty frames
+// (*0, blank lines) are skipped. The returned argument slices are freshly
+// allocated and owned by the caller. Framing violations return a
+// *ProtocolError; a clean end of stream returns io.EOF.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		b, err := r.br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch b {
+		case '*':
+			n, err := r.readInt()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case n < 0:
+				return nil, protoErrf("negative multibulk length %d", n)
+			case n == 0:
+				continue // empty command, as redis: ignore
+			case n > MaxArgs:
+				return nil, protoErrf("command has %d arguments, limit %d", n, MaxArgs)
+			}
+			args := make([][]byte, 0, n)
+			total := int64(0)
+			for i := int64(0); i < n; i++ {
+				pb, err := r.br.ReadByte()
+				if err != nil {
+					if err == io.EOF {
+						err = io.ErrUnexpectedEOF
+					}
+					return nil, err
+				}
+				if pb != '$' {
+					return nil, protoErrf("expected '$' for command argument, got %q", pb)
+				}
+				l, err := r.readInt()
+				if err != nil {
+					return nil, err
+				}
+				if l < 0 {
+					return nil, protoErrf("negative bulk length %d in command", l)
+				}
+				if l > MaxBulk {
+					return nil, protoErrf("bulk string of %d bytes exceeds limit %d", l, MaxBulk)
+				}
+				if total += l; total > MaxCommandBytes {
+					return nil, protoErrf("command payload exceeds %d bytes", MaxCommandBytes)
+				}
+				arg, err := r.readBulkPayload(l)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+			}
+			return args, nil
+		case '\r', '\n', ' ':
+			continue // stray whitespace between frames
+		default:
+			// Inline command: the rest of the line, split on whitespace.
+			// bytes.Fields returns views into the reader's buffer, so each
+			// field is copied out.
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			line, err := r.readLine()
+			if err != nil {
+				return nil, err
+			}
+			fields := bytes.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) > MaxArgs {
+				return nil, protoErrf("inline command has %d arguments, limit %d", len(fields), MaxArgs)
+			}
+			args := make([][]byte, len(fields))
+			for i, f := range fields {
+				args[i] = append([]byte(nil), f...)
+			}
+			return args, nil
+		}
+	}
+}
+
+// ReadReply decodes one server reply into a Reply tree. Framing violations
+// return a *ProtocolError; a clean end of stream returns io.EOF.
+func (r *Reader) ReadReply() (Reply, error) {
+	return r.readReply(0)
+}
+
+func (r *Reader) readReply(depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, protoErrf("reply nesting exceeds depth %d", maxReplyDepth)
+	}
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch b {
+	case '+':
+		line, err := r.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindSimple, Bulk: append([]byte(nil), line...)}, nil
+	case '-':
+		line, err := r.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindError, Bulk: append([]byte(nil), line...)}, nil
+	case ':':
+		n, err := r.readInt()
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindInt, Int: n}, nil
+	case '$':
+		n, err := r.readInt()
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: KindNull}, nil
+		}
+		if n < 0 {
+			return Reply{}, protoErrf("negative bulk length %d", n)
+		}
+		if n > MaxBulk {
+			return Reply{}, protoErrf("bulk string of %d bytes exceeds limit %d", n, MaxBulk)
+		}
+		payload, err := r.readBulkPayload(n)
+		if err != nil {
+			return Reply{}, err
+		}
+		return Reply{Kind: KindBulk, Bulk: payload}, nil
+	case '*':
+		n, err := r.readInt()
+		if err != nil {
+			return Reply{}, err
+		}
+		if n == -1 {
+			return Reply{Kind: KindNull}, nil
+		}
+		if n < 0 {
+			return Reply{}, protoErrf("negative array length %d", n)
+		}
+		if n > maxReplyElems {
+			return Reply{}, protoErrf("reply array of %d elements exceeds limit %d", n, maxReplyElems)
+		}
+		elems := make([]Reply, 0, min(n, 64))
+		for i := int64(0); i < n; i++ {
+			e, err := r.readReply(depth + 1)
+			if err != nil {
+				return Reply{}, err
+			}
+			elems = append(elems, e)
+		}
+		return Reply{Kind: KindArray, Elems: elems}, nil
+	default:
+		return Reply{}, protoErrf("unexpected reply type byte %q", b)
+	}
+}

@@ -1,0 +1,59 @@
+// Package wire implements the RESP-compatible subset dego-server speaks on
+// the network: the framing layer between stock redis clients (redis-cli,
+// redis-benchmark) and the sharded store in internal/server. The exact verb
+// set, type mappings and pipelining semantics are documented in
+// docs/PROTOCOL.md; this package is only the codec.
+//
+// Two directions share one wire format:
+//
+//   - A server parses client→server frames with Reader.ReadCommand: an array
+//     of bulk strings (what every redis client sends), or an inline command
+//     (a space-separated text line, the telnet convenience). Reader.Buffered
+//     reports whether more pipelined bytes are already queued, which is what
+//     internal/server uses to batch a pipeline flush into one store
+//     dispatch.
+//   - A client parses server→client frames with Reader.ReadReply into the
+//     Reply tree: simple strings, errors, integers, bulk strings, nulls and
+//     arrays. The server builds the same Reply values and serializes them
+//     with Writer.WriteReply, so both ends of the in-repo stack agree on one
+//     representation.
+//
+// Malformed input never panics: every framing violation surfaces as a
+// *ProtocolError (the fuzz tests in this package hold that line), and the
+// hard limits below bound what a hostile peer can make the codec allocate.
+package wire
+
+import "fmt"
+
+// Codec limits. A frame that exceeds them yields a *ProtocolError rather
+// than an allocation sized by the attacker.
+const (
+	// MaxArgs caps the argument count of one command (redis' own default
+	// proto-max-multibulk is far larger; no verb in the subset needs more).
+	MaxArgs = 1024
+	// MaxBulk caps one bulk-string payload.
+	MaxBulk = 8 << 20
+	// MaxCommandBytes caps the cumulative payload of one command.
+	MaxCommandBytes = 32 << 20
+	// MaxInlineLine caps an inline command line (also the reader's buffer
+	// size, so an unterminated line cannot grow without bound).
+	MaxInlineLine = 64 << 10
+	// maxReplyDepth caps reply-array nesting on the client side.
+	maxReplyDepth = 8
+	// maxReplyElems caps one reply array's element count.
+	maxReplyElems = 1 << 20
+)
+
+// ProtocolError reports a framing violation: bytes that are not valid RESP,
+// or a frame that exceeds the codec limits. A server replies with the error
+// and closes the connection (the stream position is no longer trustworthy);
+// I/O errors such as io.EOF are returned as-is, not wrapped.
+type ProtocolError struct {
+	Detail string
+}
+
+func (e *ProtocolError) Error() string { return "wire: protocol error: " + e.Detail }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,232 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func cmdOf(args ...string) [][]byte {
+	out := make([][]byte, len(args))
+	for i, a := range args {
+		out[i] = []byte(a)
+	}
+	return out
+}
+
+func TestReadCommandMultibulk(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"))
+	got, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cmdOf("SET", "k", "hello"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReadCommand = %q, want %q", got, want)
+	}
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("tail read err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := NewReader(strings.NewReader("PING\r\n  GET   k  \nQUIT\r\n"))
+	for _, want := range [][][]byte{cmdOf("PING"), cmdOf("GET", "k"), cmdOf("QUIT")} {
+		got, err := r.ReadCommand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ReadCommand = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestReadCommandSkipsEmptyFrames(t *testing.T) {
+	r := NewReader(strings.NewReader("\r\n\n*0\r\nPING\r\n"))
+	got, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cmdOf("PING")) {
+		t.Fatalf("ReadCommand = %q, want PING", got)
+	}
+}
+
+func TestReadCommandPipelineBuffered(t *testing.T) {
+	r := NewReader(strings.NewReader("*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"))
+	if _, err := r.ReadCommand(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Buffered() == 0 {
+		t.Fatal("Buffered = 0 after first command of a pipeline, want > 0")
+	}
+	got, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cmdOf("GET", "k")) {
+		t.Fatalf("second command = %q", got)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after draining, want 0", r.Buffered())
+	}
+}
+
+func TestReadCommandProtocolErrors(t *testing.T) {
+	cases := map[string]string{
+		"negative multibulk": "*-3\r\n",
+		"too many args":      "*2000\r\n",
+		"not a bulk":         "*1\r\n:5\r\n",
+		"negative bulk":      "*1\r\n$-1\r\n",
+		"oversized bulk":     "*1\r\n$99999999\r\n",
+		"bad integer":        "*x\r\n",
+		"bad terminator":     "*1\r\n$2\r\nabXY",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(in)).ReadCommand()
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ProtocolError", err)
+			}
+			if pe.Error() == "" || pe.Detail == "" {
+				t.Fatal("empty protocol error text")
+			}
+		})
+	}
+}
+
+func TestReadCommandTruncatedIsEOF(t *testing.T) {
+	for _, in := range []string{"*2\r\n$3\r\nGET\r\n", "*1\r\n$5\r\nhel", "*1\r\n"} {
+		_, err := NewReader(strings.NewReader(in)).ReadCommand()
+		if err != io.ErrUnexpectedEOF && err != io.EOF {
+			t.Fatalf("ReadCommand(%q) err = %v, want EOF-ish", in, err)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	replies := []Reply{
+		OK(),
+		Simple("PONG"),
+		Err("ERR unknown command 'NOPE'"),
+		Int64(-42),
+		Bulk([]byte("hello\r\nworld")), // bulk payloads may contain CRLF
+		BulkString(""),
+		Null(),
+		Array(),
+		Array(BulkString("a"), Int64(7), Null(), Array(Simple("x"))),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rep := range replies {
+		if err := w.WriteReply(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range replies {
+		got, err := r.ReadReply()
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if !replyEqual(got, want) {
+			t.Fatalf("reply %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("tail err = %v, want io.EOF", err)
+	}
+}
+
+// replyEqual compares structurally, treating nil and empty Bulk/Elems alike.
+func replyEqual(a, b Reply) bool {
+	if a.Kind != b.Kind || a.Int != b.Int || !bytes.Equal(a.Bulk, b.Bulk) || len(a.Elems) != len(b.Elems) {
+		return false
+	}
+	for i := range a.Elems {
+		if !replyEqual(a.Elems[i], b.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWriteCommandReadCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommandString("ZADD", "posts:1", "7", "tweet payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCommand([]byte("GET"), []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cmdOf("ZADD", "posts:1", "7", "tweet payload")) {
+		t.Fatalf("first command = %q", got)
+	}
+	if got, err = r.ReadCommand(); err != nil || !reflect.DeepEqual(got, cmdOf("GET", "k")) {
+		t.Fatalf("second command = %q, %v", got, err)
+	}
+}
+
+func TestWriterSanitizesLinePayloads(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteReply(Err("ERR bad\r\n+SNEAKY")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsError() || strings.Contains(got.Text(), "\n") {
+		t.Fatalf("sanitized reply = %v", got)
+	}
+	if _, err := r.ReadReply(); err != io.EOF {
+		t.Fatalf("forged frame leaked: err = %v", err)
+	}
+}
+
+func TestReadReplyProtocolErrors(t *testing.T) {
+	deep := strings.Repeat("*1\r\n", 32) + ":1\r\n"
+	for name, in := range map[string]string{
+		"unknown type byte": "?what\r\n",
+		"negative bulk":     "$-2\r\n",
+		"oversized array":   "*99999999\r\n",
+		"nesting too deep":  deep,
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(in)).ReadReply()
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *ProtocolError", err)
+			}
+		})
+	}
+}
+
+func TestReplyString(t *testing.T) {
+	r := Array(Simple("OK"), Int64(3), Null(), BulkString("v"))
+	if s := r.String(); !strings.Contains(s, "OK") || !strings.Contains(s, "(integer) 3") ||
+		!strings.Contains(s, "(nil)") {
+		t.Fatalf("String = %q", s)
+	}
+}

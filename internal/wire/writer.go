@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Writer encodes RESP frames onto a stream. Writes are buffered: nothing
+// reaches the connection until Flush, which is how the server turns one
+// pipeline batch into one outbound packet train. It is not safe for
+// concurrent use; a connection has exactly one writer goroutine.
+type Writer struct {
+	bw *bufio.Writer
+	// scratch avoids a strconv allocation per integer field.
+	scratch [24]byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Flush writes everything buffered to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Buffered returns the number of bytes waiting for Flush.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }
+
+func (w *Writer) writeCRLF() error {
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+// writeIntLine emits <prefix><n>\r\n.
+func (w *Writer) writeIntLine(prefix byte, n int64) error {
+	if err := w.bw.WriteByte(prefix); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(strconv.AppendInt(w.scratch[:0], n, 10)); err != nil {
+		return err
+	}
+	return w.writeCRLF()
+}
+
+// writeBulk emits $<len>\r\n<b>\r\n.
+func (w *Writer) writeBulk(b []byte) error {
+	if err := w.writeIntLine('$', int64(len(b))); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	return w.writeCRLF()
+}
+
+// sanitizeLine replaces CR and LF in single-line payloads (simple strings,
+// error messages) so a crafted message cannot forge extra frames.
+func sanitizeLine(b []byte) []byte {
+	clean := b
+	for i, c := range b {
+		if c == '\r' || c == '\n' {
+			if len(clean) == len(b) {
+				clean = append([]byte(nil), b...)
+			}
+			clean[i] = ' '
+		}
+	}
+	return clean
+}
+
+// WriteCommand encodes one client command as a multibulk frame.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	if err := w.writeIntLine('*', int64(len(args))); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.writeBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommandString encodes one client command given as strings.
+func (w *Writer) WriteCommandString(args ...string) error {
+	if err := w.writeIntLine('*', int64(len(args))); err != nil {
+		return err
+	}
+	for _, a := range args {
+		if err := w.writeBulk([]byte(a)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReply serializes one Reply tree.
+func (w *Writer) WriteReply(r Reply) error {
+	switch r.Kind {
+	case KindSimple:
+		if err := w.bw.WriteByte('+'); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(sanitizeLine(r.Bulk)); err != nil {
+			return err
+		}
+		return w.writeCRLF()
+	case KindError:
+		if err := w.bw.WriteByte('-'); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(sanitizeLine(r.Bulk)); err != nil {
+			return err
+		}
+		return w.writeCRLF()
+	case KindInt:
+		return w.writeIntLine(':', r.Int)
+	case KindBulk:
+		return w.writeBulk(r.Bulk)
+	case KindNull:
+		_, err := w.bw.WriteString("$-1\r\n")
+		return err
+	case KindArray:
+		if err := w.writeIntLine('*', int64(len(r.Elems))); err != nil {
+			return err
+		}
+		for _, e := range r.Elems {
+			if err := w.WriteReply(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return protoErrf("cannot encode reply kind %d", r.Kind)
+	}
+}
