@@ -4,9 +4,10 @@
 GO ?= go
 
 # Packages covered by the race-detector job: the adaptive machine, the
-# objects it migrates between, and the serving layer (pipelined TCP clients
-# against shards under forced promote/demote flapping).
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/...
+# objects it migrates between, the serving layer (pipelined TCP clients
+# against shards under forced promote/demote flapping), and the resilience
+# layer (fault injection and the chaos storm).
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
 # without burning CI minutes; the JSON lands as a workflow artifact. The
@@ -24,9 +25,16 @@ BENCH_SMOKE_JSON  = bench-smoke.json
 NET_SMOKE_FLAGS = -net -stores adaptive,striped -conns 2 -pipeline 8 -netusers 2000 -netduration 300ms
 NET_SMOKE_JSON  = net-smoke.json
 
+# Chaos smoke: the fault-injected storm (internal/chaos) under the race
+# detector — seeded resets, stalls and torn writes against a live server,
+# asserting zero panics, zero goroutine leaks and exact convergence. The
+# run summary lands as a CI artifact (chaos-<short-sha>.json via
+# CHAOS_JSON, same diffable-trajectory idea as the other smokes).
+CHAOS_JSON = chaos-smoke.json
+
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke server-smoke net-smoke cover fmt fmt-check vet docs-check api api-check deprecations
+.PHONY: build test race bench-smoke server-smoke net-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -48,6 +56,11 @@ server-smoke:
 
 net-smoke:
 	$(GO) run ./cmd/retwis-bench $(NET_SMOKE_FLAGS) -json $(NET_SMOKE_JSON)
+
+# abspath: go test runs with the package dir as cwd, and the summary should
+# land at the repo root where CI picks it up.
+chaos-smoke:
+	CHAOS_JSON=$(abspath $(CHAOS_JSON)) $(GO) test -race -count=1 ./internal/chaos/...
 
 # The full test suite with coverage, atomic mode so the concurrent tests
 # count correctly; prints the total line into the log. CI runs this as its

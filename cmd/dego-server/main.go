@@ -14,6 +14,11 @@
 //	-capacity  per-shard capacity hint for the planner
 //	-ranges    adaptive ranges per shard map
 //	-pipeline  max commands executed per pipeline batch
+//	-maxconns  cap on concurrent connections; one over the cap is answered
+//	           "-ERR max clients reached" and closed (0 = unlimited)
+//	-timeout   per-connection idle/read/write deadline (0 = none)
+//	-drain     graceful-shutdown budget on SIGINT/SIGTERM: in-flight pipeline
+//	           batches finish and flush within this window (0 = hard close)
 //	-smoke     bind an ephemeral port, run a scripted self-session, exit
 //
 // -smoke exists for CI: the container images have no redis-cli, so the
@@ -22,12 +27,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"github.com/adjusted-objects/dego/internal/retwis"
 	"github.com/adjusted-objects/dego/internal/server"
@@ -48,6 +56,9 @@ func run(args []string, out *os.File) error {
 	capacity := fs.Int("capacity", 0, "per-shard capacity hint (0 = default)")
 	ranges := fs.Int("ranges", 0, "adaptive ranges per shard (0 = default)")
 	pipeline := fs.Int("pipeline", 0, "max commands per pipeline batch (0 = default)")
+	maxconns := fs.Int("maxconns", 0, "max concurrent connections (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "per-connection idle/read/write deadline (0 = none)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget (0 = hard close)")
 	smoke := fs.Bool("smoke", false, "self-test: ephemeral port, scripted session, exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +72,11 @@ func run(args []string, out *os.File) error {
 			Capacity: *capacity,
 			Ranges:   *ranges,
 		},
-		MaxPipeline: *pipeline,
+		MaxPipeline:  *pipeline,
+		MaxConns:     *maxconns,
+		IdleTimeout:  *timeout,
+		ReadTimeout:  *timeout,
+		WriteTimeout: *timeout,
 	}
 	if *smoke {
 		cfg.Addr = "127.0.0.1:0"
@@ -88,10 +103,25 @@ func run(args []string, out *os.File) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
+		if *drain > 0 {
+			fmt.Fprintf(out, "dego-server: draining (up to %v)\n", *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(out, "dego-server:", err)
+			}
+			return
+		}
 		fmt.Fprintln(out, "dego-server: shutting down")
 		srv.Close()
 	}()
-	return srv.Serve()
+	if err := srv.Serve(); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(out, "dego-server: closed (%d conns served, %d rejected, %d timeouts, %d panics recovered)\n",
+		st.Accepted, st.Rejected, st.IdleTimeouts, st.Panics)
+	return nil
 }
 
 // smokeSession drives the scripted self-session: one pipelined connection

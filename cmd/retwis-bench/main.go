@@ -125,8 +125,8 @@ func runNet(addr, stores string, conns, pipeline, users int,
 			return err
 		}
 		points = append(points, pt)
-		fmt.Printf("remote %s: %.0f ops/s, p50 %dµs, p95 %dµs, p99 %dµs\n",
-			addr, pt.OpsPerSec, pt.P50us, pt.P95us, pt.P99us)
+		fmt.Printf("remote %s: %.0f ops/s, p50 %dµs, p95 %dµs, p99 %dµs, errors %d, retries %d, reconnects %d\n",
+			addr, pt.OpsPerSec, pt.P50us, pt.P95us, pt.P99us, pt.Errors, pt.Retries, pt.Reconnects)
 	} else {
 		kinds := strings.Split(stores, ",")
 		for i := range kinds {

@@ -1,0 +1,195 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pairOver returns a wrapped client connection talking to a plain server
+// connection over real TCP, so resets produce honest socket errors.
+func pairOver(t *testing.T, in *Injector) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err == nil {
+			server = c
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { raw.Close(); server.Close() })
+	return in.Wrap(raw), server
+}
+
+// TestDeterministicSchedule: two injectors with the same seed deliver the
+// same faults for the same operation sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{
+		Seed:             7,
+		LatencyProb:      0.3,
+		LatencyMax:       time.Microsecond,
+		PartialWriteProb: 0.3,
+		StallProb:        0.3,
+		StallMax:         time.Microsecond,
+	}
+	run := func() Stats {
+		in := New(cfg)
+		c, s := pairOver(t, in)
+		go io.Copy(io.Discard, s)
+		var rbuf [64]byte
+		for i := 0; i < 200; i++ {
+			if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+				t.Fatal(err)
+			}
+			s.Write([]byte("pong"))
+			if _, err := c.Read(rbuf[:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return in.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("no faults injected at 30% probabilities over 400 ops")
+	}
+}
+
+// TestPartialWriteDeliversEverything: fragmentation tears the frame but
+// every byte still arrives, in order.
+func TestPartialWriteDeliversEverything(t *testing.T) {
+	in := New(Config{Seed: 1, PartialWriteProb: 1})
+	c, s := pairOver(t, in)
+
+	var got bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.CopyN(&got, s, 26*10)
+	}()
+	payload := []byte("abcdefghijklmnopqrstuvwxyz")
+	for i := 0; i < 10; i++ {
+		n, err := c.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("write %d: n=%d err=%v", i, n, err)
+			return
+		}
+	}
+	wg.Wait()
+	want := bytes.Repeat(payload, 10)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("received %d bytes, want %d, content mismatch", got.Len(), len(want))
+	}
+	if st := in.Stats(); st.PartialWrites != 10 {
+		t.Fatalf("PartialWrites = %d, want 10", st.PartialWrites)
+	}
+}
+
+// TestInjectedReset: with ResetProb=1 the first operation fails with a
+// typed *ResetError and the socket is really gone for both ends.
+func TestInjectedReset(t *testing.T) {
+	in := New(Config{Seed: 3, ResetProb: 1})
+	c, s := pairOver(t, in)
+	_, err := c.Write([]byte("doomed"))
+	var re *ResetError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *ResetError", err, err)
+	}
+	// Subsequent ops fail fast without re-drawing.
+	if _, err := c.Read(make([]byte, 1)); !errors.As(err, &re) {
+		t.Fatalf("read after reset = %v, want *ResetError", err)
+	}
+	// The peer observes the closure too.
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := s.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+	if st := in.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1 (fail-fast must not recount)", st.Resets)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close after injected reset = %v, want nil", err)
+	}
+}
+
+// TestQuiesceStopsInjection: after Quiesce no new faults fire, on an
+// already-wrapped connection.
+func TestQuiesceStopsInjection(t *testing.T) {
+	in := New(Config{Seed: 5, PartialWriteProb: 1, LatencyProb: 1, LatencyMax: time.Microsecond})
+	c, s := pairOver(t, in)
+	go io.Copy(io.Discard, s)
+	if _, err := c.Write([]byte("storm")); err != nil {
+		t.Fatal(err)
+	}
+	before := in.Stats()
+	if before.Total() == 0 {
+		t.Fatal("no faults before quiesce")
+	}
+	in.Quiesce()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Write([]byte("calm seas ahead")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := in.Stats(); after != before {
+		t.Fatalf("faults after quiesce: %+v -> %+v", before, after)
+	}
+}
+
+// TestWrapListener: accepted connections are wrapped and counted.
+func TestWrapListener(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 9})
+	ln := WrapListener(inner, in)
+	defer ln.Close()
+	if ln.Injector() != in {
+		t.Fatal("Injector accessor mismatch")
+	}
+
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	c, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultnet.Conn", c)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("read through wrapped accept: %q, %v", buf, err)
+	}
+	if st := in.Stats(); st.Conns != 1 {
+		t.Fatalf("Conns = %d, want 1", st.Conns)
+	}
+}

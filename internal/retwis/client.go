@@ -1,9 +1,14 @@
 package retwis
 
 import (
+	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"github.com/adjusted-objects/dego/internal/server"
 	"github.com/adjusted-objects/dego/internal/stats"
@@ -34,25 +39,170 @@ func (l *LocalKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
 // Close implements KV; the store is owned by the caller and stays open.
 func (l *LocalKV) Close() error { return nil }
 
+// WireConfig tunes WireKV's dial, I/O, and self-healing behaviour. The
+// zero value means "use the defaults below".
+type WireConfig struct {
+	// DialTimeout bounds each TCP dial (initial and reconnect); 0 means 5s.
+	DialTimeout time.Duration
+	// IOTimeout bounds one ExecPipe attempt (write burst through last
+	// reply); 0 means 30s. Negative disables the deadline.
+	IOTimeout time.Duration
+	// MaxRetries is how many times one ExecPipe reconnects and retries
+	// after a transport failure before giving up; 0 means 4. Negative
+	// disables retrying.
+	MaxRetries int
+	// Backoff is the first reconnect delay; it doubles per attempt with
+	// full jitter, capped at MaxBackoff. 0 means 10ms / 1s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (c *WireConfig) fill() {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = time.Second
+	}
+}
+
+// WireStats counts one WireKV's self-healing work.
+type WireStats struct {
+	Retries    uint64 `json:"retries"`    // batches re-executed after a transport failure
+	Reconnects uint64 `json:"reconnects"` // successful re-dials
+}
+
+// retrySafeVerbs is the client-side retry matrix (docs/PROTOCOL.md): a
+// batch is automatically re-executed after a transport failure only if
+// every command in it is a pure read. A failed write batch may have been
+// partially applied server-side before the connection died, so replaying
+// it could double-apply; those surface as *NonRetryableError instead and
+// the caller decides (retwis' workload replays SETs itself, which are
+// idempotent in effect).
+var retrySafeVerbs = map[string]struct{}{
+	"GET": {}, "EXISTS": {}, "SMEMBERS": {}, "LRANGE": {}, "ZRANGEBYSCORE": {},
+}
+
+// firstUnsafeVerb returns the first verb in the batch outside the retry
+// matrix, if any.
+func firstUnsafeVerb(cmds [][][]byte) (string, bool) {
+	for _, cm := range cmds {
+		if len(cm) == 0 {
+			continue
+		}
+		verb := strings.ToUpper(string(cm[0]))
+		if _, ok := retrySafeVerbs[verb]; !ok {
+			return verb, true
+		}
+	}
+	return "", false
+}
+
+// NonRetryableError reports a transport failure on a batch the client must
+// not replay: it contains a write, and the server may have applied part of
+// the batch before the connection died.
+type NonRetryableError struct {
+	Verb  string // the verb that makes the batch unsafe to replay
+	Cause error
+}
+
+func (e *NonRetryableError) Error() string {
+	return fmt.Sprintf("retwis: %v (batch contains %s, not retry-safe)", e.Cause, e.Verb)
+}
+
+func (e *NonRetryableError) Unwrap() error { return e.Cause }
+
 // WireKV is one TCP connection to a dego-server (or any RESP server
-// answering the subset).
+// answering the subset), with a self-healing transport: a failed read-only
+// batch reconnects (capped exponential backoff, full jitter) and retries;
+// a failed batch containing writes returns *NonRetryableError. One WireKV
+// serves one worker goroutine; only Stats is safe to call concurrently.
 type WireKV struct {
+	addr string
+	cfg  WireConfig
+	rng  *rand.Rand
+
 	conn net.Conn
 	r    *wire.Reader
 	w    *wire.Writer
+
+	retries    atomic.Uint64
+	reconnects atomic.Uint64
 }
 
-// DialKV connects to addr.
+// DialKV connects to addr with the default WireConfig. The dial is bounded
+// by DialTimeout — a dead address fails promptly instead of hanging.
 func DialKV(addr string) (*WireKV, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialKVConfig(addr, WireConfig{})
+}
+
+// DialKVConfig connects to addr with explicit tuning.
+func DialKVConfig(addr string, cfg WireConfig) (*WireKV, error) {
+	cfg.fill()
+	c := &WireKV{
+		addr: addr,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if err := c.redial(); err != nil {
 		return nil, err
 	}
-	return &WireKV{conn: conn, r: wire.NewReader(conn), w: wire.NewWriter(conn)}, nil
+	// The first dial is a connect, not a recovery.
+	c.reconnects.Store(0)
+	return c, nil
 }
 
-// ExecPipe implements KV: one write burst, one flush, len(cmds) replies.
-func (c *WireKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
+// Stats snapshots the self-healing counters.
+func (c *WireKV) Stats() WireStats {
+	return WireStats{Retries: c.retries.Load(), Reconnects: c.reconnects.Load()}
+}
+
+// redial (re)establishes the connection and fresh codec state.
+func (c *WireKV) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn, c.r, c.w = conn, wire.NewReader(conn), wire.NewWriter(conn)
+	c.reconnects.Add(1)
+	return nil
+}
+
+// teardown discards a connection whose stream position is no longer
+// trustworthy.
+func (c *WireKV) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r, c.w = nil, nil, nil
+	}
+}
+
+// backoffFor returns the delay before retry attempt (0-based): Backoff
+// doubled per attempt, capped at MaxBackoff, with full jitter so a fleet
+// of clients does not reconnect in lockstep.
+func (c *WireKV) backoffFor(attempt int) time.Duration {
+	d := c.cfg.Backoff << uint(attempt)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	return time.Duration(c.rng.Int63n(int64(d))) + 1
+}
+
+// attempt runs one wire round trip: write burst, one flush, read
+// len(cmds) replies, all bounded by IOTimeout.
+func (c *WireKV) attempt(cmds [][][]byte) ([]wire.Reply, error) {
+	if c.cfg.IOTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.IOTimeout))
+	}
 	for _, cm := range cmds {
 		if err := c.w.WriteCommand(cm...); err != nil {
 			return nil, err
@@ -72,8 +222,48 @@ func (c *WireKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
 	return reps, nil
 }
 
+// ExecPipe implements KV with self-healing: transport failures on an
+// all-read batch reconnect and retry up to MaxRetries times; a batch
+// containing writes fails with *NonRetryableError (the connection is torn
+// down either way, so the next batch starts on a fresh dial). Error
+// replies are data, not transport failures, and never trigger a retry.
+func (c *WireKV) ExecPipe(cmds [][][]byte) ([]wire.Reply, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.conn == nil {
+			if err := c.redial(); err != nil {
+				lastErr = err
+				if attempt >= c.cfg.MaxRetries {
+					return nil, fmt.Errorf("retwis: reconnect gave up after %d attempts: %w", attempt, lastErr)
+				}
+				time.Sleep(c.backoffFor(attempt))
+				continue
+			}
+		}
+		reps, err := c.attempt(cmds)
+		if err == nil {
+			return reps, nil
+		}
+		c.teardown()
+		if verb, unsafe := firstUnsafeVerb(cmds); unsafe {
+			return nil, &NonRetryableError{Verb: verb, Cause: err}
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries {
+			return nil, fmt.Errorf("retwis: retry gave up after %d attempts: %w", attempt, lastErr)
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoffFor(attempt))
+	}
+}
+
 // Close implements KV.
-func (c *WireKV) Close() error { return c.conn.Close() }
+func (c *WireKV) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // Graph is the deterministic initial social graph of §6.3 in adjacency
 // form: Followers[u] lists who follows u, deduplicated and capped at

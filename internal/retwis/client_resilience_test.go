@@ -1,0 +1,166 @@
+package retwis
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/adjusted-objects/dego/internal/wire"
+)
+
+// flakyServer is a scripted RESP endpoint: the first accepted connection is
+// slammed shut immediately, the second answers exactly one command and then
+// closes, every later connection serves until the client hangs up. The
+// exact shape a self-healing client must survive.
+func flakyServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	serve := func(c net.Conn, limit int) {
+		defer c.Close()
+		r, w := wire.NewReader(c), wire.NewWriter(c)
+		for served := 0; limit <= 0 || served < limit; served++ {
+			cmd, err := r.ReadCommand()
+			if err != nil {
+				return
+			}
+			switch strings.ToUpper(string(cmd[0])) {
+			case "GET":
+				w.WriteReply(wire.Null())
+			case "SET":
+				w.WriteReply(wire.OK())
+			default:
+				w.WriteReply(wire.Err("ERR unexpected verb in test"))
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	go func() {
+		for n := 1; ; n++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			switch n {
+			case 1:
+				c.Close()
+			case 2:
+				go serve(c, 1)
+			default:
+				go serve(c, 0)
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestWireKVSelfHealing: a read-only batch survives a dropped connection
+// via reconnect+retry; a write batch on a dead connection fails with the
+// typed non-retryable error; the client heals again afterwards.
+func TestWireKVSelfHealing(t *testing.T) {
+	addr := flakyServer(t)
+	kv, err := DialKVConfig(addr, WireConfig{
+		Backoff:    time.Millisecond,
+		MaxBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	// Connection 1 dies under the first batch; the GET is retry-safe, so
+	// the client redials (connection 2) and the retry answers.
+	reps, err := kv.ExecPipe([][][]byte{{[]byte("GET"), []byte("k")}})
+	if err != nil || len(reps) != 1 || reps[0].Kind != wire.KindNull {
+		t.Fatalf("healed GET = %v, %v", reps, err)
+	}
+	st := kv.Stats()
+	if st.Retries < 1 || st.Reconnects < 1 {
+		t.Fatalf("Stats = %+v, want >=1 retry and >=1 reconnect", st)
+	}
+
+	// Connection 2 closed after that one command. A SET batch on the dead
+	// connection must NOT be replayed: typed error, cause preserved.
+	_, err = kv.ExecPipe([][][]byte{{[]byte("SET"), []byte("k"), []byte("v")}})
+	var nre *NonRetryableError
+	if !errors.As(err, &nre) {
+		t.Fatalf("SET on dead conn = %v (%T), want *NonRetryableError", err, err)
+	}
+	if nre.Verb != "SET" || nre.Unwrap() == nil {
+		t.Fatalf("NonRetryableError = %+v, want Verb=SET with a cause", nre)
+	}
+	if got := kv.Stats(); got.Retries != st.Retries {
+		t.Fatalf("non-retryable batch was retried: %+v -> %+v", st, got)
+	}
+
+	// The next batch heals onto connection 3 and works.
+	reps, err = kv.ExecPipe([][][]byte{{[]byte("SET"), []byte("k"), []byte("v")}})
+	if err != nil || reps[0].Text() != "OK" {
+		t.Fatalf("post-heal SET = %v, %v", reps, err)
+	}
+	if got := kv.Stats(); got.Reconnects < 2 {
+		t.Fatalf("Reconnects = %d, want >=2", got.Reconnects)
+	}
+}
+
+// TestWireKVRetryGivesUp: when the endpoint stays dead, a retry-safe batch
+// fails after MaxRetries instead of looping forever.
+func TestWireKVRetryGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	kv, err := DialKVConfig(addr, WireConfig{
+		MaxRetries: 2,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	(<-accepted).Close()
+	ln.Close() // no endpoint to reconnect to
+
+	_, err = kv.ExecPipe([][][]byte{{[]byte("GET"), []byte("k")}})
+	if err == nil || !strings.Contains(err.Error(), "gave up") {
+		t.Fatalf("err = %v, want gave-up error", err)
+	}
+}
+
+// TestDialKVDeadAddr: a dead address fails promptly instead of hanging the
+// run (the pre-fix behaviour was an unbounded net.Dial).
+func TestDialKVDeadAddr(t *testing.T) {
+	// Grab a loopback port and close it again: dialing it is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	t0 := time.Now()
+	_, err = DialKVConfig(addr, WireConfig{DialTimeout: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if since := time.Since(t0); since > 3*time.Second {
+		t.Fatalf("dial took %v, want prompt failure", since)
+	}
+}

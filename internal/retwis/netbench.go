@@ -47,6 +47,13 @@ type NetPoint struct {
 	P95us     uint64  `json:"p95_us"`
 	P99us     uint64  `json:"p99_us"`
 	MaxUs     uint64  `json:"max_us"`
+	// Resilience counters: failed batches are counted per connection and
+	// the run continues, rather than aborting the sweep on the first
+	// broken connection. Retries/Reconnects sum the WireKV self-healing
+	// work across connections.
+	Errors     int64  `json:"errors"`
+	Retries    uint64 `json:"retries"`
+	Reconnects uint64 `json:"reconnects"`
 }
 
 // RunNet seeds the target and drives the measured phase. Self-hosted mode
@@ -115,52 +122,58 @@ func RunNet(np NetParams) (NetPoint, error) {
 		ops      = make([]int64, p.Threads)
 		cmds     = make([]int64, p.Threads)
 		hists    = make([]stats.LatencyHist, p.Threads)
-		errs     = make([]error, p.Threads)
+		errCount = make([]int64, p.Threads)
+		firstErr = make([]error, p.Threads)
+		wstats   = make([]WireStats, p.Threads)
 	)
 
 	worker := func(tid int) {
 		defer finished.Done()
 		kv, err := DialKV(addr)
 		if err != nil {
-			errs[tid] = err
+			// A connection that never came up is counted, not fatal: the
+			// rest of the sweep still measures.
+			errCount[tid]++
+			firstErr[tid] = err
 			started.Done()
 			return
 		}
+		defer func() { wstats[tid] = kv.Stats() }()
 		cl := NewNetClient(kv, graph)
 		defer cl.Close()
 		gen := NewGenerator(tid, p, partUsers[tid], false)
 		h := &hists[tid]
 
-		oneBatch := func() error {
+		// oneBatch executes one pipeline flush; a failed batch is counted
+		// and the worker moves on — WireKV has already torn down and will
+		// redial on the next flush.
+		oneBatch := func() {
 			for i := 0; i < np.Pipeline; i++ {
 				cl.AppendOp(gen.Next())
 			}
 			n := cl.Pending()
 			t0 := time.Now()
 			if err := cl.Flush(); err != nil {
-				return err
+				errCount[tid]++
+				if firstErr[tid] == nil {
+					firstErr[tid] = err
+				}
+				return
 			}
 			h.Record(uint64(time.Since(t0).Microseconds()))
 			ops[tid] += int64(np.Pipeline)
 			cmds[tid] += int64(n)
-			return nil
 		}
 
 		started.Done()
 		<-begin
 		if p.OpsPerThread > 0 {
 			for done := 0; done < p.OpsPerThread; done += np.Pipeline {
-				if err := oneBatch(); err != nil {
-					errs[tid] = err
-					return
-				}
+				oneBatch()
 			}
 		} else {
 			for !stop.Load() {
-				if err := oneBatch(); err != nil {
-					errs[tid] = err
-					return
-				}
+				oneBatch()
 			}
 		}
 	}
@@ -181,28 +194,40 @@ func RunNet(np NetParams) (NetPoint, error) {
 	elapsed := time.Since(t0)
 
 	var all stats.LatencyHist
-	var totalOps, totalCmds int64
+	var totalOps, totalCmds, totalErrs int64
+	var totalRetries, totalReconnects uint64
+	var sampleErr error
 	for tid := 0; tid < p.Threads; tid++ {
-		if errs[tid] != nil {
-			return NetPoint{}, fmt.Errorf("retwis: net worker %d: %w", tid, errs[tid])
-		}
 		all.Merge(&hists[tid])
 		totalOps += ops[tid]
 		totalCmds += cmds[tid]
+		totalErrs += errCount[tid]
+		totalRetries += wstats[tid].Retries
+		totalReconnects += wstats[tid].Reconnects
+		if sampleErr == nil {
+			sampleErr = firstErr[tid]
+		}
+	}
+	if totalOps == 0 && totalErrs > 0 {
+		// Nothing at all got through: there is no point to report.
+		return NetPoint{}, fmt.Errorf("retwis: every batch failed (%d errors, first: %w)", totalErrs, sampleErr)
 	}
 	return NetPoint{
-		Store:     label,
-		Conns:     p.Threads,
-		Pipeline:  np.Pipeline,
-		Users:     p.Users,
-		Ops:       totalOps,
-		Commands:  totalCmds,
-		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
-		OpsPerSec: float64(totalOps) / elapsed.Seconds(),
-		P50us:     all.Percentile(0.50),
-		P95us:     all.Percentile(0.95),
-		P99us:     all.Percentile(0.99),
-		MaxUs:     all.Max(),
+		Store:      label,
+		Conns:      p.Threads,
+		Pipeline:   np.Pipeline,
+		Users:      p.Users,
+		Ops:        totalOps,
+		Commands:   totalCmds,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1e3,
+		OpsPerSec:  float64(totalOps) / elapsed.Seconds(),
+		P50us:      all.Percentile(0.50),
+		P95us:      all.Percentile(0.95),
+		P99us:      all.Percentile(0.99),
+		MaxUs:      all.Max(),
+		Errors:     totalErrs,
+		Retries:    totalRetries,
+		Reconnects: totalReconnects,
 	}, nil
 }
 
@@ -211,8 +236,8 @@ func RunNet(np NetParams) (NetPoint, error) {
 func NetCurve(w io.Writer, base NetParams, storeKinds []string) ([]NetPoint, error) {
 	fmt.Fprintf(w, "=== dego-server: pipelined retwis over TCP (users=%d, conns=%d, pipeline=%d) ===\n\n",
 		base.Workload.Users, base.Workload.Threads, base.Pipeline)
-	fmt.Fprintf(w, "%-12s%12s%12s%12s%12s%12s\n",
-		"store", "ops/s", "cmds/s", "p50 µs", "p95 µs", "p99 µs")
+	fmt.Fprintf(w, "%-12s%12s%12s%12s%12s%12s%8s\n",
+		"store", "ops/s", "cmds/s", "p50 µs", "p95 µs", "p99 µs", "errs")
 	points := make([]NetPoint, 0, len(storeKinds))
 	for _, kind := range storeKinds {
 		np := base
@@ -223,8 +248,8 @@ func NetCurve(w io.Writer, base NetParams, storeKinds []string) ([]NetPoint, err
 		}
 		points = append(points, pt)
 		cmdRate := float64(pt.Commands) / (pt.ElapsedMS / 1e3)
-		fmt.Fprintf(w, "%-12s%12.0f%12.0f%12d%12d%12d\n",
-			pt.Store, pt.OpsPerSec, cmdRate, pt.P50us, pt.P95us, pt.P99us)
+		fmt.Fprintf(w, "%-12s%12.0f%12.0f%12d%12d%12d%8d\n",
+			pt.Store, pt.OpsPerSec, cmdRate, pt.P50us, pt.P95us, pt.P99us, pt.Errors)
 	}
 	fmt.Fprintln(w)
 	return points, nil

@@ -27,6 +27,10 @@ const (
 	opZRangeByScore
 	opZRemRangeByScore
 	opFlush
+	// Debug opcodes (DEBUG PANIC / DEBUG SLEEP): deliberate shard-loop
+	// crashes and stalls for the resilience tests.
+	opPanic
+	opSleep
 )
 
 // unit is one keyed operation bound to its owning shard. args holds the
@@ -161,6 +165,22 @@ func planCommand(args [][]byte, s *Store, units *[]unit) cmdPlan {
 		return inlinePlan(wire.OK())
 	case "DBSIZE":
 		return inlinePlan(wire.Int64(int64(s.Len())))
+	case "DEBUG":
+		// The two redis DEBUG subcommands the resilience tests need: PANIC
+		// crashes inside a shard loop (proving execSafe's isolation), SLEEP
+		// holds one (proving Shutdown drains in-flight batches). Both route
+		// to shard 0; neither touches keys.
+		if len(args) == 2 && strings.EqualFold(string(args[1]), "PANIC") {
+			p := cmdPlan{first: len(*units), n: 1, agg: aggFirst}
+			*units = append(*units, unit{shard: 0, op: opPanic})
+			return p
+		}
+		if len(args) == 3 && strings.EqualFold(string(args[1]), "SLEEP") {
+			p := cmdPlan{first: len(*units), n: 1, agg: aggFirst}
+			*units = append(*units, unit{shard: 0, op: opSleep, args: args[2:]})
+			return p
+		}
+		return inlinePlan(wire.Err("ERR DEBUG subcommand not supported (want PANIC or SLEEP <seconds>)"))
 	case "FLUSHALL", "FLUSHDB":
 		p := cmdPlan{first: len(*units), n: len(s.shards), agg: aggOK}
 		for i := range s.shards {

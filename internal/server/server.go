@@ -1,19 +1,39 @@
 package server
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/adjusted-objects/dego/internal/wire"
 )
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Close or
+// Shutdown, and by Shutdown when the drain did not finish in time it wraps
+// the context error. It is the single typed "server is done" signal —
+// callers never see the underlying listener's close-ordering errors.
+var ErrServerClosed = errors.New("server: closed")
+
+// MaxClientsMsg is the error-reply text a connection refused at the
+// MaxConns cap receives before the server closes it, mirroring redis'
+// "max number of clients reached" rejection. docs/PROTOCOL.md documents
+// the client-visible contract.
+const MaxClientsMsg = "ERR max clients reached"
 
 // Config configures a Server.
 type Config struct {
 	// Addr is the TCP listen address; "" means "127.0.0.1:0" (an ephemeral
 	// port, reported by Addr after Listen).
 	Addr string
+	// Listener, if non-nil, is served instead of binding Addr — the hook
+	// the chaos suite uses to interpose internal/faultnet between server
+	// and clients.
+	Listener net.Listener
 	// Store sizes the sharded keyspace.
 	Store StoreConfig
 	// AcceptLoops is the number of concurrent accept goroutines; 0 means
@@ -22,21 +42,59 @@ type Config struct {
 	// MaxPipeline caps how many pipelined commands one batch executes
 	// before replies are flushed; 0 means 256.
 	MaxPipeline int
+	// MaxConns caps concurrently served connections; one over the cap is
+	// answered -ERR max clients reached (MaxClientsMsg) and closed.
+	// 0 means unlimited.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between pipeline
+	// batches before the server closes it; 0 means forever.
+	IdleTimeout time.Duration
+	// ReadTimeout bounds each read once a command has started arriving, so
+	// a torn frame cannot hold the connection (and its memory) hostage;
+	// 0 means unbounded.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each write of reply bytes toward the client;
+	// 0 means unbounded. How patiently it is applied is SlowReader's call.
+	WriteTimeout time.Duration
+	// SlowReader picks the policy when reply writes block on a client that
+	// stopped reading: block up to WriteTimeout (default) or disconnect
+	// after a short grace.
+	SlowReader SlowReaderPolicy
+	// OutBuf caps the reply bytes buffered per connection before they are
+	// forced onto the wire (the write buffer size); 0 means 64 KiB.
+	// Together with WriteTimeout it bounds what a slow reader can pin.
+	OutBuf int
+}
+
+// Stats is a snapshot of the server's resilience counters; see
+// ARCHITECTURE.md's "Resilience" section for the invariants they witness.
+type Stats struct {
+	Accepted        uint64 // connections accepted and served
+	Rejected        uint64 // connections refused at the MaxConns cap
+	Active          int64  // connections being served right now
+	IdleTimeouts    uint64 // connections closed by the idle/read deadline
+	SlowReaderDrops uint64 // connections dropped writing to a slow reader
+	ProtocolErrors  uint64 // framing violations answered and closed
+	Panics          uint64 // panics recovered (connection handlers + shard loops)
 }
 
 // Server serves the RESP subset over TCP: accept loops hand each
 // connection to a goroutine that batches pipelined commands into store
-// dispatches and flushes replies once per batch.
+// dispatches and flushes replies once per batch. Close stops it hard;
+// Shutdown drains in-flight batches first.
 type Server struct {
 	cfg   Config
 	store *Store
 	ln    net.Listener
 
 	mu      sync.Mutex
-	open    map[net.Conn]struct{}
+	open    map[*lifecycleConn]struct{}
 	closed  bool
 	conns   sync.WaitGroup
 	accepts sync.WaitGroup
+
+	accepted, rejected, idleTimeouts, slowDrops, protoErrs, panics atomic.Uint64
+	active                                                         atomic.Int64
 }
 
 // New builds the store (starting the shard loops) but does not bind yet.
@@ -57,7 +115,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:   cfg,
 		store: st,
-		open:  map[net.Conn]struct{}{},
+		open:  map[*lifecycleConn]struct{}{},
 	}, nil
 }
 
@@ -65,8 +123,26 @@ func New(cfg Config) (*Server, error) {
 // retwis' local client).
 func (s *Server) Store() *Store { return s.store }
 
-// Listen binds the configured address.
+// Stats snapshots the resilience counters. Panics sums connection-handler
+// recoveries and shard-loop recoveries.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		Rejected:        s.rejected.Load(),
+		Active:          s.active.Load(),
+		IdleTimeouts:    s.idleTimeouts.Load(),
+		SlowReaderDrops: s.slowDrops.Load(),
+		ProtocolErrors:  s.protoErrs.Load(),
+		Panics:          s.panics.Load() + s.store.PanicCount(),
+	}
+}
+
+// Listen binds the configured address, or adopts Config.Listener.
 func (s *Server) Listen() error {
+	if s.cfg.Listener != nil {
+		s.ln = s.cfg.Listener
+		return nil
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
@@ -83,8 +159,8 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Serve runs the accept loops and blocks until Close. Listen must have
-// succeeded first.
+// Serve runs the accept loops and blocks until Close or Shutdown, then
+// returns ErrServerClosed. Listen must have succeeded first.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return errors.New("server: Serve before Listen")
@@ -98,7 +174,7 @@ func (s *Server) Serve() error {
 	}
 	s.accepts.Wait()
 	s.conns.Wait()
-	return nil
+	return ErrServerClosed
 }
 
 // ListenAndServe binds and serves.
@@ -109,27 +185,77 @@ func (s *Server) ListenAndServe() error {
 	return s.Serve()
 }
 
-// Close stops accepting, closes every open connection, and shuts the store
-// down. Safe to call more than once.
+// Close stops the server hard: accepting stops, every open connection is
+// closed mid-whatever, the store shuts down. Idempotent and race-free —
+// concurrent or repeated Closes (including racing a Shutdown) all return
+// nil once the server is down.
 func (s *Server) Close() error {
+	return s.stop(nil)
+}
+
+// Shutdown stops the server gracefully: accepting stops, idle connections
+// close immediately, and connections with a pipeline batch in flight
+// finish executing it and flush every reply before closing — a client
+// never sees EOF in the middle of a reply stream for a batch the server
+// accepted. Shard mailboxes drain through those completions; only then
+// does the store close. If ctx expires first the stragglers are closed
+// hard and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.stop(ctx)
+}
+
+// stop implements Close (ctx == nil: immediate) and Shutdown (drain until
+// ctx expires).
+func (s *Server) stop(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
 	s.closed = true
 	ln := s.ln
+	open := make([]*lifecycleConn, 0, len(s.open))
 	for c := range s.open {
-		c.Close()
+		open = append(open, c)
 	}
 	s.mu.Unlock()
 
-	var err error
 	if ln != nil {
-		err = ln.Close()
+		// Idempotent across repeated stops; the typed result below is the
+		// only error surface.
+		ln.Close()
+	}
+	if ctx == nil {
+		for _, c := range open {
+			c.Conn.Close()
+		}
+	} else {
+		for _, c := range open {
+			c.interrupt()
+		}
 	}
 	s.accepts.Wait()
-	s.conns.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.conns.Wait()
+		close(drained)
+	}()
+	var err error
+	if ctx != nil {
+		select {
+		case <-drained:
+		case <-ctx.Done():
+			// Drain window over: close the stragglers hard.
+			s.mu.Lock()
+			for c := range s.open {
+				c.Conn.Close()
+			}
+			s.mu.Unlock()
+			err = fmt.Errorf("%w: drain interrupted: %w", ErrServerClosed, ctx.Err())
+			<-drained
+		}
+	} else {
+		<-drained
+	}
+	// Every connection is done, so every accepted batch has cleared its
+	// shard mailbox: the store can close without cutting one off.
 	s.store.Close()
 	return err
 }
@@ -147,37 +273,72 @@ func (s *Server) acceptLoop() {
 			c.Close()
 			return
 		}
-		s.open[c] = struct{}{}
+		if s.cfg.MaxConns > 0 && len(s.open) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			go rejectMaxClients(c)
+			continue
+		}
+		lc := newLifecycleConn(c, s.cfg)
+		s.open[lc] = struct{}{}
 		s.conns.Add(1)
 		s.mu.Unlock()
-		go s.handle(c)
+		s.accepted.Add(1)
+		s.active.Add(1)
+		go s.handle(lc)
 	}
 }
 
-func (s *Server) forget(c net.Conn) {
+// rejectMaxClients answers a connection over the MaxConns cap: the typed
+// error reply, then close. Run off the accept loop so a rejected peer that
+// never reads cannot stall accepting.
+func rejectMaxClients(c net.Conn) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write([]byte("-" + MaxClientsMsg + "\r\n"))
+	c.Close()
+}
+
+func (s *Server) forget(c *lifecycleConn) {
 	s.mu.Lock()
 	delete(s.open, c)
 	s.mu.Unlock()
+	s.active.Add(-1)
 }
 
-// handle runs one connection: read the first command blocking, drain
-// whatever complete pipeline follow-up is already buffered (up to
-// MaxPipeline), execute the batch through the store, write the replies in
-// order, flush once. QUIT replies +OK and closes; framing errors reply
-// -ERR Protocol error and close, since the stream position is gone.
-func (s *Server) handle(c net.Conn) {
+// handle runs one connection: read the first command blocking (bounded by
+// IdleTimeout), drain whatever complete pipeline follow-up is already
+// buffered (up to MaxPipeline), execute the batch through the store, write
+// the replies in order, flush once. QUIT replies +OK and closes; framing
+// errors reply -ERR Protocol error and close, since the stream position is
+// gone; deadline expiries and drain interrupts close silently. A panic
+// anywhere in the handler is recovered into a typed *wire.ProtocolError
+// reply, counted, and closes only this connection.
+func (s *Server) handle(lc *lifecycleConn) {
 	defer s.conns.Done()
-	defer s.forget(c)
-	defer c.Close()
+	defer s.forget(lc)
+	defer lc.Conn.Close()
 
-	r := wire.NewReader(c)
-	w := wire.NewWriter(c)
+	w := wire.NewWriterSize(lc, s.cfg.OutBuf)
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			// Best effort: the peer learns the connection died server-side
+			// rather than just seeing EOF. The writer may hold a torn
+			// frame; the connection is closing either way.
+			pe := &wire.ProtocolError{Detail: fmt.Sprintf("internal panic: %v", p)}
+			w.WriteReply(wire.Errf("ERR Protocol error: %s", pe.Detail))
+			w.Flush()
+		}
+	}()
+
+	r := wire.NewReader(lc)
 	cmds := make([][][]byte, 0, 16)
 
 	for {
+		lc.beginIdle()
 		cmd, err := r.ReadCommand()
 		if err != nil {
-			writeReadError(w, err)
+			s.closeOnReadError(w, err)
 			return
 		}
 		cmds = append(cmds[:0], cmd)
@@ -203,6 +364,7 @@ func (s *Server) handle(c net.Conn) {
 
 		for _, rep := range s.store.ExecBatch(cmds) {
 			if err := w.WriteReply(rep); err != nil {
+				s.closeOnWriteError(err)
 				return
 			}
 		}
@@ -211,22 +373,45 @@ func (s *Server) handle(c net.Conn) {
 			return
 		}
 		if deferredErr != nil {
-			writeReadError(w, deferredErr)
+			s.closeOnReadError(w, deferredErr)
 			return
 		}
 		if err := w.Flush(); err != nil {
+			s.closeOnWriteError(err)
+			return
+		}
+		if lc.drained() {
+			// Graceful shutdown: this batch's replies are flushed, stop
+			// before reading another.
 			return
 		}
 	}
 }
 
-// writeReadError surfaces a framing violation to the client before the
-// connection closes; io errors (EOF, disconnect) close silently — there is
-// nothing to say to a gone peer.
-func writeReadError(w *wire.Writer, err error) {
-	var pe *wire.ProtocolError
-	if errors.As(err, &pe) {
-		w.WriteReply(wire.Errf("ERR Protocol error: %s", pe.Detail))
-		w.Flush()
+// closeOnReadError classifies the end of a connection's read stream:
+// framing violations are answered with the protocol error before closing,
+// deadline expiries are counted as idle timeouts, drain interrupts and
+// plain disconnects (EOF) close silently.
+func (s *Server) closeOnReadError(w *wire.Writer, err error) {
+	switch {
+	case errors.Is(err, errDrainInterrupt):
+		// Graceful shutdown interrupted the wait for the next command.
+	case isTimeout(err):
+		s.idleTimeouts.Add(1)
+	default:
+		var pe *wire.ProtocolError
+		if errors.As(err, &pe) {
+			s.protoErrs.Add(1)
+			w.WriteReply(wire.Errf("ERR Protocol error: %s", pe.Detail))
+			w.Flush()
+		}
+	}
+}
+
+// closeOnWriteError counts a reply stream cut off by the write deadline —
+// the slow-reader policy disconnecting a client that stopped draining.
+func (s *Server) closeOnWriteError(err error) {
+	if isTimeout(err) {
+		s.slowDrops.Add(1)
 	}
 }

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/wire"
@@ -87,11 +89,12 @@ type batch struct {
 // mailbox its event loop drains. All writes to obj go through the loop
 // goroutine's handle — the shard-confinement invariant.
 type shard struct {
-	id   int
-	obj  *dego.AdjustedMap[string, *object]
-	mail chan *batch
-	quit chan struct{}
-	reg  *dego.Registry
+	id    int
+	obj   *dego.AdjustedMap[string, *object]
+	mail  chan *batch
+	quit  chan struct{}
+	reg   *dego.Registry
+	store *Store // panic counter; set before the loop starts
 }
 
 // planShardMap asks the planner for the shard's representation. The
@@ -111,17 +114,18 @@ func planShardMap(cfg StoreConfig, reg *dego.Registry) (*dego.AdjustedMap[string
 	return dego.Map[string, *object](opts...)
 }
 
-func newShard(id int, cfg StoreConfig, reg *dego.Registry) (*shard, error) {
-	m, err := planShardMap(cfg, reg)
+func newShard(id int, st *Store) (*shard, error) {
+	m, err := planShardMap(st.cfg, st.reg)
 	if err != nil {
 		return nil, err
 	}
 	return &shard{
-		id:   id,
-		obj:  m,
-		mail: make(chan *batch),
-		quit: make(chan struct{}),
-		reg:  reg,
+		id:    id,
+		obj:   m,
+		mail:  make(chan *batch),
+		quit:  make(chan struct{}),
+		reg:   st.reg,
+		store: st,
 	}, nil
 }
 
@@ -138,7 +142,7 @@ func (sh *shard) loop() {
 			return
 		case b := <-sh.mail:
 			for _, i := range b.idxs {
-				b.units[i].out = sh.exec(h, &b.units[i])
+				b.units[i].out = sh.execSafe(h, &b.units[i])
 			}
 			b.wg.Done()
 		}
@@ -157,6 +161,25 @@ var wrongType = wire.Err("WRONGTYPE Operation against a key holding the wrong ki
 var errNotInt = wire.Err("ERR value is not an integer or out of range")
 var errNotFloat = wire.Err("ERR value is not a valid float")
 var errMinMax = wire.Err("ERR min or max is not a float")
+
+// execSafe runs one unit with panic isolation: a panic while executing a
+// command poisons that unit's reply (a typed protocol-error-derived error
+// reply, recorded on the store) instead of killing the shard's event loop —
+// one bad command cannot take the whole keyspace slice down. Keys the
+// panicking execution already mutated may be partially updated, the same
+// contract redis gives a script that dies mid-write.
+func (sh *shard) execSafe(h *dego.Handle, u *unit) (rep wire.Reply) {
+	defer func() {
+		if p := recover(); p != nil {
+			pe := &wire.ProtocolError{
+				Detail: fmt.Sprintf("internal panic in shard %d: %v", sh.id, p),
+			}
+			sh.store.notePanic(pe)
+			rep = wire.Errf("ERR Protocol error: %s", pe.Detail)
+		}
+	}()
+	return sh.exec(h, u)
+}
 
 // exec runs one unit against the shard state. Every mutation ends in a
 // Put/Remove on the planner-built map even when the object pointer is
@@ -390,6 +413,21 @@ func (sh *shard) exec(h *dego.Handle, u *unit) wire.Reply {
 			sh.obj.Put(h, u.key, o)
 		}
 		return wire.Int64(removed)
+
+	case opPanic:
+		// DEBUG PANIC: deliberate crash inside the shard loop, exercised by
+		// the resilience tests to prove execSafe's isolation.
+		panic("DEBUG PANIC requested")
+
+	case opSleep:
+		// DEBUG SLEEP <seconds>: hold the shard loop, so tests can have a
+		// batch provably in flight while Shutdown drains.
+		secs, err := strconv.ParseFloat(string(u.args[0]), 64)
+		if err != nil || secs < 0 {
+			return errNotFloat
+		}
+		time.Sleep(time.Duration(secs * float64(time.Second)))
+		return wire.OK()
 
 	case opFlush:
 		var keys []string

@@ -29,6 +29,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/stats"
@@ -95,6 +96,12 @@ type Store struct {
 
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// panics counts executions recovered inside shard loops; lastPanic
+	// holds the most recent one as a *wire.ProtocolError. A shard panic
+	// poisons one unit's reply, never the loop.
+	panics    atomic.Uint64
+	lastPanic atomic.Pointer[wire.ProtocolError]
 }
 
 // NewStore builds the shards and starts their event loops.
@@ -108,7 +115,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
-		sh, err := newShard(i, cfg, s.reg)
+		sh, err := newShard(i, s)
 		if err != nil {
 			// Unwind the shards already running.
 			for _, prev := range s.shards[:i] {
@@ -154,6 +161,37 @@ func (s *Store) Len() int {
 
 // Plan describes shard 0's planned representation (all shards share it).
 func (s *Store) Plan() dego.Plan { return s.shards[0].obj.Plan() }
+
+// PanicCount returns how many unit executions shard loops have recovered.
+func (s *Store) PanicCount() uint64 { return s.panics.Load() }
+
+// LastPanic returns the most recently recovered shard panic as a typed
+// protocol error, or nil if none has occurred.
+func (s *Store) LastPanic() *wire.ProtocolError { return s.lastPanic.Load() }
+
+// notePanic records one recovered shard execution.
+func (s *Store) notePanic(pe *wire.ProtocolError) {
+	s.panics.Add(1)
+	s.lastPanic.Store(pe)
+}
+
+// ForceFlapShard drives every range of shard i's map through one full
+// promote/demote cycle, and reports whether the shard has an adaptive
+// engine to flap. The chaos suite calls this in a loop to keep
+// representation transitions happening underneath injected network faults.
+func (s *Store) ForceFlapShard(i int) bool {
+	ad := s.shards[i].obj.Adaptive()
+	if ad == nil {
+		return false
+	}
+	for r := 0; r < ad.Ranges(); r++ {
+		ad.ForcePromoteRange(r)
+	}
+	for r := 0; r < ad.Ranges(); r++ {
+		ad.ForceDemoteRange(r)
+	}
+	return true
+}
 
 // Close stops the shard event loops. In-flight batches complete; batches
 // submitted after Close receive error replies.

@@ -38,6 +38,15 @@ func FuzzReadCommand(f *testing.F) {
 	f.Add([]byte("*2\r\n$3\r\nDEL\r\n$0\r\n\r\n"))
 	f.Add([]byte("$5\r\nhello\r\n"))
 	f.Add([]byte(strings.Repeat("a", 4096)))
+	// Truncation mutations: valid frames cut mid-header, mid-payload, and
+	// mid-terminator, plus a declared-huge bulk whose payload never comes —
+	// the abrupt-EOF cases the truncation suite pins down exactly.
+	full := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"
+	for _, cut := range []int{2, 6, 13, 20, 27, len(full) - 1} {
+		f.Add([]byte(full[:cut]))
+	}
+	f.Add([]byte("*1\r\n$8388608\r\nshort"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$5\r\nab"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		for i := 0; i < 64; i++ {
@@ -70,6 +79,13 @@ func FuzzReadReply(f *testing.F) {
 	f.Add([]byte("*-1\r\n"))
 	f.Add([]byte(strings.Repeat("*1\r\n", 64) + ":1\r\n"))
 	f.Add([]byte("?garbage\r\n"))
+	// Truncation mutations mirroring the command-side corpus.
+	reply := "*2\r\n$1\r\na\r\n*1\r\n:7\r\n"
+	for _, cut := range []int{2, 5, 9, 13, len(reply) - 1} {
+		f.Add([]byte(reply[:cut]))
+	}
+	f.Add([]byte("$8388608\r\ntruncated"))
+	f.Add([]byte("+OK\r"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		for i := 0; i < 64; i++ {

@@ -59,14 +59,27 @@ func (r *Reader) readInt() (int64, error) {
 	return n, nil
 }
 
+// bulkChunk is how much readBulkPayload grows its buffer per read: the
+// allocation tracks the bytes that actually arrive, not the declared
+// length, so a truncated frame claiming MaxBulk costs one chunk, not 8 MiB.
+const bulkChunk = 64 << 10
+
 // readBulkPayload reads n payload bytes plus the line terminator.
 func (r *Reader) readBulkPayload(n int64) ([]byte, error) {
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.br, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	buf := make([]byte, 0, min(n, bulkChunk))
+	for int64(len(buf)) < n {
+		step := int(min(n-int64(len(buf)), bulkChunk))
+		if cap(buf)-len(buf) < step {
+			buf = append(buf, make([]byte, step)...)[:len(buf)]
 		}
-		return nil, err
+		m, err := io.ReadFull(r.br, buf[len(buf):len(buf)+step])
+		buf = buf[:len(buf)+m]
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
 	}
 	b, err := r.br.ReadByte()
 	if err != nil {

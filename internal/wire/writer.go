@@ -16,9 +16,20 @@ type Writer struct {
 	scratch [24]byte
 }
 
-// NewWriter returns a Writer over w.
+// NewWriter returns a Writer over w with the default 64 KiB buffer.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 64<<10)}
+	return NewWriterSize(w, 0)
+}
+
+// NewWriterSize returns a Writer over w whose buffer holds size bytes
+// before a write is forced onto the stream; size <= 0 means 64 KiB. The
+// server sizes this per connection (Config.OutBuf) so the buffer, together
+// with the write deadline, bounds the memory a slow reader can pin.
+func NewWriterSize(w io.Writer, size int) *Writer {
+	if size <= 0 {
+		size = 64 << 10
+	}
+	return &Writer{bw: bufio.NewWriterSize(w, size)}
 }
 
 // Flush writes everything buffered to the underlying stream.
