@@ -4,10 +4,11 @@
 GO ?= go
 
 # Packages covered by the race-detector job: the adaptive machine, the
-# objects it migrates between, the serving layer (pipelined TCP clients
-# against shards under forced promote/demote flapping), and the resilience
-# layer (fault injection and the chaos storm).
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/...
+# objects it migrates between (the flat open-addressing family included),
+# the serving layer (pipelined TCP clients against shards under forced
+# promote/demote flapping), and the resilience layer (fault injection and
+# the chaos storm).
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/flatmap/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
 # without burning CI minutes; the JSON lands as a workflow artifact. The
@@ -17,6 +18,18 @@ RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... .
 # from different commits are diffable side by side.
 BENCH_SMOKE_FLAGS = -fig all -threads 1,2 -duration 25ms -warmup 5ms -items 1024 -range 2048
 BENCH_SMOKE_JSON  = bench-smoke.json
+
+# Flat-figure smoke + regression compare: the flat figure alone at the smoke
+# configuration, compared against the checked-in baseline (BENCH_flat.json)
+# by cmd/benchcmp with a wide noise band. CI runs bench-compare as a
+# non-blocking report step (shared runners are noisy); locally,
+# `make bench-compare BENCHCMP_FLAGS=-fail` turns regressions into a
+# non-zero exit. Refresh the baseline deliberately with `make bench-flat`
+# after a representation change and commit the diff.
+FLAT_SMOKE_FLAGS = -fig flat -threads 1,2 -duration 25ms -warmup 5ms -items 1024 -range 2048
+FLAT_SMOKE_JSON  = flat-smoke.json
+FLAT_BASELINE    = BENCH_flat.json
+BENCHCMP_FLAGS  =
 
 # Networked retwis smoke: tiny closed-loop run of the Table-2 workload as
 # RESP pipelines against a self-hosted dego-server, one point per store
@@ -34,7 +47,7 @@ CHAOS_JSON = chaos-smoke.json
 
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke server-smoke net-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
+.PHONY: build test race bench-smoke bench-flat bench-compare server-smoke net-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -47,6 +60,16 @@ race:
 
 bench-smoke:
 	$(GO) run ./cmd/dego-bench $(BENCH_SMOKE_FLAGS) -json $(BENCH_SMOKE_JSON)
+
+# Regenerate the checked-in flat baseline (run on a quiet machine, then
+# commit BENCH_flat.json).
+bench-flat:
+	$(GO) run ./cmd/dego-bench $(FLAT_SMOKE_FLAGS) -json $(FLAT_BASELINE)
+
+# Run the flat figure fresh and compare against the checked-in baseline.
+bench-compare:
+	$(GO) run ./cmd/dego-bench $(FLAT_SMOKE_FLAGS) -json $(FLAT_SMOKE_JSON)
+	$(GO) run ./cmd/benchcmp $(BENCHCMP_FLAGS) $(FLAT_BASELINE) $(FLAT_SMOKE_JSON)
 
 # Boot dego-server on an ephemeral port and run the scripted
 # GET/SET/INCR/LRANGE self-session through the repo's own wire client

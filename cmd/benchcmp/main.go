@@ -1,0 +1,188 @@
+// Command benchcmp compares two dego-bench JSON artifacts (the -json output
+// of cmd/dego-bench) and reports per-series throughput ratios against a
+// noise band. It exists for the regression-tracked flat baseline: CI runs
+// the flat figure at the smoke configuration and compares it against the
+// checked-in BENCH_flat.json, so a representation regression shows up as a
+// ratio outside the band instead of a silent drift.
+//
+// Usage:
+//
+//	benchcmp [-band 0.40] [-fail] old.json new.json
+//
+// The report prints one line per (figure, section, object, threads) series
+// point: old and new Kops/s, the new/old ratio, and a verdict. Points whose
+// ratio falls below 1-band are regressions; above 1+band, improvements.
+// Shared-runner smoke numbers are noisy, so the default band is wide and
+// the CI step that runs this is non-blocking; -fail turns regressions into
+// a non-zero exit for local use on quiet machines.
+//
+// Only points present in both files are compared — a new figure or object
+// in one file is listed as unmatched, never an error, so adding a workload
+// does not break the comparison against an older baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/adjusted-objects/dego/internal/bench"
+)
+
+// artifact mirrors cmd/dego-bench's writeJSON payload.
+type artifact struct {
+	BaseConfig bench.Config
+	Note       string
+	Threads    []int
+	Figures    map[string]map[string]map[string][]bench.Result
+}
+
+// point is one comparable series point, keyed by everything except the
+// measurement itself.
+type point struct {
+	Figure, Section, Object string
+	Threads                 int
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	band := fs.Float64("band", 0.40, "noise band: ratios in [1-band, 1+band] count as unchanged")
+	fail := fs.Bool("fail", false, "exit non-zero when any point regresses below 1-band")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want two arguments: old.json new.json (got %d)", fs.NArg())
+	}
+	oldArt, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newArt, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	oldPts := flatten(oldArt)
+	newPts := flatten(newArt)
+
+	keys := make([]point, 0, len(oldPts))
+	for k := range oldPts {
+		if _, ok := newPts[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Figure != b.Figure {
+			return a.Figure < b.Figure
+		}
+		if a.Section != b.Section {
+			return a.Section < b.Section
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Threads < b.Threads
+	})
+
+	if oldArt.BaseConfig.InitialItems != newArt.BaseConfig.InitialItems ||
+		oldArt.BaseConfig.KeyRange != newArt.BaseConfig.KeyRange {
+		fmt.Fprintf(w, "note: base configs differ (old %d/%d items/range, new %d/%d) — ratios compare different workloads\n\n",
+			oldArt.BaseConfig.InitialItems, oldArt.BaseConfig.KeyRange,
+			newArt.BaseConfig.InitialItems, newArt.BaseConfig.KeyRange)
+	}
+
+	regressions := 0
+	fmt.Fprintf(w, "%-10s %-24s %-28s %7s %10s %10s %7s  %s\n",
+		"figure", "section", "object", "threads", "old Kops", "new Kops", "ratio", "verdict")
+	for _, k := range keys {
+		o, n := oldPts[k].Kops(), newPts[k].Kops()
+		ratio := 0.0
+		if o > 0 {
+			ratio = n / o
+		}
+		verdict := "ok"
+		switch {
+		case o == 0 || n == 0:
+			verdict = "no-data"
+		case ratio < 1-*band:
+			verdict = "REGRESSION"
+			regressions++
+		case ratio > 1+*band:
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "%-10s %-24s %-28s %7d %10.1f %10.1f %6.2fx  %s\n",
+			k.Figure, k.Section, k.Object, k.Threads, o, n, ratio, verdict)
+	}
+	fmt.Fprintf(w, "\n%d points compared (band ±%.0f%%), %d regression(s)",
+		len(keys), *band*100, regressions)
+	if un := unmatched(oldPts, newPts); un > 0 {
+		fmt.Fprintf(w, ", %d point(s) only in one file", un)
+	}
+	fmt.Fprintln(w)
+
+	if *fail && regressions > 0 {
+		return fmt.Errorf("%d point(s) regressed below %.2fx", regressions, 1-*band)
+	}
+	return nil
+}
+
+func load(path string) (*artifact, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(blob, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// flatten indexes every series point of an artifact by its identity. A
+// duplicate thread count within one series keeps the longer-running point
+// (more samples, less noise); dego-bench never emits duplicates, so this is
+// pure defense against hand-edited baselines.
+func flatten(a *artifact) map[point]bench.Result {
+	out := map[point]bench.Result{}
+	for fig, sections := range a.Figures {
+		for section, series := range sections {
+			for object, results := range series {
+				for _, r := range results {
+					k := point{fig, section, object, r.Threads}
+					if prev, ok := out[k]; !ok || r.Elapsed > prev.Elapsed {
+						out[k] = r
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unmatched counts points present in exactly one artifact.
+func unmatched(a, b map[point]bench.Result) int {
+	n := 0
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			n++
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/adjusted-objects/dego/internal/bench"
+)
+
+// writeArtifact persists a minimal dego-bench JSON with one flat series
+// whose single point runs at kops Kops/s.
+func writeArtifact(t *testing.T, dir, name string, kops float64) string {
+	t.Helper()
+	r := bench.Result{
+		Name:    "FlatShardedMap",
+		Threads: 1,
+		Ops:     int64(kops * 1e3), // over one second
+		Elapsed: time.Second,
+	}
+	a := artifact{
+		BaseConfig: bench.Config{InitialItems: 1024, KeyRange: 2048},
+		Threads:    []int{1},
+		Figures: map[string]map[string]map[string][]bench.Result{
+			"flat": {"1024 initial items": {"FlatShardedMap": {r}}},
+		},
+	}
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinBand(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", 1000)
+	cur := writeArtifact(t, dir, "new.json", 900) // -10%: inside ±40%
+	var out strings.Builder
+	if err := run([]string{"-fail", old, cur}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("output missing clean verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0.90x") {
+		t.Fatalf("output missing ratio:\n%s", out.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", 1000)
+	cur := writeArtifact(t, dir, "new.json", 100) // -90%: outside any band
+	var out strings.Builder
+	if err := run([]string{"-fail", old, cur}, &out); err == nil {
+		t.Fatalf("run accepted a 0.10x regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output missing REGRESSION verdict:\n%s", out.String())
+	}
+	// Without -fail the same comparison reports but succeeds (the CI step
+	// is non-blocking).
+	var quiet strings.Builder
+	if err := run([]string{old, cur}, &quiet); err != nil {
+		t.Fatalf("non-fail mode errored: %v", err)
+	}
+}
+
+func TestCompareUnmatchedPoints(t *testing.T) {
+	dir := t.TempDir()
+	old := writeArtifact(t, dir, "old.json", 1000)
+	cur := filepath.Join(dir, "renamed.json")
+	blob, err := os.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur,
+		[]byte(strings.ReplaceAll(string(blob), "FlatShardedMap", "RenamedMap")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-fail", old, cur}, &out); err != nil {
+		t.Fatalf("unmatched-only comparison must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "only in one file") {
+		t.Fatalf("output missing unmatched note:\n%s", out.String())
+	}
+}

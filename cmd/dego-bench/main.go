@@ -8,11 +8,14 @@
 //	dego-bench -fig 7 [-ratios 25,50,75,100]
 //	dego-bench -fig 8
 //	dego-bench -fig hotrange
+//	dego-bench -fig flat
 //	dego-bench -fig all
 //
 // hotrange is the per-range directory evaluation: the skewed workload
 // (hot-range updates, cold-range reads) under wholesale vs per-range
-// promotion, swept over working-set scale.
+// promotion, swept over working-set scale. flat is the flat-family
+// evaluation: the planner's open-addressing pick against the striped,
+// segmented and sync.Map baselines over the same working-set axis.
 package main
 
 import (
@@ -36,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dego-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, hotrange, all or none (with -ablation)")
+	fig := fs.String("fig", "all", "figure to regenerate: 6, 7, 8, hotrange, flat, all or none (with -ablation)")
 	threadsFlag := fs.String("threads", "1,5,10,20,40,80", "comma-separated thread counts")
 	ratiosFlag := fs.String("ratios", "25,50,75,100", "update ratios for figure 7")
 	duration := fs.Duration("duration", 500*time.Millisecond, "measured duration per point")
@@ -76,13 +79,16 @@ func run(args []string) error {
 		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
 	case "hotrange":
 		figures["hotrange"] = bench.FigureHotRange(os.Stdout, cfg, threads)
+	case "flat":
+		figures["flat"] = bench.FigureFlat(os.Stdout, cfg, threads)
 	case "all":
 		figures["figure6"] = bench.Figure6(os.Stdout, cfg, threads, *pearson)
 		figures["figure7"] = bench.Figure7(os.Stdout, cfg, threads, ratios)
 		figures["figure8"] = bench.Figure8(os.Stdout, cfg, threads)
 		figures["hotrange"] = bench.FigureHotRange(os.Stdout, cfg, threads)
+		figures["flat"] = bench.FigureFlat(os.Stdout, cfg, threads)
 	default:
-		return fmt.Errorf("unknown figure %q (want 6, 7, 8, hotrange or all)", *fig)
+		return fmt.Errorf("unknown figure %q (want 6, 7, 8, hotrange, flat or all)", *fig)
 	}
 	if *ablation {
 		bench.Ablations(os.Stdout, cfg, threads)

@@ -10,7 +10,7 @@
 //
 //	-addr      listen address (default 127.0.0.1:6399; :0 picks a free port)
 //	-shards    event-loop shards, each owning a keyspace slice (default GOMAXPROCS)
-//	-store     shard map kind: adaptive, segmented or striped
+//	-store     shard map kind: adaptive, segmented, striped or flat
 //	-capacity  per-shard capacity hint for the planner
 //	-ranges    adaptive ranges per shard map
 //	-pipeline  max commands executed per pipeline batch
@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,7 +53,8 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dego-server", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:6399", "TCP listen address")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "keyspace shards (event loops)")
-	store := fs.String("store", server.StoreAdaptive, "shard map kind: adaptive, segmented or striped")
+	store := fs.String("store", server.StoreAdaptive,
+		"shard map kind: "+strings.Join(server.StoreKinds(), ", "))
 	capacity := fs.Int("capacity", 0, "per-shard capacity hint (0 = default)")
 	ranges := fs.Int("ranges", 0, "adaptive ranges per shard (0 = default)")
 	pipeline := fs.Int("pipeline", 0, "max commands per pipeline batch (0 = default)")

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/adjusted-objects/dego/internal/retwis"
+	"github.com/adjusted-objects/dego/internal/server"
 )
 
 func main() {
@@ -56,7 +57,8 @@ func run(args []string) error {
 
 	netMode := fs.Bool("net", false, "networked mode: drive dego-server over TCP instead of the figures")
 	netAddr := fs.String("addr", "", "live server address for -net ('' self-hosts per store kind)")
-	storesFlag := fs.String("stores", "adaptive,striped", "store kinds for self-hosted -net")
+	storesFlag := fs.String("stores", "adaptive,striped",
+		"store kinds for self-hosted -net (any of: "+strings.Join(server.StoreKinds(), ", ")+")")
 	conns := fs.Int("conns", 4, "client connections for -net")
 	pipelineDepth := fs.Int("pipeline", 8, "ops batched per pipeline flush for -net")
 	netUsers := fs.Int("netusers", 10_000, "seeded users for -net")
@@ -128,9 +130,17 @@ func runNet(addr, stores string, conns, pipeline, users int,
 		fmt.Printf("remote %s: %.0f ops/s, p50 %dµs, p95 %dµs, p99 %dµs, errors %d, retries %d, reconnects %d\n",
 			addr, pt.OpsPerSec, pt.P50us, pt.P95us, pt.P99us, pt.Errors, pt.Retries, pt.Reconnects)
 	} else {
+		// Validate every kind up front through the server's own list — the
+		// single source of truth — so a typo fails with the typed
+		// *server.UnknownStoreKindError before any server boots, not after
+		// the points preceding it already ran.
 		kinds := strings.Split(stores, ",")
 		for i := range kinds {
-			kinds[i] = strings.TrimSpace(kinds[i])
+			k, err := server.ParseStoreKind(strings.TrimSpace(kinds[i]))
+			if err != nil {
+				return fmt.Errorf("-stores: %w", err)
+			}
+			kinds[i] = k
 		}
 		var err error
 		points, err = retwis.NetCurve(os.Stdout, base, kinds)

@@ -67,6 +67,11 @@
 //     collections over extended segmentations (CWMR).
 //   - StripedMap / StripedSet — lock-striped baselines;
 //     ConcurrentSkipList — the lock-free CAS baseline.
+//   - FlatMap / FlatSWMRMap / FlatSet / FlatSWMRSet — preallocated
+//     open-addressing tables for integer-kinded keys (Capacity-gated):
+//     keys and values inline in slot arrays, zero steady-state allocation,
+//     nothing for the GC to trace. FlatCounter — padded wait-free cells,
+//     the flat pairing of the C3 counter.
 //   - AdaptiveCounter / AdaptiveMap / AdaptiveSkipList / AdaptiveSet —
 //     contention-adaptive wrappers: the unadjusted representation until the
 //     windowed stall rate says otherwise, the adjusted one while contention

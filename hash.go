@@ -1,52 +1,79 @@
 package dego
 
-import "github.com/adjusted-objects/dego/internal/stats"
+import (
+	"reflect"
+	"unsafe"
+
+	"github.com/adjusted-objects/dego/internal/stats"
+)
 
 // defaultHasher returns the library hasher for K when K is a built-in
 // integer or string type, else nil. The type switch runs once at
-// construction; the returned function is monomorphic (asserted back to
-// func(K) uint64 via type identity), so per-operation hashing never boxes.
+// construction; integer types share the identity/mix fast path below
+// (reinterpret the key's bits, one splitmix64 finalizer chain — no boxing,
+// no per-width branch at run time), strings take FNV-1a + mix.
+//
+// Named key types (type UserID uint64) deliberately get nil here: a named
+// type is a declaration of intent, and silently hashing it as its
+// underlying integer would make WithHash-vs-default a spelling accident.
+// The planner's flat family, whose tables hash internally, accepts named
+// integer keys via intKeyCodec instead.
 func defaultHasher[K comparable]() func(K) uint64 {
 	var zero K
 	switch any(zero).(type) {
 	case string:
 		f := func(k string) uint64 { return stats.HashString(k) }
 		return any(f).(func(K) uint64)
-	case int:
-		f := func(k int) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case int8:
-		f := func(k int8) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case int16:
-		f := func(k int16) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case int32:
-		f := func(k int32) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case int64:
-		f := func(k int64) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case uint:
-		f := func(k uint) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case uint8:
-		f := func(k uint8) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case uint16:
-		f := func(k uint16) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case uint32:
-		f := func(k uint32) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
-	case uint64:
-		f := func(k uint64) uint64 { return stats.Hash64(k) }
-		return any(f).(func(K) uint64)
-	case uintptr:
-		f := func(k uintptr) uint64 { return stats.Hash64(uint64(k)) }
-		return any(f).(func(K) uint64)
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, uintptr:
+		return fastIntHasher[K]()
 	}
 	return nil
+}
+
+// fastIntHasher builds the integer fast path for K (any integer kind,
+// named or not): encode the key's bits to uint64 by identity
+// reinterpretation, then one multiplicative mix. The encoder is resolved
+// once per construction, so the per-operation cost is a load, a mask-free
+// widen and the mix — the same work the flat tables do internally.
+func fastIntHasher[K comparable]() func(K) uint64 {
+	enc, _, ok := intKeyCodec[K]()
+	if !ok {
+		return nil
+	}
+	return func(k K) uint64 { return stats.Hash64(enc(k)) }
+}
+
+// intKeyCodec returns a lossless encode/decode pair between K and uint64
+// when K's underlying kind is a built-in integer — named types included —
+// else ok=false. Encoding reinterprets the key's bits at its own width
+// and zero-extends (so two distinct keys never collide and decoding is
+// exact, negatives included); it is the identity half of the flat
+// family's identity-then-mix hashing, and what lets the planner put a
+// named ID type into a flat table without a WithHash declaration.
+func intKeyCodec[K comparable]() (enc func(K) uint64, dec func(uint64) K, ok bool) {
+	var zero K
+	switch reflect.TypeOf(zero).Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr:
+	default:
+		return nil, nil, false
+	}
+	switch unsafe.Sizeof(zero) {
+	case 8:
+		return func(k K) uint64 { return *(*uint64)(unsafe.Pointer(&k)) },
+			func(u uint64) K { return *(*K)(unsafe.Pointer(&u)) }, true
+	case 4:
+		return func(k K) uint64 { return uint64(*(*uint32)(unsafe.Pointer(&k))) },
+			func(u uint64) K { v := uint32(u); return *(*K)(unsafe.Pointer(&v)) }, true
+	case 2:
+		return func(k K) uint64 { return uint64(*(*uint16)(unsafe.Pointer(&k))) },
+			func(u uint64) K { v := uint16(u); return *(*K)(unsafe.Pointer(&v)) }, true
+	case 1:
+		return func(k K) uint64 { return uint64(*(*uint8)(unsafe.Pointer(&k))) },
+			func(u uint64) K { v := uint8(u); return *(*K)(unsafe.Pointer(&v)) }, true
+	}
+	return nil, nil, false
 }
 
 // resolveHash produces the hash function a keyed plan will use: an explicit

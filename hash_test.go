@@ -1,0 +1,128 @@
+package dego
+
+import (
+	"math"
+	"testing"
+)
+
+// The integer fast path feeds two consumers with different needs: the
+// node-based maps mask the mixed hash to pick buckets (low bits must
+// spread), the adaptive directory shifts it to pick ranges (high bits
+// must spread), and the flat tables rely on sequential IDs not clustering
+// into probe runs. The distribution tests below pin all three on the
+// worst realistic input — dense sequential keys.
+
+// checkSpread hashes n sequential keys through hash, bins them by the low
+// and by the high bits into 64 buckets each, and fails if any bucket holds
+// more than twice its fair share.
+func checkSpread(t *testing.T, name string, n int, hash func(i int) uint64) {
+	t.Helper()
+	const buckets = 64
+	low := make([]int, buckets)
+	high := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		h := hash(i)
+		low[h&(buckets-1)]++
+		high[h>>(64-6)]++
+	}
+	limit := 2 * n / buckets
+	for b := 0; b < buckets; b++ {
+		if low[b] > limit {
+			t.Errorf("%s: low-bit bucket %d holds %d of %d (fair %d)", name, b, low[b], n, n/buckets)
+		}
+		if high[b] > limit {
+			t.Errorf("%s: high-bit bucket %d holds %d of %d (fair %d)", name, b, high[b], n, n/buckets)
+		}
+	}
+}
+
+func TestFastIntHasherDistribution(t *testing.T) {
+	const n = 1 << 14
+	h32 := fastIntHasher[int32]()
+	hu32 := fastIntHasher[uint32]()
+	h64 := fastIntHasher[int64]()
+	hu64 := fastIntHasher[uint64]()
+	checkSpread(t, "int32", n, func(i int) uint64 { return h32(int32(i)) })
+	checkSpread(t, "uint32", n, func(i int) uint64 { return hu32(uint32(i)) })
+	checkSpread(t, "int64", n, func(i int) uint64 { return h64(int64(i)) })
+	checkSpread(t, "uint64", n, func(i int) uint64 { return hu64(uint64(i)) })
+	// Negative sequential keys (IDs counting down) must spread too.
+	checkSpread(t, "int32-neg", n, func(i int) uint64 { return h32(int32(-i)) })
+	checkSpread(t, "int64-neg", n, func(i int) uint64 { return h64(int64(-i)) })
+}
+
+// TestFastIntHasherWidthIsolation pins the zero-extension contract: a
+// 4-byte key hashes by its 32 bits only, so int32(-1) and int64(-1) —
+// different bit widths of "the same" value — hash differently, while the
+// same bits at the same width always agree.
+func TestFastIntHasherWidthIsolation(t *testing.T) {
+	h32 := fastIntHasher[int32]()
+	hu32 := fastIntHasher[uint32]()
+	h64 := fastIntHasher[int64]()
+	if h32(-1) != hu32(math.MaxUint32) {
+		t.Error("int32(-1) and uint32(max) share bits but hash differently")
+	}
+	if h32(-1) == h64(-1) {
+		t.Error("int32(-1) zero-extends to 0xFFFFFFFF, not 64 set bits; hashes must differ")
+	}
+}
+
+type namedID uint64
+type narrowID int16
+
+func TestIntKeyCodecRoundTrip(t *testing.T) {
+	checkRoundTrip(t, []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 12345, -98765})
+	checkRoundTrip(t, []uint32{0, 1, math.MaxUint32, 7})
+	checkRoundTrip(t, []int64{0, 1, -1, math.MaxInt64, math.MinInt64})
+	checkRoundTrip(t, []uint64{0, 1, math.MaxUint64})
+	checkRoundTrip(t, []int8{0, -128, 127})
+	checkRoundTrip(t, []uint16{0, math.MaxUint16})
+	// Named types are the point: retwis IDs flow through the codec.
+	checkRoundTrip(t, []namedID{0, 1, math.MaxUint64})
+	checkRoundTrip(t, []narrowID{0, -1, math.MaxInt16, math.MinInt16})
+
+	// Injectivity within a width: distinct keys encode distinctly.
+	enc, _, _ := intKeyCodec[int32]()
+	seen := map[uint64]int32{}
+	for k := int32(-1000); k < 1000; k++ {
+		u := enc(k)
+		if prev, dup := seen[u]; dup {
+			t.Fatalf("enc(%d) == enc(%d) == %#x", k, prev, u)
+		}
+		seen[u] = k
+	}
+}
+
+func checkRoundTrip[K comparable](t *testing.T, keys []K) {
+	t.Helper()
+	enc, dec, ok := intKeyCodec[K]()
+	if !ok {
+		var zero K
+		t.Fatalf("intKeyCodec[%T]: no codec for an integer kind", zero)
+	}
+	for _, k := range keys {
+		if got := dec(enc(k)); got != k {
+			t.Errorf("round trip %T: %v → %#x → %v", k, k, enc(k), got)
+		}
+	}
+}
+
+func TestIntKeyCodecRejectsNonIntegers(t *testing.T) {
+	if _, _, ok := intKeyCodec[string](); ok {
+		t.Error("codec accepted string")
+	}
+	if _, _, ok := intKeyCodec[float64](); ok {
+		t.Error("codec accepted float64")
+	}
+	if _, _, ok := intKeyCodec[[2]int](); ok {
+		t.Error("codec accepted [2]int")
+	}
+	type point struct{ x, y int }
+	if _, _, ok := intKeyCodec[point](); ok {
+		t.Error("codec accepted struct")
+	}
+	// bool is one byte but not an integer kind.
+	if _, _, ok := intKeyCodec[bool](); ok {
+		t.Error("codec accepted bool")
+	}
+}

@@ -1,0 +1,170 @@
+package adaptive
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/flatmap"
+	"github.com/adjusted-objects/dego/internal/hashmap"
+	"github.com/adjusted-objects/dego/internal/stats"
+)
+
+// newFlatEngine instantiates the generic engine with the sharded flat map
+// as the cheap representation — the pairing the planner would produce if a
+// flat profile ever declared Adaptive — proving the flat family satisfies
+// the engine's cheapKV contract, not just the planner's static one.
+func newFlatEngine(r *core.Registry, capacity int) (
+	*kvEngine[uint64, int, *flatmap.Sharded[int], *hashmap.Segmented[uint64, int]],
+	*contention.Probe) {
+	probe := contention.NewProbe()
+	eng := newKVEngine[uint64, int](r, probe, Policy{SampleEvery: 1 << 62}, 1, nil,
+		func(rp *contention.Probe) *flatmap.Sharded[int] {
+			return flatmap.NewSharded[int](8, capacity)
+		},
+		func() *hashmap.Segmented[uint64, int] {
+			return hashmap.NewSegmented[uint64, int](r, capacity, 2*capacity, stats.Hash64, false)
+		})
+	return eng, probe
+}
+
+// TestFlatEngineBasics walks one promote/demote cycle over the flat cheap
+// rep: shadowed updates, tombstoned backed keys and fresh inserts must all
+// survive the demotion drain back into a fresh flat table.
+func TestFlatEngineBasics(t *testing.T) {
+	r := core.NewRegistry(8)
+	eng, _ := newFlatEngine(r, 256)
+	h := r.MustRegister()
+	put := func(k uint64, v int) { eng.putRef(h, k, &v) }
+	for k := uint64(0); k < 10; k++ {
+		put(k, int(k))
+	}
+	if !eng.forcePromote() {
+		t.Fatal("forcePromote refused a quiescent engine")
+	}
+	put(0, 100)      // shadow over the frozen flat backing
+	eng.remove(h, 1) // tombstone masking a backed key
+	put(10, 10)      // fresh insert into the adjusted rep
+	if v, ok := eng.get(0); !ok || v != 100 {
+		t.Fatalf("shadowed Get(0) = (%d, %v)", v, ok)
+	}
+	if _, ok := eng.get(1); ok {
+		t.Fatal("tombstoned backed key still visible")
+	}
+	if !eng.forceDemote() {
+		t.Fatal("forceDemote refused a promoted engine")
+	}
+	if eng.stateSummary() != StateQuiescent {
+		t.Fatalf("state = %v after demote", eng.stateSummary())
+	}
+	want := map[uint64]int{0: 100, 2: 2, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7, 8: 8, 9: 9, 10: 10}
+	if got := eng.len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	for k, v := range want {
+		if got, ok := eng.get(k); !ok || got != v {
+			t.Fatalf("after demote: Get(%d) = (%d, %v), want %d", k, got, ok, v)
+		}
+	}
+}
+
+// TestFlatShardedMigrationNoLostUpdates is the issue's race test for the
+// sharded-commuting flat variant: commuting writers hammer the engine while
+// a flapper forces promote/demote transitions (flat → segmented → drained
+// back into a fresh flat table) and readers probe concurrently. The final
+// contents must be exact. Run under -race (the flatmap entry in RACE_PKGS
+// covers the tables themselves; this covers their life as an engine rep).
+func TestFlatShardedMigrationNoLostUpdates(t *testing.T) {
+	const writers = 4
+	const keyRange = 1024
+	opsPerWriter := 100_000
+	if testing.Short() {
+		opsPerWriter = 10_000
+	}
+	r := core.NewRegistry(writers + 4)
+	eng, _ := newFlatEngine(r, keyRange)
+
+	var (
+		wg     sync.WaitGroup
+		stop   atomic.Bool
+		models [writers]map[uint64]int
+	)
+	flapped := make(chan struct{})
+	go func() {
+		defer close(flapped)
+		for !stop.Load() {
+			eng.forcePromote()
+			eng.forceDemote()
+		}
+	}()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		rng := rand.New(rand.NewSource(99))
+		for !stop.Load() {
+			eng.get(uint64(rng.Intn(keyRange)))
+			eng.len()
+		}
+	}()
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := r.MustRegister()
+			defer h.Release()
+			model := make(map[uint64]int)
+			models[w] = model
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWriter; i++ {
+				// CWMR contract: writer w owns keys with k % writers == w.
+				k := uint64(rng.Intn(keyRange/writers)*writers + w)
+				if rng.Intn(3) == 0 {
+					_, wantPresent := model[k]
+					if got := eng.remove(h, k); got != wantPresent {
+						t.Errorf("Remove(%d) = %v, want %v", k, got, wantPresent)
+						return
+					}
+					delete(model, k)
+				} else {
+					v := i
+					eng.putRef(h, k, &v)
+					model[k] = i
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stop.Store(true)
+	<-flapped
+	<-readerDone
+	if eng.transitions() == 0 {
+		t.Fatal("flapper produced no transitions; test exercised nothing")
+	}
+
+	want := map[uint64]int{}
+	for _, model := range models {
+		for k, v := range model {
+			want[k] = v
+		}
+	}
+	for k := uint64(0); k < keyRange; k++ {
+		wantV, wantOK := want[k]
+		gotV, gotOK := eng.get(k)
+		if gotOK != wantOK || (gotOK && gotV != wantV) {
+			t.Fatalf("key %d: Get = %d, %v; want %d, %v (after %d transitions, state %v)",
+				k, gotV, gotOK, wantV, wantOK, eng.transitions(), eng.stateSummary())
+		}
+	}
+	if got := eng.len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	// One more settled cycle must change nothing.
+	eng.forcePromote()
+	eng.forceDemote()
+	if got := eng.len(); got != len(want) {
+		t.Fatalf("Len after settled cycle = %d, want %d", got, len(want))
+	}
+}

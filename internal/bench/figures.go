@@ -89,6 +89,40 @@ func Figure8(w io.Writer, base Config, threads []int) map[string]map[string][]Re
 	return out
 }
 
+// FigureFlat is the flat-family evaluation: the planner's flat pick
+// (FlatShardedMap) against the lock-striped baseline, the extended-
+// segmented map and sync.Map, at a mixed ratio (30% updates) with keys
+// drawn randomly per operation, swept over working-set scale. The scales
+// follow the intmap-exemplar methodology: at the base working set the slot
+// array sits below L2 and every representation is cache-resident; at 4× it
+// is L3-resident; at 32× the structures outgrow L3 on typical parts and
+// each probe is DRAM-bound — where the flat layout's single contiguous
+// probe sequence (no node-chain pointer chase, no per-entry box) should
+// separate from the node-based representations. When base.InitialItems is
+// tiny (CI smoke), the scaling keeps the run cheap; the table is then a
+// harness check, not a measurement.
+func FigureFlat(w io.Writer, base Config, threads []int) map[string]map[string][]Result {
+	out := map[string]map[string][]Result{}
+	fmt.Fprintf(w, "=== Flat family: open-addressing vs node-based maps (30%% updates, randomized keys) ===\n\n")
+	for _, scale := range []int{1, 4, 32} {
+		cfg := base
+		cfg.UpdateRatio = 30
+		cfg.InitialItems = base.InitialItems * scale
+		cfg.KeyRange = base.KeyRange * scale
+		series := map[string][]Result{}
+		for _, wl := range []Workload{FlatShardedMap(), HashMapJUC(), HashMapDEGO(), SyncMap()} {
+			series[wl.Name] = Sweep(wl, cfg, threads)
+		}
+		// Raw count, as FigureHotRange: sub-1K smoke bases would collide on
+		// a rounded "0K" title.
+		title := fmt.Sprintf("%d initial items", cfg.InitialItems)
+		out[title] = series
+		fmt.Fprint(w, FormatTable(title, series, threads))
+		fmt.Fprintln(w)
+	}
+	return out
+}
+
 // FigureHotRange is the per-range directory evaluation: the skewed
 // hot-range pair (identical skew, wholesale vs per-range promotion) swept
 // over working-set scale at a read-heavy ratio (10% updates, all of them in

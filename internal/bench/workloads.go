@@ -3,6 +3,7 @@ package bench
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"github.com/adjusted-objects/dego"
 	"github.com/adjusted-objects/dego/internal/contention"
@@ -256,6 +257,44 @@ func AdaptiveSkipList() Workload {
 			func(h *core.Handle, k int) { m.Remove(h, k) },
 			func(k int) { m.Get(k) },
 		), m.Probe()
+	}}
+}
+
+// --- Flat representations (flat figure) ------------------------------------
+
+// FlatShardedMap is the planner's flat pick for an integer-keyed commuting
+// profile with a declared capacity: padded per-shard open-addressing tables,
+// key and value inline in the slot array — no per-entry boxes for the GC to
+// trace and no node-chain pointer chases on the probe path. Capacity covers
+// the whole key range so the sweep measures steady-state probing, never a
+// mid-run table growth.
+func FlatShardedMap() Workload {
+	return Workload{Name: "FlatShardedMap", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		m := dego.Must(dego.Map[int, int](dego.CommutingWriters(), dego.On(reg),
+			dego.Capacity(cfg.KeyRange))).Representation().(*dego.FlatMap[int, int])
+		populate(cfg, func(k int) { m.Put(nil, k, k) })
+		return mapOps(cfg,
+			func(h *core.Handle, k int) { m.Put(h, k, k) },
+			func(h *core.Handle, k int) { m.Remove(h, k) },
+			func(k int) { m.Get(k) },
+		), nil
+	}}
+}
+
+// SyncMap is the sync.Map baseline of the flat figure: the standard
+// library's concurrent map, boxed values (pre-allocated, as valueBoxes —
+// the comparison is about representation, not per-op allocation) and
+// interface-typed entries on every path.
+func SyncMap() Workload {
+	return Workload{Name: "sync.Map", Setup: func(cfg Config, reg *core.Registry) (OpFunc, *contention.Probe) {
+		var m sync.Map
+		boxes := valueBoxes(cfg)
+		populate(cfg, func(k int) { m.Store(k, boxes[k]) })
+		return mapOps(cfg,
+			func(_ *core.Handle, k int) { m.Store(k, boxes[k]) },
+			func(_ *core.Handle, k int) { m.Delete(k) },
+			func(k int) { m.Load(k) },
+		), nil
 	}}
 }
 

@@ -1,0 +1,47 @@
+package flatmap
+
+import (
+	"math/bits"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Counter is the flat counter: a preallocated power-of-two array of
+// cache-line-padded atomic cells, a thread's handle id masked to its cell.
+// Unlike the striped Adder — whose CAS retry loop exists to observe and
+// report contention — an increment here is a single wait-free atomic add
+// on a line no other cell shares, so the hot path has no retry, no probe
+// and no allocation, ever. Reads sum the cells (any thread, weakly
+// consistent, as every blind counter's read is).
+type Counter struct {
+	cells []core.PaddedInt64
+	mask  int
+}
+
+// NewCounter creates a flat counter with the given cell count, rounded up
+// to a power of two.
+func NewCounter(cells int) *Counter {
+	n := 1
+	if cells > 1 {
+		n = 1 << bits.Len(uint(cells-1))
+	}
+	return &Counter{cells: make([]core.PaddedInt64, n), mask: n - 1}
+}
+
+// Inc adds one to the calling thread's cell.
+func (c *Counter) Inc(h *core.Handle) { c.cells[h.ID()&c.mask].V.Add(1) }
+
+// Add adds delta to the calling thread's cell.
+func (c *Counter) Add(h *core.Handle, delta int64) { c.cells[h.ID()&c.mask].V.Add(delta) }
+
+// Sum returns the total across cells; weakly consistent.
+func (c *Counter) Sum() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].V.Load()
+	}
+	return total
+}
+
+// Cells returns the cell count (diagnostics).
+func (c *Counter) Cells() int { return len(c.cells) }

@@ -1,0 +1,62 @@
+package flatmap
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+func TestCounterSum(t *testing.T) {
+	reg := core.NewRegistry(16)
+	c := NewCounter(4)
+	if c.Cells() != 4 {
+		t.Fatalf("Cells = %d", c.Cells())
+	}
+	var wg sync.WaitGroup
+	const (
+		threads = 8
+		each    = 10_000
+	)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := reg.MustRegister()
+			for j := 0; j < each; j++ {
+				c.Inc(h)
+			}
+			c.Add(h, 2)
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Sum(), int64(threads*(each+2)); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestCounterCellRounding(t *testing.T) {
+	for cells, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16} {
+		if got := NewCounter(cells).Cells(); got != want {
+			t.Fatalf("NewCounter(%d).Cells() = %d, want %d", cells, got, want)
+		}
+	}
+}
+
+// TestSWMRMapGuard pins the checked variant: a second writing thread
+// panics with a core.PermissionError.
+func TestSWMRMapGuard(t *testing.T) {
+	reg := core.NewRegistry(4)
+	owner := reg.MustRegister()
+	intruder := reg.MustRegister()
+	m := NewMap[int](16, true)
+	m.Put(owner, 1, 1)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("second writer did not panic")
+		} else if _, ok := r.(*core.PermissionError); !ok {
+			t.Fatalf("panic value %T, want *core.PermissionError", r)
+		}
+	}()
+	m.Put(intruder, 2, 2)
+}

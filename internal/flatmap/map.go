@@ -1,0 +1,81 @@
+package flatmap
+
+import (
+	"sync"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Map is the single-writer flat map (the family's SWMR point): one open
+// addressing table behind an RWMutex. The declared single writer takes the
+// write lock — uncontended by declaration, so the lock is a fence, not a
+// queue — while readers share the read lock and probe the slot array
+// directly. With checked, a guard learns the writer on first use and
+// panics on a second writing thread.
+type Map[V any] struct {
+	mu    sync.RWMutex
+	guard *core.Guard
+	t     table[V]
+}
+
+// NewMap creates a single-writer flat map preallocated for capacity
+// entries; with checked, writes are guard-verified against the SWMR
+// permission map.
+func NewMap[V any](capacity int, checked bool) *Map[V] {
+	m := &Map[V]{}
+	m.t.init(capacity)
+	if checked {
+		m.guard = core.NewGuard(core.ModeSWMR)
+	}
+	return m
+}
+
+// Put inserts or updates key. Declared-single-writer only.
+func (m *Map[V]) Put(h *core.Handle, key uint64, val V) {
+	m.guard.MustCheck(h, core.Write)
+	m.mu.Lock()
+	m.t.put(key, val)
+	m.mu.Unlock()
+}
+
+// Remove deletes key, reporting whether it was present. Declared-single-
+// writer only.
+func (m *Map[V]) Remove(h *core.Handle, key uint64) bool {
+	m.guard.MustCheck(h, core.Write)
+	m.mu.Lock()
+	ok := m.t.remove(key)
+	m.mu.Unlock()
+	return ok
+}
+
+// Get returns the value for key. Any thread.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	m.mu.RLock()
+	v, ok := m.t.get(key)
+	m.mu.RUnlock()
+	return v, ok
+}
+
+// Contains reports whether key is present. Any thread.
+func (m *Map[V]) Contains(key uint64) bool {
+	m.mu.RLock()
+	ok := m.t.contains(key)
+	m.mu.RUnlock()
+	return ok
+}
+
+// Len returns the entry count.
+func (m *Map[V]) Len() int {
+	m.mu.RLock()
+	n := m.t.len()
+	m.mu.RUnlock()
+	return n
+}
+
+// Range calls f for every entry until it returns false. f runs under the
+// read lock and must not write the map.
+func (m *Map[V]) Range(f func(key uint64, val V) bool) {
+	m.mu.RLock()
+	m.t.foreach(f)
+	m.mu.RUnlock()
+}

@@ -1,0 +1,33 @@
+package flatmap
+
+// Set is the thin membership view over the sharded flat map: the same
+// commuting-writers contract and flat layout with zero-byte values, so a
+// slot is exactly one key word. The single-writer set is Map[struct{}]
+// behind the public planner's wrapper; only the sharded view is common
+// enough to deserve a named type here.
+type Set struct{ m *Sharded[struct{}] }
+
+// NewSet creates a flat set with the given shard count preallocated for
+// capacity elements.
+func NewSet(shards, capacity int) *Set {
+	return &Set{m: NewSharded[struct{}](shards, capacity)}
+}
+
+// Add inserts x. Writers must commute: distinct threads add distinct
+// elements.
+func (s *Set) Add(x uint64) { s.m.Put(x, struct{}{}) }
+
+// Remove deletes x, reporting whether it was present.
+func (s *Set) Remove(x uint64) bool { return s.m.Remove(x) }
+
+// Contains reports membership. Any thread.
+func (s *Set) Contains(x uint64) bool { return s.m.Contains(x) }
+
+// Len returns the element count; weakly consistent across shards.
+func (s *Set) Len() int { return s.m.Len() }
+
+// Range calls f for every element until it returns false; weakly
+// consistent. f runs under a shard read lock and must not write the set.
+func (s *Set) Range(f func(x uint64) bool) {
+	s.m.Range(func(k uint64, _ struct{}) bool { return f(k) })
+}

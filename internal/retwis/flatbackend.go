@@ -1,0 +1,134 @@
+package retwis
+
+import (
+	"github.com/adjusted-objects/dego"
+	"github.com/adjusted-objects/dego/internal/contention"
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/set"
+)
+
+// ---------------------------------------------------------------------------
+// FLAT backend
+
+// flatBackend keys every top-level table by UserID through the planner's
+// flat open-addressing plan: CommutingWriters plus Capacity over a named
+// integer key type is the flat gate, so the ID-keyed tables land in
+// preallocated slot arrays — no per-entry nodes to allocate or trace, no
+// WithHash declaration (the integer-key codec reinterprets UserID and the
+// table mixes it internally). The inner follower sets and timeline queues
+// are the same deliberately-unadjusted structures as the DEGO backend: the
+// flat family changes the top-level table representation, nothing else.
+type flatBackend struct {
+	followers *dego.FlatMap[UserID, *set.Locked[UserID]]
+	following *dego.FlatMap[UserID, *set.Locked[UserID]]
+	timelines *dego.FlatMap[UserID, *dego.MPSCQueue[Tweet]]
+	profiles  *dego.FlatMap[UserID, *profile]
+	community *dego.FlatSet[UserID]
+	probe     *contention.Probe
+}
+
+// flatMap plans a flat map: per-user writes commute and the user count is
+// declared up front, which is exactly the (M2, CWMR) flat gate.
+func flatMap[V any](r *core.Registry, expectedUsers int) *dego.FlatMap[UserID, V] {
+	return dego.Must(dego.Map[UserID, V](dego.CommutingWriters(), dego.On(r),
+		dego.Capacity(expectedUsers))).Representation().(*dego.FlatMap[UserID, V])
+}
+
+// NewFlat builds the flat backend over a registry.
+func NewFlat(r *core.Registry, expectedUsers int, probe *contention.Probe) Backend {
+	return &flatBackend{
+		followers: flatMap[*set.Locked[UserID]](r, expectedUsers),
+		following: flatMap[*set.Locked[UserID]](r, expectedUsers),
+		timelines: flatMap[*dego.MPSCQueue[Tweet]](r, expectedUsers),
+		profiles:  flatMap[*profile](r, expectedUsers),
+		community: dego.Must(dego.Set[UserID](dego.CommutingWriters(), dego.On(r),
+			dego.Capacity(expectedUsers/8+16))).Representation().(*dego.FlatSet[UserID]),
+		probe: probe,
+	}
+}
+
+func (b *flatBackend) Name() string { return "FLAT" }
+
+func (b *flatBackend) AddUser(h *core.Handle, u UserID) {
+	b.followers.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.following.Put(h, u, set.NewLocked[UserID](4, b.probe))
+	b.timelines.Put(h, u, dego.Must(dego.Queue[Tweet](dego.SingleReader(),
+		dego.WithProbe(b.probe))).Representation().(*dego.MPSCQueue[Tweet]))
+	b.profiles.Put(h, u, &profile{})
+}
+
+func (b *flatBackend) Follow(_ *core.Handle, follower, followee UserID) {
+	// Map reads only; the inner sets are deliberately NOT adjusted, as in
+	// the DEGO backend (§6.3).
+	if s, ok := b.following.Get(follower); ok {
+		s.Add(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Add(follower)
+	}
+}
+
+func (b *flatBackend) Unfollow(_ *core.Handle, follower, followee UserID) {
+	if s, ok := b.following.Get(follower); ok {
+		s.Remove(followee)
+	}
+	if s, ok := b.followers.Get(followee); ok {
+		s.Remove(follower)
+	}
+}
+
+func (b *flatBackend) Post(_ *core.Handle, author UserID, t Tweet) {
+	fset, ok := b.followers.Get(author)
+	if !ok {
+		return
+	}
+	n := 0
+	fset.Range(func(f UserID) bool {
+		if q, ok := b.timelines.Get(f); ok {
+			q.Offer(nil, t)
+		}
+		n++
+		return n < FanoutLimit
+	})
+}
+
+func (b *flatBackend) Timeline(h *core.Handle, u UserID, out []Tweet) int {
+	q, ok := b.timelines.Get(u)
+	if !ok {
+		return 0
+	}
+	// The owner thread is the queue's unique consumer (Q1, MWSR).
+	n := 0
+	for {
+		t, ok := q.Poll(h)
+		if !ok {
+			break
+		}
+		if n < len(out) {
+			out[n] = t
+			n++
+		} else {
+			copy(out, out[1:])
+			out[len(out)-1] = t
+		}
+	}
+	return n
+}
+
+func (b *flatBackend) JoinGroup(h *core.Handle, u UserID)  { b.community.Add(h, u) }
+func (b *flatBackend) LeaveGroup(h *core.Handle, u UserID) { b.community.Remove(h, u) }
+
+func (b *flatBackend) UpdateProfile(h *core.Handle, u UserID, version int64) {
+	b.profiles.Put(h, u, &profile{Version: version})
+}
+
+func (b *flatBackend) InGroup(u UserID) bool { return b.community.Contains(u) }
+
+func (b *flatBackend) Followers(u UserID) int {
+	if s, ok := b.followers.Get(u); ok {
+		return s.Len()
+	}
+	return 0
+}
+
+func (b *flatBackend) Users() int { return b.profiles.Len() }

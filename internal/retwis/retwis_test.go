@@ -34,7 +34,7 @@ func TestMixTable2(t *testing.T) {
 
 func eachBackend(t *testing.T, users, threads int, f func(t *testing.T, b Backend, h []*core.Handle)) {
 	t.Helper()
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE, KindFLAT} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			reg := core.NewRegistry(2*threads + 8)
@@ -152,7 +152,7 @@ func TestGraphSeedIsPowerLaw(t *testing.T) {
 }
 
 func TestRunAllBackends(t *testing.T) {
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE, KindFLAT} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			t.Parallel()
@@ -221,7 +221,7 @@ func TestFigure9And10Printers(t *testing.T) {
 // the follow/unfollow converse-application rule (§6.3) kept the seeded
 // social graph intact for a probe user.
 func TestRunPreservesInvariants(t *testing.T) {
-	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE} {
+	for _, kind := range []Kind{KindJUC, KindDEGO, KindDAP, KindADAPTIVE, KindFLAT} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			reg := core.NewRegistry(24)

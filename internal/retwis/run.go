@@ -20,11 +20,12 @@ const (
 	KindDEGO
 	KindDAP
 	KindADAPTIVE
+	KindFLAT
 )
 
 // String returns the backend label used in the figures.
 func (k Kind) String() string {
-	return [...]string{"", "JUC", "DEGO", "DAP", "ADAPTIVE"}[k]
+	return [...]string{"", "JUC", "DEGO", "DAP", "ADAPTIVE", "FLAT"}[k]
 }
 
 // Params configures one benchmark run (§6.3).
@@ -98,6 +99,8 @@ func Build(kind Kind, p Params, reg *core.Registry) (Backend, []*core.Handle) {
 		b = NewDAP(p.Threads)
 	case KindADAPTIVE:
 		b = NewAdaptive(reg, p.Users, nil)
+	case KindFLAT:
+		b = NewFlat(reg, p.Users, nil)
 	default:
 		panic(fmt.Sprintf("retwis: unknown backend kind %d", int(kind)))
 	}
@@ -256,8 +259,8 @@ func Run(kind Kind, p Params) (Result, error) {
 func Figure9(w io.Writer, base Params, usersList []int, threads []int) error {
 	fmt.Fprintf(w, "=== Figure 9: social network speedup over JUC (Table 2 mix, alpha=%.1f) ===\n\n", base.Alpha)
 	for _, users := range usersList {
-		fmt.Fprintf(w, "## %dK users\n%-10s%12s%12s%12s%14s\n", users/1000,
-			"threads", "JUC Mops/s", "DEGO/JUC", "ADPT/JUC", "DAP/JUC")
+		fmt.Fprintf(w, "## %dK users\n%-10s%12s%12s%12s%14s%12s\n", users/1000,
+			"threads", "JUC Mops/s", "DEGO/JUC", "ADPT/JUC", "DAP/JUC", "FLAT/JUC")
 		for _, t := range threads {
 			p := base
 			p.Users = users
@@ -266,16 +269,16 @@ func Figure9(w io.Writer, base Params, usersList []int, threads []int) error {
 			if err != nil {
 				return err
 			}
-			var rel [3]float64
-			for i, k := range []Kind{KindDEGO, KindADAPTIVE, KindDAP} {
+			var rel [4]float64
+			for i, k := range []Kind{KindDEGO, KindADAPTIVE, KindDAP, KindFLAT} {
 				res, err := Run(k, p)
 				if err != nil {
 					return err
 				}
 				rel[i] = res.OpsPerSec() / juc.OpsPerSec()
 			}
-			fmt.Fprintf(w, "%-10d%12.3f%12.2fx%12.2fx%13.2fx\n", t,
-				juc.OpsPerSec()/1e6, rel[0], rel[1], rel[2])
+			fmt.Fprintf(w, "%-10d%12.3f%12.2fx%12.2fx%13.2fx%11.2fx\n", t,
+				juc.OpsPerSec()/1e6, rel[0], rel[1], rel[2], rel[3])
 		}
 		fmt.Fprintln(w)
 	}
@@ -283,24 +286,25 @@ func Figure9(w io.Writer, base Params, usersList []int, threads []int) error {
 }
 
 // Figure10 regenerates the throughput-vs-alpha table (user access
-// distribution sweep) for the four backends.
+// distribution sweep) for the five backends.
 func Figure10(w io.Writer, base Params, alphas []float64) error {
 	fmt.Fprintf(w, "=== Figure 10: varying the user access distribution (users=%d, threads=%d) ===\n\n",
 		base.Users, base.Threads)
-	fmt.Fprintf(w, "%-8s%14s%14s%14s%14s\n", "alpha",
-		"JUC Mops/s", "DEGO Mops/s", "ADPT Mops/s", "DAP Mops/s")
+	fmt.Fprintf(w, "%-8s%14s%14s%14s%14s%14s\n", "alpha",
+		"JUC Mops/s", "DEGO Mops/s", "ADPT Mops/s", "DAP Mops/s", "FLAT Mops/s")
 	for _, a := range alphas {
 		p := base
 		p.Alpha = a
-		var vals [4]float64
-		for i, k := range []Kind{KindJUC, KindDEGO, KindADAPTIVE, KindDAP} {
+		var vals [5]float64
+		for i, k := range []Kind{KindJUC, KindDEGO, KindADAPTIVE, KindDAP, KindFLAT} {
 			res, err := Run(k, p)
 			if err != nil {
 				return err
 			}
 			vals[i] = res.OpsPerSec() / 1e6
 		}
-		fmt.Fprintf(w, "%-8.2f%14.3f%14.3f%14.3f%14.3f\n", a, vals[0], vals[1], vals[2], vals[3])
+		fmt.Fprintf(w, "%-8.2f%14.3f%14.3f%14.3f%14.3f%14.3f\n",
+			a, vals[0], vals[1], vals[2], vals[3], vals[4])
 	}
 	return nil
 }

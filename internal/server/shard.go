@@ -85,12 +85,27 @@ type batch struct {
 	wg    *sync.WaitGroup
 }
 
+// shardMap is the shard's view of its planner-built map. The string-keyed
+// kinds satisfy it with *dego.AdjustedMap[string, *object] directly; the
+// flat kind goes through flatShardMap (flatstore.go), which hashes string
+// keys into the planner's integer-keyed flat plan.
+type shardMap interface {
+	Get(key string) (*object, bool)
+	Put(h *dego.Handle, key string, o *object)
+	Remove(h *dego.Handle, key string) bool
+	Contains(key string) bool
+	Len() int
+	Range(f func(key string, o *object) bool)
+	Plan() dego.Plan
+	Adaptive() *dego.AdaptiveMap[string, *object]
+}
+
 // shard owns one slice of the keyspace: a planner-built map plus the
 // mailbox its event loop drains. All writes to obj go through the loop
 // goroutine's handle — the shard-confinement invariant.
 type shard struct {
 	id    int
-	obj   *dego.AdjustedMap[string, *object]
+	obj   shardMap
 	mail  chan *batch
 	quit  chan struct{}
 	reg   *dego.Registry
@@ -99,8 +114,13 @@ type shard struct {
 
 // planShardMap asks the planner for the shard's representation. The
 // commuting-writers declaration is certified by shard confinement: distinct
-// shards own distinct keys, so shard writes commute.
-func planShardMap(cfg StoreConfig, reg *dego.Registry) (*dego.AdjustedMap[string, *object], error) {
+// shards own distinct keys, so shard writes commute; the flat kind narrows
+// further to single-writer — each shard map's only writer is its own event
+// loop.
+func planShardMap(cfg StoreConfig, reg *dego.Registry) (shardMap, error) {
+	if cfg.Kind == StoreFlat {
+		return newFlatShardMap(cfg, reg)
+	}
 	opts := []dego.Option{dego.On(reg), dego.Capacity(cfg.Capacity)}
 	switch cfg.Kind {
 	case StoreStriped:

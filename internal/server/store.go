@@ -28,6 +28,7 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,10 +46,47 @@ const (
 	StoreSegmented = "segmented"
 	// StoreStriped plans the unadjusted lock-striped baseline.
 	StoreStriped = "striped"
+	// StoreFlat plans the flat open-addressing family: each shard's keys are
+	// hashed to uint64 and the planner's preallocated single-writer flat map
+	// holds collision chains — a shard's event loop is its map's only
+	// writer, which is exactly the SWMR declaration the flat plan certifies.
+	StoreFlat = "flat"
 )
 
-// StoreKinds lists the valid Config.Kind values.
-func StoreKinds() []string { return []string{StoreAdaptive, StoreSegmented, StoreStriped} }
+// StoreKinds lists the valid Config.Kind values. Every consumer of a store
+// kind — the dego-server -store flag, retwis-bench -stores, StoreConfig
+// validation — goes through this list (or ParseStoreKind over it), so a new
+// kind added here is everywhere at once.
+func StoreKinds() []string { return []string{StoreAdaptive, StoreSegmented, StoreStriped, StoreFlat} }
+
+// UnknownStoreKindError reports a store kind outside StoreKinds. It is the
+// typed form every kind consumer returns, so callers can distinguish a typo
+// in -store/-stores from an operational failure.
+type UnknownStoreKindError struct {
+	// Kind is the rejected value.
+	Kind string
+}
+
+// Error implements the error interface.
+func (e *UnknownStoreKindError) Error() string {
+	return fmt.Sprintf("server: unknown store kind %q (want %s)",
+		e.Kind, strings.Join(StoreKinds(), ", "))
+}
+
+// ParseStoreKind validates a store kind. The empty string resolves to the
+// serving default (StoreAdaptive); anything else must be in StoreKinds or a
+// *UnknownStoreKindError comes back.
+func ParseStoreKind(s string) (string, error) {
+	if s == "" {
+		return StoreAdaptive, nil
+	}
+	for _, k := range StoreKinds() {
+		if s == k {
+			return s, nil
+		}
+	}
+	return "", &UnknownStoreKindError{Kind: s}
+}
 
 // StoreConfig sizes a Store.
 type StoreConfig struct {
@@ -68,21 +106,18 @@ func (c *StoreConfig) fill() error {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
-	if c.Kind == "" {
-		c.Kind = StoreAdaptive
+	kind, err := ParseStoreKind(c.Kind)
+	if err != nil {
+		return err
 	}
+	c.Kind = kind
 	if c.Capacity <= 0 {
 		c.Capacity = 1 << 14
 	}
 	if c.Ranges <= 0 {
 		c.Ranges = 8
 	}
-	switch c.Kind {
-	case StoreAdaptive, StoreSegmented, StoreStriped:
-		return nil
-	default:
-		return fmt.Errorf("server: unknown store kind %q (want %v)", c.Kind, StoreKinds())
-	}
+	return nil
 }
 
 // Store is the sharded keyspace. It is safe for concurrent use: Exec and

@@ -6,6 +6,7 @@ import (
 
 	"github.com/adjusted-objects/dego/internal/adaptive"
 	"github.com/adjusted-objects/dego/internal/counter"
+	"github.com/adjusted-objects/dego/internal/flatmap"
 	"github.com/adjusted-objects/dego/internal/hashmap"
 	"github.com/adjusted-objects/dego/internal/queue"
 	"github.com/adjusted-objects/dego/internal/ref"
@@ -153,6 +154,15 @@ func Counter(opts ...Option) (*AdjustedCounter, error) {
 		rep := counter.NewIncrementOnly(p.reg(), p.checked)
 		c.rep, c.raw = rep, rep
 		c.plan.Variant, c.plan.Rep = "C3", "IncrementOnlyCounter"
+	case p.blind && mode == ModeCWMR && p.capacity > 0 && p.probe == nil && !p.checked:
+		// The flat counter: a blind, commuting profile that declared its
+		// cell capacity and no probe gets preallocated padded cells with a
+		// wait-free atomic add — no CAS retry loop. The unrestricted blind
+		// profile keeps the Adder below (its CAS loop is also the
+		// contention instrument WithProbe observes).
+		rep := flatmap.NewCounter(p.capacity)
+		c.rep, c.raw = flatCounterRep{rep}, rep
+		c.plan.Variant, c.plan.Rep = "C3", "FlatCounter"
 	case p.blind && mode != ModeSWMR:
 		if p.checked {
 			return nil, invalid(dt, "the striped adder has no runtime guard; drop Checked")
@@ -274,6 +284,30 @@ func Map[K comparable, V any](opts ...Option) (*AdjustedMap[K, V], error) {
 	mode, err := p.mode(dt)
 	if err != nil {
 		return nil, err
+	}
+	// The flat family gates before hash resolution: a flat table hashes
+	// internally through the integer-key codec, so a named integer key
+	// type (type UserID uint64) plans FLAT without a WithHash declaration
+	// — while every node-based plan below still requires one.
+	if enc, dec, ok := intKeyCodec[K](); ok && p.flatEligible() &&
+		(mode == ModeSWMR || (!p.checked && mode != ModeMWSR)) {
+		m := &AdjustedMap[K, V]{plan: Plan{Datatype: dt, Mode: mode, Ranges: 1}, probe: p.probe}
+		if mode == ModeSWMR {
+			rep := newFlatSWMRMap[K, V](enc, dec, p.capacity, p.checked)
+			m.rep, m.raw = rep, rep
+			m.plan.Variant, m.plan.Rep = "M2", "FlatSWMRMap"
+		} else {
+			rep := newFlatMap[K, V](enc, dec, p.capacity)
+			m.rep, m.raw = rep, rep
+			m.plan.Variant, m.plan.Rep = "M1", "FlatMap"
+			if mode.CommutingWrites() || p.blind {
+				m.plan.Variant = "M2"
+			}
+		}
+		if err := m.plan.validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	hash, err := resolveHash[K](dt, p)
 	if err != nil {
@@ -402,6 +436,30 @@ func Set[K comparable](opts ...Option) (*AdjustedSet[K], error) {
 	mode, err := p.mode(dt)
 	if err != nil {
 		return nil, err
+	}
+	// Flat gate, as in Map: integer-kind element type + Capacity, before
+	// hash resolution (flat sets hash internally via the codec).
+	if enc, dec, ok := intKeyCodec[K](); ok && p.flatEligible() &&
+		(mode == ModeSWMR || (!p.checked && mode != ModeMWSR)) {
+		s := &AdjustedSet[K]{plan: Plan{Datatype: dt, Mode: mode, Ranges: 1}, probe: p.probe}
+		if mode == ModeSWMR {
+			rep := newFlatSWMRSet[K](enc, dec, p.capacity, p.checked)
+			s.rep, s.raw = rep, rep
+			s.plan.Variant, s.plan.Rep = "S2", "FlatSWMRSet"
+		} else {
+			rep := newFlatSet[K](enc, dec, p.capacity)
+			s.rep, s.raw = rep, rep
+			s.plan.Variant, s.plan.Rep = "S1", "FlatSet"
+			if mode.CommutingWrites() {
+				s.plan.Variant = "S3"
+			} else if p.blind {
+				s.plan.Variant = "S2"
+			}
+		}
+		if err := s.plan.validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
 	}
 	hash, err := resolveHash[K](dt, p)
 	if err != nil {

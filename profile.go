@@ -104,6 +104,19 @@ func (p *profile) mode(dt string) (Mode, error) {
 	return ModeAll, nil
 }
 
+// flatEligible reports whether the declared tuning gates into the flat
+// representation family: an explicit Capacity (the flat tables
+// preallocate, so a declared capacity is their construction contract) and
+// none of the declarations only the node-based representations honor — a
+// caller-supplied hash (flat tables hash internally via the integer-key
+// codec), stripe or directory-bucket tuning, adaptivity, or a contention
+// probe (the flat hot paths have no instrumented wait to record). The
+// caller still checks the key type and mode.
+func (p *profile) flatEligible() bool {
+	return p.capacity > 0 && p.hash == nil && p.stripes == 0 &&
+		p.buckets == 0 && !p.adaptive && p.probe == nil
+}
+
 // resolvedPolicy returns the adaptive policy with the Ranges option folded
 // in.
 func (p *profile) resolvedPolicy() AdaptivePolicy {

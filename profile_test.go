@@ -170,6 +170,12 @@ func TestPlannerDecisions(t *testing.T) {
 		{"Counter", []Option{Adaptive()}, "", ""},
 		{"Counter", []Option{SingleWriter(), SingleReader()}, "", ""},
 		{"Counter", []Option{WriteOnce()}, "", ""},
+		// The flat counter: blind + commuting + a declared cell capacity.
+		// Without CommutingWriters the same capacity keeps the Adder (its
+		// CAS loop doubles as the contention instrument), as NewAdder pins.
+		{"Counter", []Option{Blind(), CommutingWriters(), Capacity(8)}, "(C3, CWMR)", "FlatCounter"},
+		{"Counter", []Option{Blind(), Capacity(8)}, "(C3, ALL)", "Adder"},
+		{"Counter", []Option{Blind(), CommutingWriters(), Capacity(8), WithProbe(NewProbe())}, "(C3, CWMR)", "Adder"},
 
 		// Map: the (M2, CWMR) node is the extended segmentation.
 		{"Map", nil, "(M1, ALL)", "StripedMap"},
@@ -183,6 +189,21 @@ func TestPlannerDecisions(t *testing.T) {
 		{"Map", []Option{SingleReader()}, "", ""},
 		{"Map", []Option{Adaptive()}, "", ""},
 		{"Map", []Option{SingleWriter(), Adaptive()}, "", ""},
+		// The flat family: an integer key type plus a declared Capacity
+		// gates preallocated open addressing. Any node-only tuning
+		// (Stripes, Buckets, WithHash, WithProbe, Adaptive) keeps the
+		// node-based pick, so no existing profile changes representation
+		// by accident.
+		{"Map", []Option{Capacity(1024)}, "(M1, ALL)", "FlatMap"},
+		{"Map", []Option{Blind(), Capacity(1024)}, "(M2, ALL)", "FlatMap"},
+		{"Map", []Option{CommutingWriters(), Capacity(1024)}, "(M2, CWMR)", "FlatMap"},
+		{"Map", []Option{CommutingWriters(), SingleReader(), Capacity(1024)}, "(M2, CWSR)", "FlatMap"},
+		{"Map", []Option{SingleWriter(), Capacity(1024)}, "(M2, SWMR)", "FlatSWMRMap"},
+		{"Map", []Option{SingleWriter(), Checked(), Capacity(1024)}, "(M2, SWMR)", "FlatSWMRMap"},
+		{"Map", []Option{CommutingWriters(), Capacity(1024), Buckets(2048)}, "(M2, CWMR)", "SegmentedMap"},
+		{"Map", []Option{Capacity(1024), Stripes(64)}, "(M1, ALL)", "StripedMap"},
+		{"Map", []Option{CommutingWriters(), Capacity(1024), WithHash(func(k int) uint64 { return uint64(k) })}, "(M2, CWMR)", "SegmentedMap"},
+		{"Map", []Option{CommutingWriters(), Adaptive(), Capacity(1024)}, "(M2, CWMR)", "AdaptiveMap"},
 
 		// Set: the (S3, CWMR) node of Figure 3.
 		{"Set", nil, "(S1, ALL)", "StripedSet"},
@@ -192,6 +213,11 @@ func TestPlannerDecisions(t *testing.T) {
 		{"Set", []Option{CommutingWriters(), Adaptive()}, "(S3, CWMR)", "AdaptiveSet"},
 		{"Set", []Option{CommutingWriters(), SingleReader()}, "(S3, CWSR)", "SegmentedSet"},
 		{"Set", []Option{SingleReader()}, "", ""},
+		// Flat set rows mirror the flat map gate.
+		{"Set", []Option{Capacity(512)}, "(S1, ALL)", "FlatSet"},
+		{"Set", []Option{CommutingWriters(), Capacity(512)}, "(S3, CWMR)", "FlatSet"},
+		{"Set", []Option{SingleWriter(), Capacity(512)}, "(S2, SWMR)", "FlatSWMRSet"},
+		{"Set", []Option{CommutingWriters(), Capacity(512), Stripes(64)}, "(S3, CWMR)", "SegmentedSet"},
 
 		// Ordered shares the M rows; representations keep iteration sorted.
 		{"Ordered", nil, "(M1, ALL)", "ConcurrentSkipList"},
