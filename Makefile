@@ -6,9 +6,10 @@ GO ?= go
 # Packages covered by the race-detector job: the adaptive machine, the
 # objects it migrates between (the flat open-addressing family included),
 # the serving layer (pipelined TCP clients against shards under forced
-# promote/demote flapping), and the resilience layer (fault injection and
-# the chaos storm).
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/flatmap/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/...
+# promote/demote flapping), the resilience layer (fault injection and
+# the chaos storm), and the open-loop load generator (clock goroutine
+# feeding a worker pool through a bounded queue).
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/flatmap/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/... ./internal/loadgen/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
 # without burning CI minutes; the JSON lands as a workflow artifact. The
@@ -38,6 +39,17 @@ BENCHCMP_FLAGS  =
 NET_SMOKE_FLAGS = -net -stores adaptive,striped -conns 2 -pipeline 8 -netusers 2000 -netduration 300ms
 NET_SMOKE_JSON  = net-smoke.json
 
+# Open-loop frontier smoke: a short two-rate walk of one store kind,
+# measured coordinated-omission-free (latency from intended start), once
+# over a clean network and once through the -chaos fault-injected dialer.
+# Like the other smokes this catches harness bit-rot, not performance;
+# both frontier JSONs land as CI artifacts (frontier-<short-sha>.json /
+# frontier-chaos-<short-sha>.json) so the latency trajectory stays
+# diffable across PRs.
+OPENLOOP_SMOKE_FLAGS = -openloop -stores adaptive -rates 1k,2k -olduration 300ms -olworkers 2 -netusers 2000
+FRONTIER_JSON        = frontier-smoke.json
+FRONTIER_CHAOS_JSON  = frontier-chaos-smoke.json
+
 # Chaos smoke: the fault-injected storm (internal/chaos) under the race
 # detector — seeded resets, stalls and torn writes against a live server,
 # asserting zero panics, zero goroutine leaks and exact convergence. The
@@ -47,7 +59,7 @@ CHAOS_JSON = chaos-smoke.json
 
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke bench-flat bench-compare server-smoke net-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
+.PHONY: build test race bench-smoke bench-flat bench-compare server-smoke net-smoke openloop-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -79,6 +91,10 @@ server-smoke:
 
 net-smoke:
 	$(GO) run ./cmd/retwis-bench $(NET_SMOKE_FLAGS) -json $(NET_SMOKE_JSON)
+
+openloop-smoke:
+	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -json $(FRONTIER_JSON)
+	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -chaos -json $(FRONTIER_CHAOS_JSON)
 
 # abspath: go test runs with the package dir as cwd, and the summary should
 # land at the repo root where CI picks it up.

@@ -22,6 +22,20 @@
 //	retwis-bench -net [-stores adaptive,striped] [-conns 4] [-pipeline 8]
 //	             [-netusers 10000] [-netduration 2s] [-json net.json]
 //	retwis-bench -net -addr 127.0.0.1:6399
+//
+// -openloop switches to the open-loop frontier: arrivals are scheduled on a
+// Poisson (or fixed-interval) process at each target rate in -rates, and
+// latency is measured from *intended* start, so queueing delay behind a
+// stalled server is recorded instead of coordinated away (see README,
+// "Measuring latency"). The sweep walks rates per (store kind × shard
+// count × pipeline depth) cell until saturation and emits a frontier JSON;
+// -chaos runs the same sweep through a fault-injecting dialer for the
+// latency-under-chaos curve:
+//
+//	retwis-bench -openloop [-stores adaptive,striped] [-shardcounts 2]
+//	             [-pipelines 8] [-rates 2k,4k,8k] [-olduration 1s]
+//	             [-olworkers 4] [-arrivals poisson] [-json frontier.json]
+//	retwis-bench -openloop -chaos [-chaosseed 42]
 package main
 
 import (
@@ -33,6 +47,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/adjusted-objects/dego/internal/faultnet"
+	"github.com/adjusted-objects/dego/internal/loadgen"
 	"github.com/adjusted-objects/dego/internal/retwis"
 	"github.com/adjusted-objects/dego/internal/server"
 )
@@ -64,11 +80,31 @@ func run(args []string) error {
 	netUsers := fs.Int("netusers", 10_000, "seeded users for -net")
 	netDuration := fs.Duration("netduration", 2*time.Second, "measured duration per -net point")
 	netOps := fs.Int("netops", 0, "ops per connection for -net (0 = duration mode)")
-	jsonPath := fs.String("json", "", "write -net points as a JSON array to this file")
+	jsonPath := fs.String("json", "", "write -net / -openloop points as a JSON array to this file")
+
+	openLoop := fs.Bool("openloop", false, "open-loop mode: arrival-rate-driven latency frontier (coordinated-omission-free)")
+	ratesFlag := fs.String("rates", "2k,4k,8k", "arrival rates walked per frontier cell (ops/sec, k/m suffixes)")
+	shardsOL := fs.String("shardcounts", "2", "server shard counts swept by -openloop")
+	pipesOL := fs.String("pipelines", "8", "pipeline depths swept by -openloop")
+	olDuration := fs.Duration("olduration", time.Second, "schedule horizon per frontier point")
+	olWorkers := fs.Int("olworkers", 4, "worker connections per frontier point")
+	olQueue := fs.Int("olqueue", 1024, "bounded backlog between the arrival clock and the workers")
+	arrivals := fs.String("arrivals", "poisson", "arrival process for -openloop: poisson or uniform")
+	chaosMode := fs.Bool("chaos", false, "run the -openloop sweep through a fault-injecting dialer")
+	chaosSeed := fs.Int64("chaosseed", 42, "fault schedule seed for -chaos")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *openLoop {
+		return runOpenLoop(openLoopArgs{
+			addr: *netAddr, stores: *storesFlag, shardCounts: *shardsOL,
+			pipelines: *pipesOL, rates: *ratesFlag, users: *netUsers,
+			duration: *olDuration, workers: *olWorkers, queueCap: *olQueue,
+			process: *arrivals, alpha: *alpha, chaos: *chaosMode,
+			chaosSeed: *chaosSeed, jsonPath: *jsonPath,
+		})
+	}
 	if *netMode {
 		return runNet(*netAddr, *storesFlag, *conns, *pipelineDepth, *netUsers,
 			*netDuration, *netOps, *alpha, *jsonPath)
@@ -130,35 +166,125 @@ func runNet(addr, stores string, conns, pipeline, users int,
 		fmt.Printf("remote %s: %.0f ops/s, p50 %dµs, p95 %dµs, p99 %dµs, errors %d, retries %d, reconnects %d\n",
 			addr, pt.OpsPerSec, pt.P50us, pt.P95us, pt.P99us, pt.Errors, pt.Retries, pt.Reconnects)
 	} else {
-		// Validate every kind up front through the server's own list — the
-		// single source of truth — so a typo fails with the typed
-		// *server.UnknownStoreKindError before any server boots, not after
-		// the points preceding it already ran.
-		kinds := strings.Split(stores, ",")
-		for i := range kinds {
-			k, err := server.ParseStoreKind(strings.TrimSpace(kinds[i]))
-			if err != nil {
-				return fmt.Errorf("-stores: %w", err)
-			}
-			kinds[i] = k
+		kinds, err := parseStores(stores)
+		if err != nil {
+			return err
 		}
-		var err error
 		points, err = retwis.NetCurve(os.Stdout, base, kinds)
 		if err != nil {
 			return err
 		}
 	}
+	return writeJSON(jsonPath, points, len(points))
+}
 
-	if jsonPath != "" {
-		blob, err := json.MarshalIndent(points, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %d point(s) to %s\n", len(points), jsonPath)
+// openLoopArgs carries the -openloop flag set.
+type openLoopArgs struct {
+	addr, stores, shardCounts, pipelines, rates string
+	users                                       int
+	duration                                    time.Duration
+	workers, queueCap                           int
+	process                                     string
+	alpha                                       float64
+	chaos                                       bool
+	chaosSeed                                   int64
+	jsonPath                                    string
+}
+
+// runOpenLoop sweeps the coordinated-omission-free latency frontier: per
+// (store kind × shard count × pipeline depth) cell, arrival rates are
+// walked until saturation. -chaos interposes a seeded fault injector on
+// every worker dial, measuring the same frontier under a hostile network.
+func runOpenLoop(a openLoopArgs) error {
+	kinds, err := parseStores(a.stores)
+	if err != nil {
+		return err
 	}
+	shardCounts, err := parseInts(a.shardCounts)
+	if err != nil {
+		return fmt.Errorf("bad -shardcounts: %w", err)
+	}
+	pipelines, err := parseInts(a.pipelines)
+	if err != nil {
+		return fmt.Errorf("bad -pipelines: %w", err)
+	}
+	rates, err := parseRates(a.rates)
+	if err != nil {
+		return fmt.Errorf("bad -rates: %w", err)
+	}
+	process, err := loadgen.ParseProcess(a.process)
+	if err != nil {
+		return fmt.Errorf("bad -arrivals: %w", err)
+	}
+
+	p := retwis.DefaultParams()
+	p.Users = a.users
+	p.Alpha = a.alpha
+	base := retwis.OpenLoopParams{
+		Workload: p,
+		Addr:     a.addr,
+		Duration: a.duration,
+		Process:  process,
+		Workers:  a.workers,
+		QueueCap: a.queueCap,
+	}
+	if a.chaos {
+		// A moderate seeded storm on the client's transport: enough
+		// latency, torn writes, stalls and the odd reset to bend the
+		// frontier, while the op mix and schedule stay identical to the
+		// clean sweep — the two JSONs differ only by the network.
+		base.Fault = &faultnet.Config{
+			Seed:             a.chaosSeed,
+			LatencyProb:      0.05,
+			LatencyMax:       2 * time.Millisecond,
+			PartialWriteProb: 0.10,
+			StallProb:        0.02,
+			StallMax:         5 * time.Millisecond,
+			ResetProb:        0.002,
+		}
+	}
+
+	points, err := retwis.Frontier(os.Stdout, base, kinds, shardCounts, pipelines, rates)
+	if err != nil {
+		return err
+	}
+	return writeJSON(a.jsonPath, points, len(points))
+}
+
+// parseStores validates the -stores list up front through the server's own
+// parser — the single source of truth — so a typo fails with the typed
+// *server.UnknownStoreKindError before any server boots or socket dials.
+// Empty entries (a stray comma) are rejected rather than silently
+// resolving to the default kind.
+func parseStores(s string) ([]string, error) {
+	kinds := strings.Split(s, ",")
+	for i := range kinds {
+		kind := strings.TrimSpace(kinds[i])
+		if kind == "" {
+			return nil, fmt.Errorf("-stores: empty store kind in %q", s)
+		}
+		k, err := server.ParseStoreKind(kind)
+		if err != nil {
+			return nil, fmt.Errorf("-stores: %w", err)
+		}
+		kinds[i] = k
+	}
+	return kinds, nil
+}
+
+// writeJSON serializes points to path when set (the CI artifact).
+func writeJSON(path string, points any, n int) error {
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d point(s) to %s\n", n, path)
 	return nil
 }
 
@@ -182,6 +308,32 @@ func parseInts(s string) ([]int, error) {
 			return nil, err
 		}
 		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseRates parses a rate list with k/m suffixes: "2k,4k" → 2000, 4000;
+// "1.5m" → 1_500_000; bare numbers pass through.
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(strings.ToLower(p))
+		mult := 1.0
+		switch {
+		case strings.HasSuffix(p, "k"):
+			mult, p = 1e3, strings.TrimSuffix(p, "k")
+		case strings.HasSuffix(p, "m"):
+			mult, p = 1e6, strings.TrimSuffix(p, "m")
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		if f*mult <= 0 {
+			return nil, fmt.Errorf("rate %q is not positive", p)
+		}
+		out = append(out, f*mult)
 	}
 	return out, nil
 }

@@ -48,6 +48,16 @@ type Config struct {
 	StallProb float64
 	StallMax  time.Duration
 
+	// Scripted stall: on each wrapped connection, the reads numbered
+	// [StallAfter, StallAfter+StallCount) (0-based, counting Read calls)
+	// block for exactly StallFor before touching the underlying stream.
+	// Unlike the probabilistic faults this is surgical and deterministic —
+	// it is how the coordinated-omission tests inject a known server
+	// hiccup at a known point in a run. Zero StallCount disables it.
+	StallAfter int
+	StallCount int
+	StallFor   time.Duration
+
 	// ResetProb aborts the connection mid-stream: pending I/O fails, the
 	// socket is closed (with SO_LINGER 0 where the transport allows it, so
 	// the peer sees an RST rather than a clean FIN).
@@ -143,6 +153,21 @@ func (l *Listener) Accept() (net.Conn, error) {
 // Injector returns the listener's injector (for Stats/Quiesce).
 func (l *Listener) Injector() *Injector { return l.in }
 
+// Dialer returns a dial function that wraps every established connection
+// with in's fault schedule — the client-side counterpart of WrapListener.
+// Its signature matches the retwis wire client's dial hook, so an open-loop
+// frontier sweep can run through a hostile network without touching the
+// server under test.
+func (in *Injector) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
 // Conn is one fault-injected connection. Deadline and address methods pass
 // through to the wrapped net.Conn, so server-side read/write deadlines
 // still apply underneath the injected faults.
@@ -153,6 +178,24 @@ type Conn struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	isReset bool
+	reads   int // Read calls seen, for the scripted stall window
+}
+
+// scriptedStall reports whether this Read call falls in the configured
+// deterministic stall window.
+func (c *Conn) scriptedStall() bool {
+	if c.in.cfg.StallCount <= 0 || c.in.quiet.Load() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.reads
+	c.reads++
+	if n >= c.in.cfg.StallAfter && n < c.in.cfg.StallAfter+c.in.cfg.StallCount {
+		c.in.stalls.Add(1)
+		return true
+	}
+	return false
 }
 
 // fault draws this operation's faults: an optional delay, and whether the
@@ -203,9 +246,12 @@ func (c *Conn) abort() error {
 	return &ResetError{}
 }
 
-// Read implements net.Conn: an optional stall, then the underlying read —
-// or an injected reset.
+// Read implements net.Conn: an optional stall (probabilistic or scripted),
+// then the underlying read — or an injected reset.
 func (c *Conn) Read(p []byte) (int, error) {
+	if c.scriptedStall() {
+		time.Sleep(c.in.cfg.StallFor)
+	}
 	delay, reset := c.fault(c.in.cfg.StallProb, c.in.cfg.StallMax, &c.in.stalls)
 	if reset {
 		return 0, c.abort()

@@ -157,6 +157,81 @@ func TestQuiesceStopsInjection(t *testing.T) {
 	}
 }
 
+// TestScriptedStall: exactly the configured reads stall, for exactly the
+// configured duration, deterministically — the surgical hiccup the
+// coordinated-omission tests rely on.
+func TestScriptedStall(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	in := New(Config{StallAfter: 2, StallCount: 2, StallFor: stall})
+	c, s := pairOver(t, in)
+	var buf [4]byte
+	for i := 0; i < 6; i++ {
+		if _, err := s.Write([]byte("pong")); err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := io.ReadFull(c, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		took := time.Since(t0)
+		inWindow := i == 2 || i == 3
+		if inWindow && took < stall {
+			t.Fatalf("read %d took %v, want >= %v (scripted stall missed)", i, took, stall)
+		}
+		if !inWindow && took > stall/2 {
+			t.Fatalf("read %d took %v, want fast (stall leaked outside the window)", i, took)
+		}
+	}
+	if st := in.Stats(); st.Stalls != 2 {
+		t.Fatalf("Stalls = %d, want exactly 2", st.Stalls)
+	}
+	// Quiesce disables the window like every other fault.
+	in.Quiesce()
+	s.Write([]byte("pong"))
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialerWrapsConnections: the client-side dial hook wraps each
+// established connection with the injector's schedule.
+func TestDialerWrapsConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { c.Write([]byte("hi")); c.Close() }()
+		}
+	}()
+	in := New(Config{Seed: 11})
+	dial := in.Dialer()
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("dialed conn is %T, want *faultnet.Conn", c)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("read through wrapped dial: %q, %v", buf, err)
+	}
+	if st := in.Stats(); st.Conns != 1 {
+		t.Fatalf("Conns = %d, want 1", st.Conns)
+	}
+	if _, err := dial("127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Fatal("dial to a dead port succeeded")
+	}
+}
+
 // TestWrapListener: accepted connections are wrapped and counted.
 func TestWrapListener(t *testing.T) {
 	inner, err := net.Listen("tcp", "127.0.0.1:0")

@@ -55,6 +55,11 @@ type WireConfig struct {
 	// full jitter, capped at MaxBackoff. 0 means 10ms / 1s.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// Dialer overrides how each (re)connect reaches the server; nil means
+	// net.DialTimeout("tcp", addr, DialTimeout). The fault-injected
+	// frontier sweeps plug a faultnet Injector.Dialer in here, so faults
+	// ride the client's transport without touching the server under test.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (c *WireConfig) fill() {
@@ -168,7 +173,13 @@ func (c *WireKV) Stats() WireStats {
 
 // redial (re)establishes the connection and fresh codec state.
 func (c *WireKV) redial() error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	dial := c.cfg.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(c.addr, c.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}

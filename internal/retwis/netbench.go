@@ -28,6 +28,10 @@ type NetParams struct {
 	Shards int
 	// Pipeline is how many generated ops each worker batches per flush.
 	Pipeline int
+	// Wire tunes the measured workers' transport (zero value = defaults).
+	// Its Dialer hook is how the coordinated-omission tests interpose
+	// faultnet on a closed-loop run; seeding always uses a clean dial.
+	Wire WireConfig
 }
 
 // NetPoint is one measured latency-vs-throughput point. Latency is the
@@ -129,7 +133,7 @@ func RunNet(np NetParams) (NetPoint, error) {
 
 	worker := func(tid int) {
 		defer finished.Done()
-		kv, err := DialKV(addr)
+		kv, err := DialKVConfig(addr, np.Wire)
 		if err != nil {
 			// A connection that never came up is counted, not fatal: the
 			// rest of the sweep still measures.

@@ -1,6 +1,9 @@
 package stats
 
-import "math/bits"
+import (
+	"math/bits"
+	"time"
+)
 
 // latencyBuckets is the bucket count of LatencyHist: 16 exact buckets for
 // values below 16, then 16 sub-buckets per power of two up to the full
@@ -45,6 +48,20 @@ func (h *LatencyHist) Record(v uint64) {
 	if v > h.max {
 		h.max = v
 	}
+}
+
+// RecordSince records the microseconds elapsed since start. It is the
+// open-loop generator's intended-start recording: start is the moment an
+// operation was *scheduled* to begin, not when a worker got to it, so time
+// spent queueing behind a stalled connection lands in the histogram
+// instead of being coordinated away. A start still in the future (clock
+// skew) records 0.
+func (h *LatencyHist) RecordSince(start time.Time) {
+	d := time.Since(start).Microseconds()
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
 }
 
 // Count returns the number of recorded samples.

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Property: Merge(a, b) is sample-equivalent to recording every sample into
+// one histogram — bucket for bucket, not just at a few spot-checked
+// quantiles. Runs over many random splits and sample distributions.
+func TestLatencyHistMergeSampleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		parts := 2 + rng.Intn(4)
+		hists := make([]LatencyHist, parts)
+		var combined LatencyHist
+		n := 100 + rng.Intn(5000)
+		shift := uint(rng.Intn(50))
+		for i := 0; i < n; i++ {
+			v := rng.Uint64() >> shift
+			hists[rng.Intn(parts)].Record(v)
+			combined.Record(v)
+		}
+		merged := &hists[0]
+		for i := 1; i < parts; i++ {
+			merged.Merge(&hists[i])
+		}
+		if merged.counts != combined.counts {
+			t.Fatalf("trial %d: merged bucket counts differ from combined", trial)
+		}
+		if merged.total != combined.total || merged.max != combined.max {
+			t.Fatalf("trial %d: total/max %d/%d, want %d/%d",
+				trial, merged.total, merged.max, combined.total, combined.max)
+		}
+	}
+}
+
+// Property: Percentile is monotone in p — a higher quantile can never
+// report a smaller value.
+func TestLatencyHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		var h LatencyHist
+		n := 1 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			h.Record(rng.Uint64() >> uint(rng.Intn(60)))
+		}
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.005 {
+			v := h.Percentile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Percentile(%v) = %d < Percentile at lower q = %d", trial, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// Property: the log-linear bucketing's relative error is pinned. Values
+// below 16 are exact; above, a bucket spans 1/16 of its power of two, so
+// the floor reported for any value v satisfies floor ≤ v and
+// (v - floor) * 16 ≤ v (relative error at most 1/16 ≈ 6.25%).
+func TestLatencyHistRelativeErrorBound(t *testing.T) {
+	check := func(v uint64) {
+		t.Helper()
+		f := bucketFloor(bucketOf(v))
+		if f > v {
+			t.Fatalf("bucketFloor(bucketOf(%d)) = %d > value", v, f)
+		}
+		if v < 16 {
+			if f != v {
+				t.Fatalf("value %d below 16 not exact: floor %d", v, f)
+			}
+			return
+		}
+		if (v-f)*16 > v {
+			t.Fatalf("value %d: floor %d relative error %.4f > 1/16", v, f, float64(v-f)/float64(v))
+		}
+	}
+	// Edges of every power of two, and a random sweep over the full range.
+	for shift := uint(4); shift < 64; shift++ {
+		for _, v := range []uint64{1 << shift, 1<<shift + 1, 1<<(shift+1) - 1} {
+			check(v)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		check(rng.Uint64() >> uint(rng.Intn(60)))
+	}
+}
+
+// Property: against the exact sorted samples, every reported quantile is
+// within the bucketing bound of the true rank value: reported ≤ true, and
+// reported ≥ true*(15/16) (exact below 16).
+func TestLatencyHistQuantileVsExactSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		var h LatencyHist
+		n := 500 + rng.Intn(2000)
+		samples := make([]uint64, n)
+		for i := range samples {
+			samples[i] = rng.Uint64() >> uint(10+rng.Intn(40))
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			rank := int(q * float64(n))
+			if rank >= n {
+				rank = n - 1
+			}
+			truth := samples[rank]
+			got := h.Percentile(q)
+			if got > truth {
+				// Documented exception: a quantile landing in the last
+				// non-empty bucket reports the exact max, which may exceed
+				// the true rank value — but only within that one bucket.
+				if got != h.Max() || bucketOf(truth) != bucketOf(h.Max()) {
+					t.Fatalf("trial %d p%v: reported %d > exact %d", trial, q, got, truth)
+				}
+			}
+			if lo := truth - truth/16; got < lo {
+				t.Fatalf("trial %d p%v: reported %d < bound %d (exact %d)", trial, q, got, lo, truth)
+			}
+		}
+	}
+}
+
+func TestRecordSince(t *testing.T) {
+	var h LatencyHist
+	h.RecordSince(time.Now().Add(-3 * time.Millisecond))
+	if h.Count() != 1 || h.Max() < 3000 {
+		t.Fatalf("count %d max %d, want 1 sample >= 3000µs", h.Count(), h.Max())
+	}
+	// A start in the future must clamp to zero, not wrap a uint64.
+	h.RecordSince(time.Now().Add(time.Hour))
+	if h.Count() != 2 || h.Max() > 1_000_000 {
+		t.Fatalf("future start wrapped: count %d max %d", h.Count(), h.Max())
+	}
+}
