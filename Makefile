@@ -9,7 +9,7 @@ GO ?= go
 # promote/demote flapping), the resilience layer (fault injection and
 # the chaos storm), and the open-loop load generator (clock goroutine
 # feeding a worker pool through a bounded queue).
-RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/flatmap/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/... ./internal/loadgen/...
+RACE_PKGS = ./internal/adaptive/... ./internal/core/... ./internal/counter/... ./internal/flatmap/... ./internal/hashmap/... ./internal/skiplist/... ./internal/wire/... ./internal/server/... ./internal/faultnet/... ./internal/chaos/... ./internal/loadgen/... ./internal/usage/... ./internal/advisor/...
 
 # Tiny configuration for the bench-smoke job: catches harness bit-rot
 # without burning CI minutes; the JSON lands as a workflow artifact. The
@@ -50,6 +50,22 @@ OPENLOOP_SMOKE_FLAGS = -openloop -stores adaptive -rates 1k,2k -olduration 300ms
 FRONTIER_JSON        = frontier-smoke.json
 FRONTIER_CHAOS_JSON  = frontier-chaos-smoke.json
 
+# The clean-network frontier is also regression-tracked: the smoke run is
+# compared cell by cell (achieved rate, and p99 when both runs stayed
+# unsaturated) against the checked-in BENCH_frontier.json. Like the flat
+# compare, the CI step is a non-blocking report; run
+# `make frontier-compare BENCHCMP_FLAGS=-fail` on a quiet machine to
+# enforce the band, and `make frontier-baseline` to refresh the baseline.
+FRONTIER_BASELINE = BENCH_frontier.json
+
+# Advise smoke: replay the Table-2 workload against the unadjusted
+# recorded backend and print what the tuning advisor certifies from the
+# traffic alone. The JSON lands as a CI artifact
+# (advise-<short-sha>.json) so inference verdicts stay diffable across
+# PRs.
+ADVISE_SMOKE_FLAGS = -advise -advusers 512 -advthreads 4 -advops 1500
+ADVISE_JSON        = advise-smoke.json
+
 # Chaos smoke: the fault-injected storm (internal/chaos) under the race
 # detector — seeded resets, stalls and torn writes against a live server,
 # asserting zero panics, zero goroutine leaks and exact convergence. The
@@ -59,7 +75,7 @@ CHAOS_JSON = chaos-smoke.json
 
 COVER_PROFILE = coverage.out
 
-.PHONY: build test race bench-smoke bench-flat bench-compare server-smoke net-smoke openloop-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
+.PHONY: build test race bench-smoke bench-flat bench-compare server-smoke net-smoke openloop-smoke frontier-baseline frontier-compare advise-smoke chaos-smoke cover fmt fmt-check vet docs-check api api-check deprecations
 
 build:
 	$(GO) build ./...
@@ -95,6 +111,20 @@ net-smoke:
 openloop-smoke:
 	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -json $(FRONTIER_JSON)
 	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -chaos -json $(FRONTIER_CHAOS_JSON)
+
+# Regenerate the checked-in frontier baseline (run on a quiet machine,
+# then commit BENCH_frontier.json).
+frontier-baseline:
+	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -json $(FRONTIER_BASELINE)
+
+# Walk the clean frontier fresh and compare against the checked-in
+# baseline, cell by cell.
+frontier-compare:
+	$(GO) run ./cmd/retwis-bench $(OPENLOOP_SMOKE_FLAGS) -json $(FRONTIER_JSON)
+	$(GO) run ./cmd/benchcmp $(BENCHCMP_FLAGS) $(FRONTIER_BASELINE) $(FRONTIER_JSON)
+
+advise-smoke:
+	$(GO) run ./cmd/retwis-bench $(ADVISE_SMOKE_FLAGS) -json $(ADVISE_JSON)
 
 # abspath: go test runs with the package dir as cwd, and the summary should
 # land at the repo root where CI picks it up.

@@ -19,9 +19,20 @@
 // Only points present in both files are compared — a new figure or object
 // in one file is listed as unmatched, never an error, so adding a workload
 // does not break the comparison against an older baseline.
+//
+// benchcmp also compares open-loop frontier artifacts (the -json output of
+// retwis-bench -openloop, a JSON array of frontier points). The file shape
+// selects the mode: two arrays compare as frontiers, two objects as
+// dego-bench artifacts, one of each is an error. Frontier cells are keyed
+// by (store, shards, pipeline, workers, process, faulted, target rate) and
+// judged on two metrics per cell: achieved rate (a regression when the
+// ratio falls below 1-band) and p99 latency (a regression when the ratio
+// rises above 1+band). Latency at a saturated cell measures queueing, not
+// the server, so p99 is only judged when both runs stayed unsaturated.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +41,7 @@ import (
 	"sort"
 
 	"github.com/adjusted-objects/dego/internal/bench"
+	"github.com/adjusted-objects/dego/internal/retwis"
 )
 
 // artifact mirrors cmd/dego-bench's writeJSON payload.
@@ -64,11 +76,27 @@ func run(args []string, w io.Writer) error {
 	if fs.NArg() != 2 {
 		return fmt.Errorf("want two arguments: old.json new.json (got %d)", fs.NArg())
 	}
-	oldArt, err := load(fs.Arg(0))
+	oldBlob, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	newArt, err := load(fs.Arg(1))
+	newBlob, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if isArray(oldBlob) != isArray(newBlob) {
+		return fmt.Errorf("%s and %s are different artifact kinds (one frontier array, one dego-bench object)",
+			fs.Arg(0), fs.Arg(1))
+	}
+	if isArray(oldBlob) {
+		return runFrontier(w, *band, *fail, fs.Arg(0), oldBlob, fs.Arg(1), newBlob)
+	}
+
+	oldArt, err := load(fs.Arg(0), oldBlob)
+	if err != nil {
+		return err
+	}
+	newArt, err := load(fs.Arg(1), newBlob)
 	if err != nil {
 		return err
 	}
@@ -138,16 +166,133 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-func load(path string) (*artifact, error) {
-	blob, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+func load(path string, blob []byte) (*artifact, error) {
 	var a artifact
 	if err := json.Unmarshal(blob, &a); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &a, nil
+}
+
+// isArray reports whether a JSON document's top level is an array — the
+// shape that distinguishes a frontier artifact from a dego-bench one.
+func isArray(blob []byte) bool {
+	trimmed := bytes.TrimLeft(blob, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '['
+}
+
+// fpoint is one comparable frontier cell, keyed by everything that
+// identifies the experiment except the measurements.
+type fpoint struct {
+	Store            string
+	Shards, Pipeline int
+	Workers          int
+	Process          string
+	Faulted          bool
+	TargetRate       float64
+}
+
+func flattenFrontier(pts []retwis.FrontierPoint) map[fpoint]retwis.FrontierPoint {
+	out := map[fpoint]retwis.FrontierPoint{}
+	for _, p := range pts {
+		k := fpoint{p.Store, p.Shards, p.Pipeline, p.Workers, p.Process, p.Faulted, p.TargetRate}
+		if prev, ok := out[k]; !ok || p.ElapsedMS > prev.ElapsedMS {
+			out[k] = p
+		}
+	}
+	return out
+}
+
+// runFrontier compares two open-loop frontier artifacts cell by cell. A
+// cell regresses when achieved rate drops below 1-band of the baseline, or
+// — when both runs absorbed the offered rate — when p99 rises above 1+band.
+func runFrontier(w io.Writer, band float64, fail bool, oldPath string, oldBlob []byte, newPath string, newBlob []byte) error {
+	var oldRaw, newRaw []retwis.FrontierPoint
+	if err := json.Unmarshal(oldBlob, &oldRaw); err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	if err := json.Unmarshal(newBlob, &newRaw); err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	oldPts, newPts := flattenFrontier(oldRaw), flattenFrontier(newRaw)
+
+	keys := make([]fpoint, 0, len(oldPts))
+	for k := range oldPts {
+		if _, ok := newPts[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Store != b.Store {
+			return a.Store < b.Store
+		}
+		if a.Faulted != b.Faulted {
+			return !a.Faulted
+		}
+		if a.Shards != b.Shards {
+			return a.Shards < b.Shards
+		}
+		if a.Pipeline != b.Pipeline {
+			return a.Pipeline < b.Pipeline
+		}
+		return a.TargetRate < b.TargetRate
+	})
+
+	regressions := 0
+	fmt.Fprintf(w, "%-10s %6s %5s %8s %10s %10s %7s %9s %9s %7s  %s\n",
+		"store", "shards", "pipe", "target/s", "old ach/s", "new ach/s", "rate", "old p99", "new p99", "p99", "verdict")
+	for _, k := range keys {
+		o, n := oldPts[k], newPts[k]
+		rateRatio, p99Ratio := 0.0, 0.0
+		if o.AchievedRate > 0 {
+			rateRatio = n.AchievedRate / o.AchievedRate
+		}
+		if o.P99us > 0 {
+			p99Ratio = float64(n.P99us) / float64(o.P99us)
+		}
+		judgeLatency := !o.Saturated && !n.Saturated && o.P99us > 0 && n.P99us > 0
+		verdict := "ok"
+		switch {
+		case o.AchievedRate == 0 || n.AchievedRate == 0:
+			verdict = "no-data"
+		case rateRatio < 1-band:
+			verdict = "REGRESSION(rate)"
+			regressions++
+		case judgeLatency && p99Ratio > 1+band:
+			verdict = "REGRESSION(p99)"
+			regressions++
+		case rateRatio > 1+band || (judgeLatency && p99Ratio < 1-band):
+			verdict = "improved"
+		case !judgeLatency:
+			verdict = "ok(rate-only)"
+		}
+		fmt.Fprintf(w, "%-10s %6d %5d %8.0f %10.0f %10.0f %6.2fx %8dµs %8dµs %6.2fx  %s\n",
+			k.Store, k.Shards, k.Pipeline, k.TargetRate,
+			o.AchievedRate, n.AchievedRate, rateRatio, o.P99us, n.P99us, p99Ratio, verdict)
+	}
+	fmt.Fprintf(w, "\n%d frontier cell(s) compared (band ±%.0f%%), %d regression(s)",
+		len(keys), band*100, regressions)
+	un := 0
+	for k := range oldPts {
+		if _, ok := newPts[k]; !ok {
+			un++
+		}
+	}
+	for k := range newPts {
+		if _, ok := oldPts[k]; !ok {
+			un++
+		}
+	}
+	if un > 0 {
+		fmt.Fprintf(w, ", %d cell(s) only in one file", un)
+	}
+	fmt.Fprintln(w)
+
+	if fail && regressions > 0 {
+		return fmt.Errorf("%d frontier cell(s) regressed beyond the ±%.0f%% band", regressions, band*100)
+	}
+	return nil
 }
 
 // flatten indexes every series point of an artifact by its identity. A

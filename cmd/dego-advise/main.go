@@ -1,0 +1,94 @@
+// Command dego-advise renders the tuning advisor's output: the per-table
+// advice JSON that `retwis-bench -advise -json` writes (or a `DEBUG
+// ADVISE` reply saved to a file) becomes a readable report — current plan,
+// certified recommendation, ready-to-paste option expressions, evidence
+// and counter-evidence, and whether each hand-tuned declaration was
+// rediscovered.
+//
+// Usage:
+//
+//	dego-advise advise.json            # text report
+//	dego-advise -json advise.json      # normalized JSON to stdout
+//	retwis-bench -advise -json a.json && dego-advise a.json
+//
+// The input is either a JSON array of per-table advice objects (the
+// retwis replay artifact) or a bare array of advice objects (the DEBUG
+// ADVISE reply, one per server shard); the latter is rendered with
+// shard indices as table names.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/adjusted-objects/dego"
+	"github.com/adjusted-objects/dego/internal/retwis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dego-advise:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dego-advise", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit normalized per-table advice JSON instead of the text report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want one argument: the advice JSON file (got %d)", fs.NArg())
+	}
+	path := fs.Arg(0)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tables, err := decode(blob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+	retwis.WriteAdviceReport(w, path, tables)
+	return nil
+}
+
+// decode accepts both artifact shapes: the retwis replay's
+// []TableAdvice, and DEBUG ADVISE's bare []dego.Advice (one per shard).
+func decode(blob []byte) ([]retwis.TableAdvice, error) {
+	var tables []retwis.TableAdvice
+	if err := json.Unmarshal(blob, &tables); err == nil && tabled(tables) {
+		return tables, nil
+	}
+	var advs []dego.Advice
+	if err := json.Unmarshal(blob, &advs); err != nil {
+		return nil, fmt.Errorf("neither a per-table advice array nor an advice array: %w", err)
+	}
+	tables = make([]retwis.TableAdvice, len(advs))
+	for i, a := range advs {
+		tables[i] = retwis.TableAdvice{Table: fmt.Sprintf("shard%d", i), Advice: a}
+	}
+	return tables, nil
+}
+
+// tabled reports whether the decode produced real table entries — a bare
+// advice array also unmarshals into []TableAdvice, but with every Table
+// name empty.
+func tabled(tables []retwis.TableAdvice) bool {
+	for _, t := range tables {
+		if t.Table == "" {
+			return false
+		}
+	}
+	return len(tables) > 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/adjusted-objects/dego"
+	"github.com/adjusted-objects/dego/internal/advisor"
+	"github.com/adjusted-objects/dego/internal/retwis"
+)
+
+func sampleAdvice() dego.Advice {
+	return dego.Advice{
+		Datatype: "Map",
+		Current: advisor.Current{
+			Datatype: "Map", Variant: "M1", Mode: "ALL", Rep: "LockedMap",
+		},
+		CommutingWriters: true,
+		Options:          []string{"dego.CommutingWriters()"},
+		Variant:          "M2",
+		Mode:             "CWMR",
+		Certified:        true,
+		Evidence:         []string{"commuting-writers: every key written by exactly one thread"},
+	}
+}
+
+func writeAdviceFile(t *testing.T, name string, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRendersTableArtifact(t *testing.T) {
+	path := writeAdviceFile(t, "tables.json", []retwis.TableAdvice{
+		{Table: "followers", Declared: "(M2, CWMR)", Advice: sampleAdvice()},
+	})
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"## followers", "(M2, CWMR)", "dego.CommutingWriters()",
+		"[certified]", "rediscovered",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRendersBareAdviceArrayAsShards(t *testing.T) {
+	path := writeAdviceFile(t, "shards.json", []dego.Advice{sampleAdvice(), sampleAdvice()})
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"## shard0", "## shard1", "(M2, CWMR)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestJSONModeRoundTrips(t *testing.T) {
+	path := writeAdviceFile(t, "tables.json", []retwis.TableAdvice{
+		{Table: "followers", Declared: "(M2, CWMR)", Advice: sampleAdvice()},
+	})
+	var out strings.Builder
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var tables []retwis.TableAdvice
+	if err := json.Unmarshal([]byte(out.String()), &tables); err != nil {
+		t.Fatalf("re-emitted JSON does not parse: %v", err)
+	}
+	if len(tables) != 1 || tables[0].Table != "followers" || !tables[0].Rediscovered() {
+		t.Fatalf("round trip lost data: %+v", tables)
+	}
+}
+
+func TestRejectsNonAdviceInput(t *testing.T) {
+	path := writeAdviceFile(t, "bad.json", map[string]int{"not": 1})
+	if err := run([]string{path}, &strings.Builder{}); err == nil {
+		t.Fatal("run accepted a non-array input")
+	}
+}

@@ -13,6 +13,8 @@
 //	-store     shard map kind: adaptive, segmented, striped or flat
 //	-capacity  per-shard capacity hint for the planner
 //	-ranges    adaptive ranges per shard map
+//	-record    attach usage recorders to the shard maps, enabling the
+//	           DEBUG ADVISE tuning-advisor verb (a profiling mode)
 //	-pipeline  max commands executed per pipeline batch
 //	-maxconns  cap on concurrent connections; one over the cap is answered
 //	           "-ERR max clients reached" and closed (0 = unlimited)
@@ -57,6 +59,7 @@ func run(args []string, out *os.File) error {
 		"shard map kind: "+strings.Join(server.StoreKinds(), ", "))
 	capacity := fs.Int("capacity", 0, "per-shard capacity hint (0 = default)")
 	ranges := fs.Int("ranges", 0, "adaptive ranges per shard (0 = default)")
+	record := fs.Bool("record", false, "attach usage recorders to the shard maps (DEBUG ADVISE)")
 	pipeline := fs.Int("pipeline", 0, "max commands per pipeline batch (0 = default)")
 	maxconns := fs.Int("maxconns", 0, "max concurrent connections (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "per-connection idle/read/write deadline (0 = none)")
@@ -73,6 +76,7 @@ func run(args []string, out *os.File) error {
 			Kind:     *store,
 			Capacity: *capacity,
 			Ranges:   *ranges,
+			Record:   *record,
 		},
 		MaxPipeline:  *pipeline,
 		MaxConns:     *maxconns,

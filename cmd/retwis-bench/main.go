@@ -36,6 +36,17 @@
 //	             [-pipelines 8] [-rates 2k,4k,8k] [-olduration 1s]
 //	             [-olworkers 4] [-arrivals poisson] [-json frontier.json]
 //	retwis-bench -openloop -chaos [-chaosseed 42]
+//
+// -advise switches to the tuning-advisor replay: the same Table-2 workload
+// runs against a backend whose shared objects are built with NO adjustment
+// declared but with usage recorders attached, and the advisor reports the
+// declarations the observed traffic would have certified — rediscovering
+// the commuting-writers maps, single-consumer timelines, and write-once
+// metadata the hand-tuned backends declare. -json writes the per-table
+// advice as a JSON array (rendered by dego-advise):
+//
+//	retwis-bench -advise [-advusers 2000] [-advthreads 4] [-advops 2000]
+//	             [-json advise.json]
 package main
 
 import (
@@ -92,10 +103,18 @@ func run(args []string) error {
 	arrivals := fs.String("arrivals", "poisson", "arrival process for -openloop: poisson or uniform")
 	chaosMode := fs.Bool("chaos", false, "run the -openloop sweep through a fault-injecting dialer")
 	chaosSeed := fs.Int64("chaosseed", 42, "fault schedule seed for -chaos")
+
+	adviseMode := fs.Bool("advise", false, "advisor mode: replay the workload unadjusted-with-recorders and print recommended declarations")
+	advUsers := fs.Int("advusers", 2000, "seeded users for -advise")
+	advThreads := fs.Int("advthreads", 4, "worker threads for -advise")
+	advOps := fs.Int("advops", 2000, "ops per thread for -advise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *adviseMode {
+		return runAdvise(*advUsers, *advThreads, *advOps, *alpha, *jsonPath)
+	}
 	if *openLoop {
 		return runOpenLoop(openLoopArgs{
 			addr: *netAddr, stores: *storesFlag, shardCounts: *shardsOL,
@@ -142,6 +161,28 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown figure %q (want 9, 10 or all)", *fig)
 	}
+}
+
+// runAdvise replays the Table-2 workload against an unadjusted,
+// recorder-instrumented backend and reports the declarations the tuning
+// advisor would recommend — the profiles the hand-tuned backends declare,
+// rediscovered from traffic. -json additionally writes the per-table
+// advice as a JSON array (the CI artifact).
+func runAdvise(users, threads, ops int, alpha float64, jsonPath string) error {
+	p := retwis.DefaultParams()
+	p.Users = users
+	p.Threads = threads
+	p.OpsPerThread = ops
+	p.Alpha = alpha
+	tables, err := retwis.AdviseRun(p)
+	if err != nil {
+		return err
+	}
+	retwis.WriteAdviceReport(os.Stdout, retwis.AdviseHeader(p), tables)
+	if jsonPath != "" {
+		return writeJSON(jsonPath, tables, len(tables))
+	}
+	return nil
 }
 
 // runNet measures latency-vs-throughput points: one per store kind when

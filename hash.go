@@ -76,6 +76,21 @@ func intKeyCodec[K comparable]() (enc func(K) uint64, dec func(uint64) K, ok boo
 	return nil, nil, false
 }
 
+// recordHash resolves the hash a usage recorder uses for key evidence. It
+// accepts everything resolveHash does, plus named integer key types via
+// the flat family's codec (so recording a flat-eligible object never
+// demands a WithHash declaration that would break its flat eligibility).
+func recordHash[K comparable](dt string, p *profile) (func(K) uint64, error) {
+	if p.hash != nil || defaultHasher[K]() != nil {
+		return resolveHash[K](dt, p)
+	}
+	if f := fastIntHasher[K](); f != nil {
+		return f, nil
+	}
+	var zero K
+	return nil, invalid(dt, "usage recording hashes written keys for evidence; no hasher for key type %T: pass WithHash(func(%T) uint64)", zero, zero)
+}
+
 // resolveHash produces the hash function a keyed plan will use: an explicit
 // WithHash if declared (rejecting a mismatched key type), else the default
 // hasher for built-in key types, else a typed rejection — never a nil

@@ -1,0 +1,378 @@
+// Package advisor is the inference half of the tuning advisor: it maps a
+// usage.Trace — what a usage.Recorder actually observed — to the most
+// adjusted declared profile the evidence permits, in the paper's terms:
+// the Blind and WriteOnce narrowings, the SingleWriter / SingleReader /
+// CommutingWriters access restrictions, and a Capacity hint that would
+// make an integer-keyed object eligible for the flat family.
+//
+// The advisor closes the loop the ROADMAP's profile-inference item asks
+// for: run unadjusted-with-recorder, then learn which declarations the
+// observed traffic would have permitted. It stays principled the same way
+// the planner does: every recommendation is re-validated through
+// spec.ValidateAdjustment (the executable Definition 1), and each Advice
+// carries both the evidence that justifies the claim and the
+// counter-evidence that blocked stronger ones.
+//
+// Claims only ever follow positive evidence, and every source of
+// uncertainty blocks rather than grants: anonymous (handle-free) writes
+// block SingleWriter and the key-disjointness route to CommutingWriters,
+// a saturated key table blocks CommutingWriters and WriteOnce, and a
+// trace with no writes at all supports no write-side restriction. The
+// one datatype-level exception is the counter, whose increments commute
+// by construction — there CommutingWriters follows from the interface,
+// not from observed key disjointness.
+package advisor
+
+import (
+	"fmt"
+
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/spec"
+	"github.com/adjusted-objects/dego/internal/usage"
+)
+
+// Current identifies the declared plan of the object whose trace is being
+// advised, as reported by its Plan(): the Table 1 variant label, the §4.2
+// mode, and the representation the planner picked.
+type Current struct {
+	Datatype string `json:"datatype"`
+	Variant  string `json:"variant"`
+	Mode     string `json:"mode"`
+	Rep      string `json:"rep,omitempty"`
+}
+
+// Advice is one certified recommendation: the profile the evidence
+// permits, the Table 1 object it plans to, whether Definition 1 certifies
+// that object, and the reasoning in both directions.
+type Advice struct {
+	Datatype string  `json:"datatype"`
+	Current  Current `json:"current"`
+
+	// The recommended declaration, as individual claims and as dego
+	// option expressions ready to paste into a constructor call.
+	Blind            bool     `json:"blind,omitempty"`
+	WriteOnce        bool     `json:"write_once,omitempty"`
+	SingleWriter     bool     `json:"single_writer,omitempty"`
+	SingleReader     bool     `json:"single_reader,omitempty"`
+	CommutingWriters bool     `json:"commuting_writers,omitempty"`
+	Capacity         int      `json:"capacity,omitempty"`
+	Options          []string `json:"options"`
+
+	// The Table 1 object the recommended profile plans to.
+	Variant string `json:"variant"`
+	Mode    string `json:"mode"`
+
+	// Certified reports that spec.ValidateAdjustment accepted
+	// (Variant, Mode) as a Definition 1 adjustment of the family base;
+	// CertError carries the rejection otherwise. An uncertified Advice
+	// must not be acted on (and is a bug: the advisor only proposes
+	// catalog objects).
+	Certified bool   `json:"certified"`
+	CertError string `json:"cert_error,omitempty"`
+
+	// Evidence justifies each claim; CounterEvidence records what blocked
+	// stronger claims (second writers, overwrites, anonymous traffic,
+	// key-table saturation).
+	Evidence        []string `json:"evidence"`
+	CounterEvidence []string `json:"counter_evidence,omitempty"`
+
+	// Trace is the observation window the advice was inferred from.
+	Trace usage.Trace `json:"trace"`
+}
+
+// MatchesCurrent reports whether the recommendation is the declaration the
+// object already has (same Table 1 variant and mode) — i.e. the profile is
+// already as adjusted as the evidence permits.
+func (a Advice) MatchesCurrent() bool {
+	return a.Variant == a.Current.Variant && a.Mode == a.Current.Mode
+}
+
+// Declared renders the recommended Table 1 object as "(M2, CWMR)", the
+// same shape Plan.Declared uses.
+func (a Advice) Declared() string { return "(" + a.Variant + ", " + a.Mode + ")" }
+
+// facts holds the cardinality judgements shared by every datatype's rules,
+// with the counter-evidence discovered while judging them.
+type facts struct {
+	tr           usage.Trace
+	singleWriter bool
+	singleReader bool
+	commuting    bool // by observed key disjointness
+	writeOnce    bool
+	against      []string
+}
+
+func judge(tr usage.Trace) *facts {
+	f := &facts{tr: tr}
+
+	switch {
+	case tr.Writes == 0:
+		f.against = append(f.against, "no writes observed: writer restrictions unsupported")
+	case tr.AnonWrites > 0:
+		f.against = append(f.against, fmt.Sprintf(
+			"%d writes carry no thread attribution: writer cardinality unknown", tr.AnonWrites))
+	case tr.Writers == 1:
+		f.singleWriter = true
+	default:
+		f.against = append(f.against, fmt.Sprintf(
+			"single-writer blocked: writes from %d threads", tr.Writers))
+	}
+
+	switch {
+	case tr.Reads == 0:
+		f.against = append(f.against, "no reads observed: reader restrictions unsupported")
+	case tr.AnonReads > 0:
+		f.against = append(f.against, fmt.Sprintf(
+			"%d reads carry no thread attribution: reader cardinality unknown", tr.AnonReads))
+	case tr.Readers == 1:
+		f.singleReader = true
+	default:
+		f.against = append(f.against, fmt.Sprintf(
+			"single-reader blocked: reads from %d threads", tr.Readers))
+	}
+
+	if tr.Writes > 0 && tr.Writers > 1 && tr.AnonWrites == 0 {
+		switch {
+		case tr.KeysSaturated:
+			f.against = append(f.against,
+				"commuting-writers blocked: key table saturated, key history incomplete")
+		case tr.SharedKeys > 0:
+			f.against = append(f.against, fmt.Sprintf(
+				"commuting-writers blocked: %d of %d keys written by more than one thread",
+				tr.SharedKeys, tr.Keys))
+		default:
+			f.commuting = true
+		}
+	}
+
+	switch {
+	case tr.Writes == 0:
+		// already noted above
+	case tr.KeysSaturated:
+		f.against = append(f.against,
+			"write-once blocked: key table saturated, overwrite history incomplete")
+	case tr.Overwrites > 0:
+		f.against = append(f.against, fmt.Sprintf(
+			"write-once blocked: %d overwrites of already-written state", tr.Overwrites))
+	default:
+		f.writeOnce = true
+	}
+
+	return f
+}
+
+// Advise infers the most adjusted profile cur's datatype permits under the
+// evidence in tr, certified against Definition 1. Unknown datatypes get an
+// uncertified zero recommendation.
+func Advise(cur Current, tr usage.Trace) Advice {
+	a := Advice{Datatype: cur.Datatype, Current: cur, Trace: tr}
+	f := judge(tr)
+
+	switch cur.Datatype {
+	case "Counter":
+		adviseCounter(&a, f)
+	case "Map":
+		adviseKeyed(&a, f, "M1", "M2", "M2")
+	case "Ordered":
+		// Ordered shares Map's catalog rows (M1/M2): an ordered map
+		// narrows M1's interface no differently.
+		adviseKeyed(&a, f, "M1", "M2", "M2")
+	case "Set":
+		adviseKeyed(&a, f, "S1", "S2", "S3")
+	case "Queue":
+		adviseQueue(&a, f)
+	case "Ref":
+		adviseRef(&a, f)
+	default:
+		a.CertError = fmt.Sprintf("advisor: unknown datatype %q", cur.Datatype)
+		return a
+	}
+
+	a.CounterEvidence = f.against
+	a.Options = optionExprs(a)
+	if err := spec.ValidateAdjustment(a.Variant, modeOf(a.Mode)); err != nil {
+		a.CertError = err.Error()
+	} else {
+		a.Certified = true
+	}
+	return a
+}
+
+// adviseCounter: dego counters are increment-only through the wrapper
+// interface, so Blind holds whenever writes were observed and
+// CommutingWriters holds by datatype. The reader side decides how far the
+// adjustment goes: one attributed reader unlocks the per-thread cells of
+// (C3, CWSR); otherwise the commuting declaration with a Capacity for the
+// flat cells keeps (C3, CWMR); a single writer needs no sharing machinery
+// at all and stays on the atomic cell as (C3, SWMR).
+func adviseCounter(a *Advice, f *facts) {
+	tr := f.tr
+	if tr.Writes == 0 {
+		a.Variant, a.Mode = a.Current.Variant, a.Current.Mode
+		if a.Variant == "" {
+			a.Variant, a.Mode = "C2", core.ModeAll.String()
+		}
+		return
+	}
+	a.Blind = true
+	a.Evidence = append(a.Evidence, fmt.Sprintf(
+		"blind: all %d writes used the void Inc/Add interface (no write observes prior state)",
+		tr.Writes))
+	a.Variant = "C3"
+	switch {
+	case f.singleReader:
+		// SWSR is not a permission map, so even a single-writer trace
+		// declares the reader restriction: CWSR unlocks the strongest
+		// counter (per-thread cells, wait-free blind increments).
+		a.SingleReader = true
+		a.Mode = core.ModeCWSR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"single-reader: all %d reads from one thread (counter writes commute by datatype, so SingleReader alone declares CWSR)",
+			tr.Reads))
+	case f.singleWriter:
+		a.SingleWriter = true
+		a.Mode = core.ModeSWMR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"single-writer: all %d writes from one thread (an uncontended atomic cell suffices)",
+			tr.Writes))
+	default:
+		a.CommutingWriters = true
+		a.Mode = core.ModeCWMR.String()
+		a.Evidence = append(a.Evidence,
+			"commuting-writers: counter increments commute by datatype")
+		if tr.AnonWrites == 0 {
+			a.Capacity = nextPow2(tr.Writers)
+			a.Evidence = append(a.Evidence, fmt.Sprintf(
+				"capacity %d covers the %d observed writer threads (flat per-thread cells, no CAS loop)",
+				a.Capacity, tr.Writers))
+		}
+	}
+}
+
+// adviseKeyed handles the Map/Ordered/Set families: SingleWriter when one
+// attributed thread wrote, else CommutingWriters when the observed keys
+// were thread-disjoint, else the unrestricted baseline. Reader
+// restrictions are never claimed — keyed reads carry no handle, and no
+// keyed representation exploits a single reader alone. The distinct-key
+// count becomes the Capacity hint that makes an integer-keyed object
+// flat-eligible.
+func adviseKeyed(a *Advice, f *facts, base, swmrVariant, cwVariant string) {
+	tr := f.tr
+	switch {
+	case f.singleWriter:
+		a.SingleWriter = true
+		a.Variant, a.Mode = swmrVariant, core.ModeSWMR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"single-writer: all %d writes across %d keys from one thread", tr.Writes, tr.Keys))
+	case f.commuting:
+		a.CommutingWriters = true
+		a.Variant, a.Mode = cwVariant, core.ModeCWMR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"commuting-writers: %d writes from %d threads, every one of %d keys written by a single thread (writes of distinct threads target distinct keys and commute)",
+			tr.Writes, tr.Writers, tr.Keys))
+	default:
+		a.Variant, a.Mode = base, core.ModeAll.String()
+	}
+	if tr.Keys > 0 && !tr.KeysSaturated {
+		a.Capacity = nextPow2(int(2 * tr.Keys))
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"capacity %d covers the %d observed keys with headroom (flat-family eligibility for integer keys)",
+			a.Capacity, tr.Keys))
+	}
+}
+
+// adviseQueue: the only adjusted queue is the multi-producer
+// single-consumer (Q1, MWSR); its evidence is one attributed thread on
+// the consumer side (Poll/Peek/IsEmpty/Drain record as reads).
+func adviseQueue(a *Advice, f *facts) {
+	tr := f.tr
+	a.Variant, a.Mode = "Q1", core.ModeAll.String()
+	if f.singleReader {
+		a.SingleReader = true
+		a.Mode = core.ModeMWSR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"single-reader: all %d consumer operations from one thread (producers never touch the consumer's head)",
+			tr.Reads))
+	}
+}
+
+// adviseRef: one observed Set of the referent supports the WriteOnce
+// narrowing (R2); failing that, one attributed writer supports the RCU
+// box's SWMR. Reference writes replace the referent and never commute,
+// and no single-reader representation exists, so those claims are never
+// made.
+func adviseRef(a *Advice, f *facts) {
+	tr := f.tr
+	switch {
+	case f.writeOnce && tr.Writes > 0:
+		a.WriteOnce = true
+		a.Variant = "R2"
+		a.Mode = core.ModeAll.String()
+		a.Evidence = append(a.Evidence,
+			"write-once: the referent was set exactly once and never replaced")
+		if f.singleWriter {
+			a.SingleWriter = true
+			a.Mode = core.ModeSWMR.String()
+			a.Evidence = append(a.Evidence,
+				"single-writer: the initializing write came from one thread")
+		}
+	case f.singleWriter:
+		a.SingleWriter = true
+		a.Variant, a.Mode = "R1", core.ModeSWMR.String()
+		a.Evidence = append(a.Evidence, fmt.Sprintf(
+			"single-writer: all %d referent replacements from one thread (RCU readers take immutable snapshots)",
+			tr.Writes))
+	default:
+		a.Variant, a.Mode = "R1", core.ModeAll.String()
+	}
+}
+
+// optionExprs renders the recommended profile as dego option expressions.
+func optionExprs(a Advice) []string {
+	var opts []string
+	if a.Blind {
+		opts = append(opts, "dego.Blind()")
+	}
+	if a.WriteOnce {
+		opts = append(opts, "dego.WriteOnce()")
+	}
+	if a.SingleWriter {
+		opts = append(opts, "dego.SingleWriter()")
+	}
+	if a.SingleReader {
+		opts = append(opts, "dego.SingleReader()")
+	}
+	if a.CommutingWriters {
+		opts = append(opts, "dego.CommutingWriters()")
+	}
+	if a.Capacity > 0 {
+		opts = append(opts, fmt.Sprintf("dego.Capacity(%d)", a.Capacity))
+	}
+	if len(opts) == 0 {
+		opts = []string{"(no adjustment supported by the evidence)"}
+	}
+	return opts
+}
+
+// modeOf parses the paper's mode name back to the core.Mode the spec
+// checker wants. Unknown names map to an invalid mode, which
+// ValidateAdjustment rejects.
+func modeOf(name string) core.Mode {
+	for _, m := range []core.Mode{core.ModeAll, core.ModeSWMR, core.ModeMWSR, core.ModeCWMR, core.ModeCWSR} {
+		if m.String() == name {
+			return m
+		}
+	}
+	return core.Mode(0)
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

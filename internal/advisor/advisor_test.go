@@ -1,0 +1,352 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adjusted-objects/dego/internal/core"
+	"github.com/adjusted-objects/dego/internal/spec"
+	"github.com/adjusted-objects/dego/internal/usage"
+)
+
+// handles registers n handles on a fresh registry and returns them with
+// the recorder.
+func handles(t *testing.T, n, keyCells int) (*usage.Recorder, []*core.Handle) {
+	t.Helper()
+	reg := core.NewRegistry(max(n, 1))
+	hs := make([]*core.Handle, n)
+	for i := range hs {
+		h, err := reg.Register()
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		t.Cleanup(h.Release)
+		hs[i] = h
+	}
+	return usage.NewRecorderKeys(reg, keyCells), hs
+}
+
+func mustCertified(t *testing.T, a Advice) {
+	t.Helper()
+	if !a.Certified {
+		t.Fatalf("advice %s for %s not certified: %s", a.Declared(), a.Datatype, a.CertError)
+	}
+	// Re-run the executable Definition 1 directly: the advice's claim and
+	// the spec must agree.
+	if err := spec.ValidateAdjustment(a.Variant, modeOf(a.Mode)); err != nil {
+		t.Fatalf("spec rejects %s: %v", a.Declared(), err)
+	}
+}
+
+// TestSingleWriterMapRoundTrip: one thread writes many keys, others read →
+// the advisor must recommend exactly SingleWriter, planning (M2, SWMR).
+func TestSingleWriterMapRoundTrip(t *testing.T) {
+	r, hs := handles(t, 3, 256)
+	w := usage.SlotOf(hs[0])
+	for k := uint64(1); k <= 50; k++ {
+		r.RecordWrite(usage.MethodPut, w, k)
+	}
+	for range 100 {
+		r.RecordRead(usage.MethodGet, usage.AnonSlot)
+	}
+
+	a := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL", Rep: "StripedMap"}, r.Trace())
+	if !a.SingleWriter || a.CommutingWriters || a.Blind || a.WriteOnce || a.SingleReader {
+		t.Fatalf("want exactly SingleWriter, got %+v", a)
+	}
+	if a.Variant != "M2" || a.Mode != "SWMR" {
+		t.Fatalf("want (M2, SWMR), got %s", a.Declared())
+	}
+	mustCertified(t, a)
+	if a.MatchesCurrent() {
+		t.Fatal("recommendation must differ from the unadjusted current plan")
+	}
+}
+
+// TestWriteOnceRefRoundTrip: a referent set exactly once by one thread →
+// WriteOnce + SingleWriter, planning (R2, SWMR).
+func TestWriteOnceRefRoundTrip(t *testing.T) {
+	r, hs := handles(t, 2, 4)
+	r.RecordWrite(usage.MethodSet, usage.SlotOf(hs[0]), usage.UnkeyedKey)
+	for range 10 {
+		r.RecordRead(usage.MethodGet, usage.SlotOf(hs[1]))
+	}
+
+	a := Advise(Current{Datatype: "Ref", Variant: "R1", Mode: "ALL", Rep: "AtomicRef"}, r.Trace())
+	if !a.WriteOnce || !a.SingleWriter {
+		t.Fatalf("want WriteOnce+SingleWriter, got %+v", a)
+	}
+	if a.Variant != "R2" || a.Mode != "SWMR" {
+		t.Fatalf("want (R2, SWMR), got %s", a.Declared())
+	}
+	mustCertified(t, a)
+}
+
+// TestCommutingCounterRoundTrip: many threads increment, one thread reads
+// → Blind + SingleReader, planning the paper's (C3, CWSR).
+func TestCommutingCounterRoundTrip(t *testing.T) {
+	r, hs := handles(t, 4, 4)
+	for _, h := range hs {
+		for range 25 {
+			r.RecordWrite(usage.MethodInc, usage.SlotOf(h), usage.UnkeyedKey)
+		}
+	}
+	for range 10 {
+		r.RecordRead(usage.MethodGet, usage.SlotOf(hs[0]))
+	}
+
+	a := Advise(Current{Datatype: "Counter", Variant: "C2", Mode: "ALL", Rep: "AtomicCounter"}, r.Trace())
+	if !a.Blind || !a.SingleReader {
+		t.Fatalf("want Blind+SingleReader, got %+v", a)
+	}
+	if a.Variant != "C3" || a.Mode != "CWSR" {
+		t.Fatalf("want (C3, CWSR), got %s", a.Declared())
+	}
+	mustCertified(t, a)
+}
+
+// TestCommutingWritersMapRoundTrip: disjoint per-thread keyspaces →
+// CommutingWriters with a Capacity hint, planning (M2, CWMR).
+func TestCommutingWritersMapRoundTrip(t *testing.T) {
+	r, hs := handles(t, 4, 1024)
+	for i, h := range hs {
+		for k := range 50 {
+			r.RecordWrite(usage.MethodPut, usage.SlotOf(h), uint64(i*1000+k+1))
+		}
+	}
+
+	a := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL", Rep: "StripedMap"}, r.Trace())
+	if !a.CommutingWriters || a.SingleWriter {
+		t.Fatalf("want CommutingWriters, got %+v", a)
+	}
+	if a.Variant != "M2" || a.Mode != "CWMR" {
+		t.Fatalf("want (M2, CWMR), got %s", a.Declared())
+	}
+	if a.Capacity < 2*200 {
+		t.Fatalf("capacity hint %d does not cover 200 keys with headroom", a.Capacity)
+	}
+	mustCertified(t, a)
+}
+
+// TestLateSecondWriterDemotes is the adversarial round-trip: a trace that
+// looks single-writer is demoted once a second writer touches an existing
+// key late in the window — and the demotion must skip CommutingWriters
+// too, because the late write shared a key.
+func TestLateSecondWriterDemotes(t *testing.T) {
+	r, hs := handles(t, 2, 256)
+	for k := uint64(1); k <= 50; k++ {
+		r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[0]), k)
+	}
+
+	before := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL"}, r.Trace())
+	if !before.SingleWriter || before.Mode != "SWMR" {
+		t.Fatalf("precondition: want SingleWriter before the intrusion, got %+v", before)
+	}
+
+	// The second writer appears late, on a key the first already owns.
+	r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[1]), 7)
+
+	after := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL"}, r.Trace())
+	if after.SingleWriter {
+		t.Fatal("late second writer must demote SingleWriter")
+	}
+	if after.CommutingWriters {
+		t.Fatal("shared key must block the CommutingWriters fallback")
+	}
+	if after.Variant != "M1" || after.Mode != "ALL" {
+		t.Fatalf("want demotion to (M1, ALL), got %s", after.Declared())
+	}
+	mustCertified(t, after)
+	found := false
+	for _, c := range after.CounterEvidence {
+		if strings.Contains(c, "commuting-writers blocked") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("demotion must carry counter-evidence, got %v", after.CounterEvidence)
+	}
+}
+
+// TestLateSecondWriterDisjointKeysDemotesToCommuting: the gentler
+// adversary — the late writer stays on its own keys, so the demotion
+// lands on CommutingWriters rather than all the way down.
+func TestLateSecondWriterDisjointKeysDemotesToCommuting(t *testing.T) {
+	r, hs := handles(t, 2, 256)
+	for k := uint64(1); k <= 50; k++ {
+		r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[0]), k)
+	}
+	r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[1]), 1000)
+
+	a := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL"}, r.Trace())
+	if a.SingleWriter || !a.CommutingWriters {
+		t.Fatalf("want demotion to CommutingWriters, got %+v", a)
+	}
+	if a.Declared() != "(M2, CWMR)" {
+		t.Fatalf("want (M2, CWMR), got %s", a.Declared())
+	}
+	mustCertified(t, a)
+}
+
+// TestQueueSingleConsumer: consumer-side operations from one thread →
+// SingleReader, the paper's (Q1, MWSR).
+func TestQueueSingleConsumer(t *testing.T) {
+	r, hs := handles(t, 3, 4)
+	for _, h := range hs[:2] {
+		for range 20 {
+			r.RecordWrite(usage.MethodOffer, usage.SlotOf(h), usage.UnkeyedKey)
+		}
+	}
+	for range 30 {
+		r.RecordRead(usage.MethodPoll, usage.SlotOf(hs[2]))
+	}
+
+	a := Advise(Current{Datatype: "Queue", Variant: "Q1", Mode: "ALL", Rep: "MSQueue"}, r.Trace())
+	if !a.SingleReader {
+		t.Fatalf("want SingleReader, got %+v", a)
+	}
+	if a.Declared() != "(Q1, MWSR)" {
+		t.Fatalf("want (Q1, MWSR), got %s", a.Declared())
+	}
+	mustCertified(t, a)
+}
+
+// TestAnonymousWritesBlockClaims: handle-free writes have unknown thread
+// identity; nothing writer-side may be claimed from them.
+func TestAnonymousWritesBlockClaims(t *testing.T) {
+	r, _ := handles(t, 1, 64)
+	for k := uint64(1); k <= 20; k++ {
+		r.RecordWrite(usage.MethodPut, usage.AnonSlot, k)
+	}
+	a := Advise(Current{Datatype: "Map", Variant: "M1", Mode: "ALL"}, r.Trace())
+	if a.SingleWriter || a.CommutingWriters {
+		t.Fatalf("anonymous writes must block writer claims, got %+v", a)
+	}
+	mustCertified(t, a)
+}
+
+// TestDecisionTable pins the advisor's inference rules the way
+// profile_test.go pins the planner's: one row per evidence shape, the
+// exact recommended object and claims for each. A change in inference is
+// a reviewed change to this table.
+func TestDecisionTable(t *testing.T) {
+	type row struct {
+		name     string
+		datatype string
+		build    func(r *usage.Recorder, hs []*core.Handle)
+		threads  int
+		want     string // Declared() of the recommendation
+		options  string // rendered option list
+	}
+	rows := []row{
+		{
+			name: "counter/multi-writer multi-reader", datatype: "Counter", threads: 4,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				for _, h := range hs {
+					r.RecordWrite(usage.MethodInc, usage.SlotOf(h), usage.UnkeyedKey)
+					r.RecordRead(usage.MethodGet, usage.SlotOf(h))
+				}
+			},
+			want:    "(C3, CWMR)",
+			options: "dego.Blind(), dego.CommutingWriters(), dego.Capacity(4)",
+		},
+		{
+			name: "counter/single attributed reader", datatype: "Counter", threads: 4,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				for _, h := range hs {
+					r.RecordWrite(usage.MethodInc, usage.SlotOf(h), usage.UnkeyedKey)
+				}
+				r.RecordRead(usage.MethodGet, usage.SlotOf(hs[0]))
+			},
+			want:    "(C3, CWSR)",
+			options: "dego.Blind(), dego.SingleReader()",
+		},
+		{
+			name: "counter/single writer", datatype: "Counter", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodInc, usage.SlotOf(hs[0]), usage.UnkeyedKey)
+				r.RecordRead(usage.MethodGet, usage.SlotOf(hs[0]))
+				r.RecordRead(usage.MethodGet, usage.SlotOf(hs[1]))
+			},
+			want:    "(C3, SWMR)",
+			options: "dego.Blind(), dego.SingleWriter()",
+		},
+		{
+			name: "map/thread-disjoint keys", datatype: "Map", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[0]), 1)
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[1]), 2)
+			},
+			want:    "(M2, CWMR)",
+			options: "dego.CommutingWriters(), dego.Capacity(4)",
+		},
+		{
+			name: "map/shared key", datatype: "Map", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[0]), 1)
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[1]), 1)
+			},
+			want:    "(M1, ALL)",
+			options: "dego.Capacity(2)",
+		},
+		{
+			name: "set/single writer", datatype: "Set", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodAdd, usage.SlotOf(hs[0]), 1)
+				r.RecordWrite(usage.MethodAdd, usage.SlotOf(hs[0]), 2)
+			},
+			want:    "(S2, SWMR)",
+			options: "dego.SingleWriter(), dego.Capacity(4)",
+		},
+		{
+			name: "ordered/thread-disjoint keys", datatype: "Ordered", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[0]), 10)
+				r.RecordWrite(usage.MethodPut, usage.SlotOf(hs[1]), 20)
+			},
+			want:    "(M2, CWMR)",
+			options: "dego.CommutingWriters(), dego.Capacity(4)",
+		},
+		{
+			name: "queue/multi consumer", datatype: "Queue", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodOffer, usage.SlotOf(hs[0]), usage.UnkeyedKey)
+				r.RecordRead(usage.MethodPoll, usage.SlotOf(hs[0]))
+				r.RecordRead(usage.MethodPoll, usage.SlotOf(hs[1]))
+			},
+			want:    "(Q1, ALL)",
+			options: "(no adjustment supported by the evidence)",
+		},
+		{
+			name: "ref/overwritten single writer", datatype: "Ref", threads: 2,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordWrite(usage.MethodSet, usage.SlotOf(hs[0]), usage.UnkeyedKey)
+				r.RecordWrite(usage.MethodSet, usage.SlotOf(hs[0]), usage.UnkeyedKey)
+			},
+			want:    "(R1, SWMR)",
+			options: "dego.SingleWriter()",
+		},
+		{
+			name: "ref/no writes", datatype: "Ref", threads: 1,
+			build: func(r *usage.Recorder, hs []*core.Handle) {
+				r.RecordRead(usage.MethodGet, usage.SlotOf(hs[0]))
+			},
+			want:    "(R1, ALL)",
+			options: "(no adjustment supported by the evidence)",
+		},
+	}
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			r, hs := handles(t, row.threads, 64)
+			row.build(r, hs)
+			a := Advise(Current{Datatype: row.datatype, Variant: "", Mode: ""}, r.Trace())
+			if got := a.Declared(); got != row.want {
+				t.Fatalf("want %s, got %s (%+v)", row.want, got, a)
+			}
+			if got := strings.Join(a.Options, ", "); got != row.options {
+				t.Fatalf("want options %q, got %q", row.options, got)
+			}
+			mustCertified(t, a)
+		})
+	}
+}

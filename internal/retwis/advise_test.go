@@ -1,0 +1,123 @@
+package retwis
+
+// The acceptance loop of the tuning advisor: replay the Table-2 workload
+// against the unadjusted recorded backend and diff what the advisor
+// recommends against what the hand-tuned backends declare. The advisor
+// must rediscover, from traffic alone, every declaration domain knowledge
+// hand-wrote — the commuting-writers maps and set, the single-consumer
+// timeline queue — and certify each one through Definition 1.
+
+import (
+	"strings"
+	"testing"
+)
+
+func adviseParams() Params {
+	p := DefaultParams()
+	p.Users = 512
+	p.Threads = 4
+	p.OpsPerThread = 1500
+	p.MaxDegree = 32
+	return p
+}
+
+func adviseTables(t *testing.T) map[string]TableAdvice {
+	t.Helper()
+	tables, err := AdviseRun(adviseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]TableAdvice, len(tables))
+	for _, ta := range tables {
+		out[ta.Table] = ta
+	}
+	return out
+}
+
+func TestAdviseRediscoversHandTunedDeclarations(t *testing.T) {
+	tables := adviseTables(t)
+
+	// Every table the DEGO backend hand-declares must be rediscovered
+	// exactly: same Table 1 variant, same mode, certified.
+	for _, name := range []string{"followers", "following", "timelines", "profiles", "community", "timeline:0"} {
+		ta, ok := tables[name]
+		if !ok {
+			t.Fatalf("replay emitted no advice for table %q", name)
+		}
+		if !ta.Advice.Certified {
+			t.Errorf("%s: advice %s not certified: %s", name, ta.Advice.Declared(), ta.Advice.CertError)
+		}
+		if !ta.Rediscovered() {
+			t.Errorf("%s: advisor recommends %s, hand-tuned declaration is %s\nevidence: %v\nagainst: %v",
+				name, ta.Advice.Declared(), ta.Declared, ta.Advice.Evidence, ta.Advice.CounterEvidence)
+		}
+	}
+
+	// The per-user maps: commuting writers, never single-writer (four
+	// worker threads write their own users).
+	for _, name := range []string{"followers", "following", "timelines", "profiles"} {
+		a := tables[name].Advice
+		if !a.CommutingWriters || a.SingleWriter {
+			t.Errorf("%s: want CommutingWriters without SingleWriter, got %+v", name, a)
+		}
+		if a.Declared() != "(M2, CWMR)" {
+			t.Errorf("%s: recommended %s, want (M2, CWMR)", name, a.Declared())
+		}
+	}
+	if a := tables["community"].Advice; a.Declared() != "(S3, CWMR)" {
+		t.Errorf("community: recommended %s, want (S3, CWMR)", a.Declared())
+	}
+
+	// The representative timeline: many producers, one consumer.
+	if a := tables["timeline:0"].Advice; a.Declared() != "(Q1, MWSR)" || !a.SingleReader {
+		t.Errorf("timeline:0: recommended %s (single_reader=%v), want (Q1, MWSR)", a.Declared(), a.SingleReader)
+	}
+}
+
+func TestAdviseFindsCounterAndWriteOnceProfiles(t *testing.T) {
+	tables := adviseTables(t)
+
+	// The global post counter: blind increments from every worker, one
+	// reader at the end — the strongest counter profile.
+	posts := tables["posts:count"].Advice
+	if !posts.Blind || !posts.SingleReader || posts.Declared() != "(C3, CWSR)" {
+		t.Errorf("posts:count: recommended %s (blind=%v single_reader=%v), want blind (C3, CWSR)",
+			posts.Declared(), posts.Blind, posts.SingleReader)
+	}
+	if !posts.Certified {
+		t.Errorf("posts:count: not certified: %s", posts.CertError)
+	}
+
+	// The run metadata: one Set, many readers — write-once single-writer.
+	meta := tables["run:meta"].Advice
+	if !meta.WriteOnce || !meta.SingleWriter || meta.Declared() != "(R2, SWMR)" {
+		t.Errorf("run:meta: recommended %s (write_once=%v single_writer=%v), want (R2, SWMR)",
+			meta.Declared(), meta.WriteOnce, meta.SingleWriter)
+	}
+	if !meta.Certified {
+		t.Errorf("run:meta: not certified: %s", meta.CertError)
+	}
+}
+
+func TestAdviseReportRendersVerdicts(t *testing.T) {
+	p := adviseParams()
+	tables, err := AdviseRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteAdviceReport(&b, AdviseHeader(p), tables)
+	out := b.String()
+	for _, want := range []string{
+		"## followers", "## timeline:0", "## run:meta",
+		"dego.CommutingWriters()", "[certified]", "rediscovered",
+		"hand-tuned declarations rediscovered from traffic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIFFERS") || strings.Contains(out, "NOT CERTIFIED") {
+		t.Errorf("report contains a failed verdict:\n%s", out)
+	}
+}

@@ -1,10 +1,25 @@
 package server
 
 import (
+	"encoding/json"
 	"strings"
 
 	"github.com/adjusted-objects/dego/internal/wire"
 )
+
+// adviseReply renders DEBUG ADVISE: the per-shard advisor output as a JSON
+// bulk string, or a typed error reply when recording is off.
+func adviseReply(s *Store) wire.Reply {
+	advs, ok := s.Advise()
+	if !ok {
+		return wire.Err("ERR usage recording is off (start the store with recording enabled)")
+	}
+	b, err := json.Marshal(advs)
+	if err != nil {
+		return wire.Errf("ERR internal: marshal advice: %v", err)
+	}
+	return wire.Bulk(b)
+}
 
 // opcode is one shard-executable operation. Multi-key commands (DEL,
 // EXISTS) are split into one unit per key at planning time so each key
@@ -165,6 +180,13 @@ func planCommand(args [][]byte, s *Store, units *[]unit) cmdPlan {
 		return inlinePlan(wire.OK())
 	case "DBSIZE":
 		return inlinePlan(wire.Int64(int64(s.Len())))
+	case "INFO":
+		// Full output regardless of a requested section, like a server that
+		// implements no sections would; the reply is small.
+		if len(args) > 2 {
+			return arityErr(verb)
+		}
+		return inlinePlan(wire.Bulk([]byte(s.Info())))
 	case "DEBUG":
 		// The two redis DEBUG subcommands the resilience tests need: PANIC
 		// crashes inside a shard loop (proving execSafe's isolation), SLEEP
@@ -180,7 +202,13 @@ func planCommand(args [][]byte, s *Store, units *[]unit) cmdPlan {
 			*units = append(*units, unit{shard: 0, op: opSleep, args: args[2:]})
 			return p
 		}
-		return inlinePlan(wire.Err("ERR DEBUG subcommand not supported (want PANIC or SLEEP <seconds>)"))
+		if len(args) == 2 && strings.EqualFold(string(args[1]), "ADVISE") {
+			// Tuning advisor over the per-shard usage recorders: a JSON
+			// array, one advisor.Advice per shard. Answered at planning
+			// time — recorder snapshots are safe from any goroutine.
+			return inlinePlan(adviseReply(s))
+		}
+		return inlinePlan(wire.Err("ERR DEBUG subcommand not supported (want PANIC, SLEEP <seconds> or ADVISE)"))
 	case "FLUSHALL", "FLUSHDB":
 		p := cmdPlan{first: len(*units), n: len(s.shards), agg: aggOK}
 		for i := range s.shards {

@@ -38,8 +38,11 @@ type chainEntry struct {
 
 // newFlatShardMap plans the flat representation for one shard.
 func newFlatShardMap(cfg StoreConfig, reg *dego.Registry) (*flatShardMap, error) {
-	m, err := dego.Map[uint64, *chainEntry](dego.SingleWriter(), dego.On(reg),
-		dego.Capacity(cfg.Capacity))
+	opts := []dego.Option{dego.SingleWriter(), dego.On(reg), dego.Capacity(cfg.Capacity)}
+	if cfg.Record {
+		opts = append(opts, dego.WithUsageRecording())
+	}
+	m, err := dego.Map[uint64, *chainEntry](opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +124,11 @@ func (f *flatShardMap) Plan() dego.Plan { return f.m.Plan() }
 
 // Adaptive returns nil: the flat kind never carries an adaptive engine.
 func (f *flatShardMap) Adaptive() *dego.AdaptiveMap[string, *object] { return nil }
+
+// Advise runs the tuning advisor over the inner flat map's recorded usage.
+// The advice speaks about the integer-keyed plan the flat kind really
+// built, the same object Plan() describes.
+func (f *flatShardMap) Advise() (dego.Advice, bool) { return f.m.Advise() }
 
 // replaceInChain rebuilds a chain with key's node carrying o. The caller
 // has checked key is present.

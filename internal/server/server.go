@@ -112,11 +112,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AcceptLoops <= 0 {
 		cfg.AcceptLoops = st.Shards()
 	}
-	return &Server{
+	srv := &Server{
 		cfg:   cfg,
 		store: st,
 		open:  map[*lifecycleConn]struct{}{},
-	}, nil
+	}
+	// INFO carries the serving layer's counters alongside the store's.
+	st.SetStatsSource(srv.Stats)
+	return srv, nil
 }
 
 // Store returns the shared sharded store (also the in-process target for

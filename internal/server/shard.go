@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/adjusted-objects/dego"
@@ -98,6 +99,7 @@ type shardMap interface {
 	Range(f func(key string, o *object) bool)
 	Plan() dego.Plan
 	Adaptive() *dego.AdaptiveMap[string, *object]
+	Advise() (dego.Advice, bool)
 }
 
 // shard owns one slice of the keyspace: a planner-built map plus the
@@ -110,6 +112,10 @@ type shard struct {
 	quit  chan struct{}
 	reg   *dego.Registry
 	store *Store // panic counter; set before the loop starts
+
+	// ops counts units this shard's loop has executed; written by the loop,
+	// read by Store.Info from any goroutine.
+	ops atomic.Uint64
 }
 
 // planShardMap asks the planner for the shard's representation. The
@@ -130,6 +136,9 @@ func planShardMap(cfg StoreConfig, reg *dego.Registry) (shardMap, error) {
 	case StoreAdaptive:
 		opts = append(opts, dego.CommutingWriters(), dego.Adaptive(dego.Ranges(cfg.Ranges)),
 			dego.Stripes(256), dego.Buckets(cfg.Capacity*2))
+	}
+	if cfg.Record {
+		opts = append(opts, dego.WithUsageRecording())
 	}
 	return dego.Map[string, *object](opts...)
 }
@@ -164,6 +173,7 @@ func (sh *shard) loop() {
 			for _, i := range b.idxs {
 				b.units[i].out = sh.execSafe(h, &b.units[i])
 			}
+			sh.ops.Add(uint64(len(b.idxs)))
 			b.wg.Done()
 		}
 	}

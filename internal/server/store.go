@@ -100,6 +100,11 @@ type StoreConfig struct {
 	// Ranges is the adaptive per-range directory size per shard (hash-prefix
 	// buckets); 0 means 8. Ignored unless Kind is StoreAdaptive.
 	Ranges int
+	// Record attaches a usage recorder to every shard map
+	// (dego.WithUsageRecording), so DEBUG ADVISE can run the tuning advisor
+	// over the traffic each shard actually absorbed. A replay/profiling
+	// mode: per-op recording costs a few atomic adds plus a key hash.
+	Record bool
 }
 
 func (c *StoreConfig) fill() error {
@@ -137,6 +142,11 @@ type Store struct {
 	// poisons one unit's reply, never the loop.
 	panics    atomic.Uint64
 	lastPanic atomic.Pointer[wire.ProtocolError]
+
+	// statsFn, when set, contributes the serving layer's connection
+	// counters to INFO. The TCP server installs its Stats method here; a
+	// bare in-process Store reports store-level sections only.
+	statsFn atomic.Pointer[func() Stats]
 }
 
 // NewStore builds the shards and starts their event loops.
@@ -199,6 +209,60 @@ func (s *Store) Plan() dego.Plan { return s.shards[0].obj.Plan() }
 
 // PanicCount returns how many unit executions shard loops have recovered.
 func (s *Store) PanicCount() uint64 { return s.panics.Load() }
+
+// Recording reports whether the shard maps carry usage recorders.
+func (s *Store) Recording() bool { return s.cfg.Record }
+
+// SetStatsSource installs the serving layer's counter snapshot for INFO.
+// The TCP server calls this once at construction; safe to race with Exec.
+func (s *Store) SetStatsSource(fn func() Stats) { s.statsFn.Store(&fn) }
+
+// Advise runs the tuning advisor over every shard map's recorded usage.
+// ok is false when the store was built without StoreConfig.Record. The
+// expected shape is one SingleWriter recommendation per shard: the shard
+// event loop is its map's only writer, which is a stronger claim than the
+// CommutingWriters declaration the non-flat kinds hand the planner — the
+// advisor rediscovers, from observed traffic, that shard confinement
+// would certify (M2, SWMR) per shard.
+func (s *Store) Advise() ([]dego.Advice, bool) {
+	out := make([]dego.Advice, len(s.shards))
+	for i, sh := range s.shards {
+		a, ok := sh.obj.Advise()
+		if !ok {
+			return nil, false
+		}
+		out[i] = a
+	}
+	return out, true
+}
+
+// Info renders the INFO reply: redis-style "# Section" headers over
+// key:value lines, CRLF-terminated. Store sections always; the serving
+// layer's Clients/Stats sections when a stats source is installed.
+func (s *Store) Info() string {
+	var b strings.Builder
+	recording := 0
+	if s.cfg.Record {
+		recording = 1
+	}
+	fmt.Fprintf(&b, "# Server\r\nstore_kind:%s\r\nshards:%d\r\nusage_recording:%d\r\n",
+		s.cfg.Kind, len(s.shards), recording)
+	if fn := s.statsFn.Load(); fn != nil {
+		st := (*fn)()
+		fmt.Fprintf(&b, "# Clients\r\nconnected_clients:%d\r\n", st.Active)
+		fmt.Fprintf(&b, "# Stats\r\ntotal_connections_received:%d\r\nrejected_connections:%d\r\n"+
+			"idle_timeouts:%d\r\nslow_reader_drops:%d\r\nprotocol_errors:%d\r\npanics_recovered:%d\r\n",
+			st.Accepted, st.Rejected, st.IdleTimeouts, st.SlowReaderDrops, st.ProtocolErrors, st.Panics)
+	} else {
+		fmt.Fprintf(&b, "# Stats\r\npanics_recovered:%d\r\n", s.PanicCount())
+	}
+	fmt.Fprintf(&b, "# Keyspace\r\nkeys:%d\r\n", s.Len())
+	fmt.Fprintf(&b, "# Shards\r\n")
+	for i, sh := range s.shards {
+		fmt.Fprintf(&b, "shard%d:ops=%d,keys=%d\r\n", i, sh.ops.Load(), sh.obj.Len())
+	}
+	return b.String()
+}
 
 // LastPanic returns the most recently recovered shard panic as a typed
 // protocol error, or nil if none has occurred.

@@ -1,0 +1,391 @@
+// Package usage is the observation half of the tuning advisor: a cheap,
+// optionally-enabled per-object recorder that watches how an object is
+// actually used — which methods, by how many threads, with what key
+// overlap — so internal/advisor can later infer the most adjusted profile
+// the observed usage would have permitted.
+//
+// The recorder follows the contention.Probe contract: a nil *Recorder is
+// valid and free (every Record method is a no-op), and a live recorder
+// performs zero allocations per recorded operation — all state is
+// preallocated at construction and mutated with atomics, so recording may
+// be left on under the race detector and in production replay runs.
+//
+// Thread identity is handle identity. Writer and reader cardinality is
+// tracked in per-slot arrays indexed by core.Handle IDs (dense ints in
+// [0, capacity)), exactly the segmentation idiom the adjusted
+// representations themselves use. Operations performed without a handle
+// are counted as anonymous: the advisor treats anonymous traffic as
+// unknown cardinality and refuses to claim SingleWriter/SingleReader or
+// CommutingWriters from it. Handle IDs are reused after Release, so a
+// trace recorded across handle churn may merge distinct threads into one
+// slot; record over windows where handles are stable (the benchmark and
+// server replay modes are).
+//
+// Key evidence lives in a fixed open-addressing table keyed by the
+// caller-supplied 64-bit key hash: first writer per key, a conflict flag
+// once a second thread (or any anonymous write) touches the key, and a
+// per-key write count for overwrite-vs-write-once evidence. When the
+// table fills, the recorder sets a saturation flag instead of evicting:
+// the advisor then refuses the claims that depend on complete key
+// history. Every error direction is conservative — saturation, hash
+// merging and anonymous traffic can only block a recommendation, never
+// fabricate one.
+package usage
+
+import (
+	"sync/atomic"
+
+	"github.com/adjusted-objects/dego/internal/core"
+)
+
+// Method identifies one operation of an Adjusted* wrapper's narrowed
+// interface. The set is the union across the six datatypes; each wrapper
+// records only the methods it has.
+type Method uint8
+
+// Methods, in the order they appear on the wrappers. Write methods and
+// read methods are distinguished by which entry point records them
+// (RecordWrite vs RecordRead), not by the Method value: a queue's Poll
+// mutates the structure but is recorded as a read because it is the
+// consumer side of the MWSR split the advisor is looking for.
+const (
+	MethodGet Method = iota
+	MethodPut
+	MethodRemove
+	MethodContains
+	MethodLen
+	MethodRange
+	MethodRangeFrom
+	MethodInc
+	MethodAdd
+	MethodSet
+	MethodUpdate
+	MethodOffer
+	MethodPoll
+	MethodPeek
+	MethodIsEmpty
+	MethodDrain
+	numMethods
+)
+
+var methodNames = [numMethods]string{
+	"Get", "Put", "Remove", "Contains", "Len", "Range", "RangeFrom",
+	"Inc", "Add", "Set", "Update", "Offer", "Poll", "Peek", "IsEmpty",
+	"Drain",
+}
+
+// String returns the wrapper method name.
+func (m Method) String() string {
+	if int(m) < len(methodNames) {
+		return methodNames[m]
+	}
+	return "Method(?)"
+}
+
+// AnonSlot marks an operation that carried no registered handle. Anonymous
+// traffic has unknown thread identity, so it blocks every cardinality
+// claim the advisor might otherwise make.
+const AnonSlot = -1
+
+// UnkeyedKey is the key hash unkeyed datatypes (Counter, Queue, Ref) pass
+// to RecordWrite: the whole object is one key, so a reference's second Set
+// shows up as an overwrite of it.
+const UnkeyedKey uint64 = 1
+
+// zeroKeyAlias stands in for a real key hash of 0, which the key table
+// reserves as its empty sentinel. Remapping merges a hash-0 key with this
+// alias's bucket identity — a conservative merge, like any hash collision.
+const zeroKeyAlias uint64 = 0x9e3779b97f4a7c15
+
+// maxProbes bounds the open-addressing walk per recorded key. A bounded
+// window keeps the record path O(1); failing to place a key within it sets
+// the saturation flag rather than evicting history.
+const maxProbes = 64
+
+// DefaultKeyCells is the key-table size used by NewRecorder. At ~24 bytes
+// a cell it costs under a megabyte and holds tens of thousands of distinct
+// keys before saturating.
+const DefaultKeyCells = 1 << 15
+
+// conflictWriter marks a key written by more than one slot, or by any
+// anonymous writer.
+const conflictWriter int32 = -1
+
+// slotCell holds one handle slot's operation counts, padded to a cache
+// line so two threads' recording never false-shares.
+type slotCell struct {
+	writes atomic.Uint64
+	reads  atomic.Uint64
+	_      [core.CacheLineSize - 16]byte
+}
+
+// keyCell is one key's evidence: its hash (0 = empty), the writer
+// attribution (0 = unwritten, slot+1 = that single slot, conflictWriter =
+// multiple or anonymous), and the write count.
+type keyCell struct {
+	hash   atomic.Uint64
+	writer atomic.Int32
+	writes atomic.Uint64
+}
+
+// Recorder accumulates usage evidence for one object. A nil *Recorder is
+// valid and free. All methods are safe for concurrent use.
+type Recorder struct {
+	slots   []slotCell
+	keys    []keyCell
+	mask    uint64
+	methods [numMethods]atomic.Uint64
+
+	anonWrites atomic.Uint64
+	anonReads  atomic.Uint64
+	overwrites atomic.Uint64
+	sharedKeys atomic.Uint64
+	rywReads   atomic.Uint64
+	keyCount   atomic.Uint64
+	saturated  atomic.Bool
+}
+
+// NewRecorder returns a recorder sized for reg's handle space with the
+// default key table. A nil reg uses the package default registry.
+func NewRecorder(reg *core.Registry) *Recorder {
+	return NewRecorderKeys(reg, DefaultKeyCells)
+}
+
+// NewRecorderKeys returns a recorder whose key table has at least keyCells
+// cells (rounded up to a power of two, minimum 4). Size it at roughly
+// twice the expected distinct-key count; an undersized table saturates,
+// which blocks the advisor's key-dependent claims rather than corrupting
+// them. Unkeyed datatypes need only the minimum.
+func NewRecorderKeys(reg *core.Registry, keyCells int) *Recorder {
+	if reg == nil {
+		reg = core.Default
+	}
+	n := 4
+	for n < keyCells {
+		n <<= 1
+	}
+	return &Recorder{
+		slots: make([]slotCell, reg.Capacity()),
+		keys:  make([]keyCell, n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// SlotOf maps a handle to its recording slot: the dense registry ID, or
+// AnonSlot for a nil handle.
+func SlotOf(h *core.Handle) int {
+	if h == nil {
+		return AnonSlot
+	}
+	return h.ID()
+}
+
+// RecordWrite counts one state-mutating operation by slot against the key
+// with the given hash. Unkeyed datatypes pass UnkeyedKey. A nil recorder
+// is a no-op.
+func (r *Recorder) RecordWrite(m Method, slot int, keyHash uint64) {
+	if r == nil {
+		return
+	}
+	r.methods[m].Add(1)
+	if slot < 0 || slot >= len(r.slots) {
+		r.anonWrites.Add(1)
+		slot = AnonSlot
+	} else {
+		r.slots[slot].writes.Add(1)
+	}
+	r.noteKeyWrite(slot, keyHash)
+}
+
+// RecordRead counts one observing operation by slot. Reads carry no key:
+// no inference in the advisor depends on per-key read history, and the
+// wrappers' read paths must stay as cheap as possible. A nil recorder is
+// a no-op.
+func (r *Recorder) RecordRead(m Method, slot int) {
+	if r == nil {
+		return
+	}
+	r.methods[m].Add(1)
+	if slot < 0 || slot >= len(r.slots) {
+		r.anonReads.Add(1)
+		return
+	}
+	c := &r.slots[slot]
+	c.reads.Add(1)
+	if c.writes.Load() > 0 {
+		r.rywReads.Add(1)
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a bijection on uint64, so two
+// distinct incoming hashes stay distinct, while weakly distributed inputs
+// (sequential IDs passed as their own hash) spread over the table.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// noteKeyWrite finds or inserts keyHash's cell and updates its writer
+// attribution and write count. The incoming hash is re-mixed so the table
+// stays uniform even when callers pass raw integer keys as hashes.
+func (r *Recorder) noteKeyWrite(slot int, keyHash uint64) {
+	keyHash = mix64(keyHash)
+	if keyHash == 0 {
+		keyHash = zeroKeyAlias
+	}
+	i := keyHash & r.mask
+	for range maxProbes {
+		c := &r.keys[i]
+		h := c.hash.Load()
+		if h == 0 {
+			if c.hash.CompareAndSwap(0, keyHash) {
+				r.keyCount.Add(1)
+				h = keyHash
+			} else {
+				h = c.hash.Load()
+			}
+		}
+		if h == keyHash {
+			if c.writes.Add(1) > 1 {
+				r.overwrites.Add(1)
+			}
+			r.attributeWriter(c, slot)
+			return
+		}
+		i = (i + 1) & r.mask
+	}
+	r.saturated.Store(true)
+}
+
+// attributeWriter records slot as a writer of c's key, demoting the cell
+// to conflictWriter — exactly once per key — when a second slot or an
+// anonymous write appears.
+func (r *Recorder) attributeWriter(c *keyCell, slot int) {
+	want := conflictWriter
+	if slot >= 0 {
+		want = int32(slot) + 1
+	}
+	for {
+		cur := c.writer.Load()
+		if cur == conflictWriter || cur == want {
+			return
+		}
+		if cur == 0 && want != conflictWriter {
+			if c.writer.CompareAndSwap(0, want) {
+				return
+			}
+			continue
+		}
+		if c.writer.CompareAndSwap(cur, conflictWriter) {
+			r.sharedKeys.Add(1)
+			return
+		}
+	}
+}
+
+// Trace is a point-in-time summary of a recorder: the evidence the advisor
+// reasons over, and what the JSON reports serialize.
+type Trace struct {
+	// Methods maps wrapper method names to call counts (zero-count
+	// methods are omitted).
+	Methods map[string]uint64 `json:"methods,omitempty"`
+	// Writes and Reads are the totals over all slots plus anonymous
+	// traffic.
+	Writes uint64 `json:"writes"`
+	Reads  uint64 `json:"reads"`
+	// Writers and Readers count distinct handle slots that performed at
+	// least one write / read. Anonymous traffic is not included.
+	Writers int `json:"writers"`
+	Readers int `json:"readers"`
+	// AnonWrites/AnonReads count operations without a registered handle —
+	// unknown thread identity, which blocks cardinality claims.
+	AnonWrites uint64 `json:"anon_writes,omitempty"`
+	AnonReads  uint64 `json:"anon_reads,omitempty"`
+	// Keys is the distinct written-key count (by 64-bit hash);
+	// KeysSaturated reports the table filled and key history is
+	// incomplete.
+	Keys          uint64 `json:"keys"`
+	KeysSaturated bool   `json:"keys_saturated,omitempty"`
+	// SharedKeys counts keys written by more than one slot or by any
+	// anonymous writer — each one is counter-evidence against
+	// CommutingWriters-by-key-disjointness.
+	SharedKeys uint64 `json:"shared_keys"`
+	// Overwrites counts writes that hit an already-written key —
+	// counter-evidence against WriteOnce.
+	Overwrites uint64 `json:"overwrites"`
+	// ReadYourWrites counts handle-attributed reads by slots that had
+	// previously written: evidence the caller observes its own updates.
+	ReadYourWrites uint64 `json:"read_your_writes,omitempty"`
+}
+
+// Trace snapshots the recorder. A nil recorder reads as the zero Trace.
+// The snapshot is not atomic across counters — concurrent recording may
+// be mid-operation — but every counter individually is a consistent
+// atomic read, and the advisor's claims only weaken under the resulting
+// skew (e.g. a write counted whose key attribution lands after the
+// snapshot shows up as one more write, never as a vanished conflict).
+func (r *Recorder) Trace() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	t := Trace{
+		Methods:        make(map[string]uint64),
+		AnonWrites:     r.anonWrites.Load(),
+		AnonReads:      r.anonReads.Load(),
+		Keys:           r.keyCount.Load(),
+		KeysSaturated:  r.saturated.Load(),
+		SharedKeys:     r.sharedKeys.Load(),
+		Overwrites:     r.overwrites.Load(),
+		ReadYourWrites: r.rywReads.Load(),
+	}
+	for m := Method(0); m < numMethods; m++ {
+		if n := r.methods[m].Load(); n > 0 {
+			t.Methods[m.String()] = n
+		}
+	}
+	for i := range r.slots {
+		if w := r.slots[i].writes.Load(); w > 0 {
+			t.Writes += w
+			t.Writers++
+		}
+		if rd := r.slots[i].reads.Load(); rd > 0 {
+			t.Reads += rd
+			t.Readers++
+		}
+	}
+	t.Writes += t.AnonWrites
+	t.Reads += t.AnonReads
+	return t
+}
+
+// Reset zeroes the recorder so a new window can be recorded. Reset must
+// not run concurrently with recording (counters would tear across the
+// wipe); quiesce the object first. A nil recorder is a no-op.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		r.slots[i].writes.Store(0)
+		r.slots[i].reads.Store(0)
+	}
+	for i := range r.keys {
+		r.keys[i].hash.Store(0)
+		r.keys[i].writer.Store(0)
+		r.keys[i].writes.Store(0)
+	}
+	for m := range r.methods {
+		r.methods[m].Store(0)
+	}
+	r.anonWrites.Store(0)
+	r.anonReads.Store(0)
+	r.overwrites.Store(0)
+	r.sharedKeys.Store(0)
+	r.rywReads.Store(0)
+	r.keyCount.Store(0)
+	r.saturated.Store(false)
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/adjusted-objects/dego/internal/ref"
 	"github.com/adjusted-objects/dego/internal/set"
 	"github.com/adjusted-objects/dego/internal/skiplist"
+	"github.com/adjusted-objects/dego/internal/usage"
 )
 
 // This file holds the profile constructors: Counter, Map, Set, Ordered,
@@ -65,17 +66,33 @@ type AdjustedCounter struct {
 	raw   any
 	ad    *AdaptiveCounter
 	probe *Probe
+	rec   *usage.Recorder
 }
 
 // Inc adds one.
-func (c *AdjustedCounter) Inc(h *Handle) { c.rep.Inc(h) }
+func (c *AdjustedCounter) Inc(h *Handle) {
+	if c.rec != nil {
+		c.rec.RecordWrite(usage.MethodInc, usage.SlotOf(h), usage.UnkeyedKey)
+	}
+	c.rep.Inc(h)
+}
 
 // Add adds delta (non-negative: dego counters are increment-only).
-func (c *AdjustedCounter) Add(h *Handle, delta int64) { c.rep.Add(h, delta) }
+func (c *AdjustedCounter) Add(h *Handle, delta int64) {
+	if c.rec != nil {
+		c.rec.RecordWrite(usage.MethodAdd, usage.SlotOf(h), usage.UnkeyedKey)
+	}
+	c.rep.Add(h, delta)
+}
 
 // Get returns the current count. Under a SingleReader declaration only the
 // declared reader may call it.
-func (c *AdjustedCounter) Get(h *Handle) int64 { return c.rep.Get(h) }
+func (c *AdjustedCounter) Get(h *Handle) int64 {
+	if c.rec != nil {
+		c.rec.RecordRead(usage.MethodGet, usage.SlotOf(h))
+	}
+	return c.rep.Get(h)
+}
 
 // Plan returns the planner's decision for this object.
 func (c *AdjustedCounter) Plan() Plan { return c.plan }
@@ -96,6 +113,11 @@ func (c *AdjustedCounter) Probe() *Probe {
 	}
 	return c.probe
 }
+
+// Advise infers the most adjusted counter profile the recorded usage
+// permits, certified against Definition 1. ok is false when the object
+// was constructed without WithUsageRecording.
+func (c *AdjustedCounter) Advise() (Advice, bool) { return adviseObject(c.plan, c.rec) }
 
 // Counter builds a counter from a declared usage profile.
 //
@@ -186,6 +208,9 @@ func Counter(opts ...Option) (*AdjustedCounter, error) {
 	if err := c.plan.validate(); err != nil {
 		return nil, err
 	}
+	if p.record {
+		c.rec = usage.NewRecorderKeys(p.reg(), 4)
+	}
 	return c, nil
 }
 
@@ -218,30 +243,62 @@ func (r stripedMapRep[K, V]) Range(f func(K, V) bool)    { r.m.Range(f) }
 // handle-routed (representations that do not route by thread ignore the
 // handle), reads are unrestricted unless the profile says otherwise.
 type AdjustedMap[K comparable, V any] struct {
-	plan  Plan
-	rep   mapRep[K, V]
-	raw   any
-	ad    *AdaptiveMap[K, V]
-	probe *Probe
+	plan    Plan
+	rep     mapRep[K, V]
+	raw     any
+	ad      *AdaptiveMap[K, V]
+	probe   *Probe
+	rec     *usage.Recorder
+	recHash func(K) uint64
 }
 
 // Put stores key → val.
-func (m *AdjustedMap[K, V]) Put(h *Handle, key K, val V) { m.rep.Put(h, key, val) }
+func (m *AdjustedMap[K, V]) Put(h *Handle, key K, val V) {
+	if m.rec != nil {
+		m.rec.RecordWrite(usage.MethodPut, usage.SlotOf(h), m.recHash(key))
+	}
+	m.rep.Put(h, key, val)
+}
 
 // Get returns the value for key.
-func (m *AdjustedMap[K, V]) Get(key K) (V, bool) { return m.rep.Get(key) }
+func (m *AdjustedMap[K, V]) Get(key K) (V, bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodGet, usage.AnonSlot)
+	}
+	return m.rep.Get(key)
+}
 
 // Remove deletes key, reporting whether it was present.
-func (m *AdjustedMap[K, V]) Remove(h *Handle, key K) bool { return m.rep.Remove(h, key) }
+func (m *AdjustedMap[K, V]) Remove(h *Handle, key K) bool {
+	if m.rec != nil {
+		m.rec.RecordWrite(usage.MethodRemove, usage.SlotOf(h), m.recHash(key))
+	}
+	return m.rep.Remove(h, key)
+}
 
 // Contains reports whether key is present.
-func (m *AdjustedMap[K, V]) Contains(key K) bool { return m.rep.Contains(key) }
+func (m *AdjustedMap[K, V]) Contains(key K) bool {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodContains, usage.AnonSlot)
+	}
+	return m.rep.Contains(key)
+}
 
 // Len returns the entry count.
-func (m *AdjustedMap[K, V]) Len() int { return m.rep.Len() }
+func (m *AdjustedMap[K, V]) Len() int {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodLen, usage.AnonSlot)
+	}
+	return m.rep.Len()
+}
 
 // Range iterates entries (no ordering guarantee) until f returns false.
-func (m *AdjustedMap[K, V]) Range(f func(key K, val V) bool) { m.rep.Range(f) }
+func (m *AdjustedMap[K, V]) Range(f func(key K, val V) bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodRange, usage.AnonSlot)
+	}
+	m.rep.Range(f)
+}
 
 // Plan returns the planner's decision for this object.
 func (m *AdjustedMap[K, V]) Plan() Plan { return m.plan }
@@ -260,6 +317,28 @@ func (m *AdjustedMap[K, V]) Probe() *Probe {
 		return m.ad.Probe()
 	}
 	return m.probe
+}
+
+// Advise infers the most adjusted map profile the recorded usage permits,
+// certified against Definition 1. ok is false when the object was
+// constructed without WithUsageRecording. Map reads carry no handle, so
+// reader restrictions are never inferred (no map representation exploits
+// one anyway).
+func (m *AdjustedMap[K, V]) Advise() (Advice, bool) { return adviseObject(m.plan, m.rec) }
+
+// initRecording attaches the usage recorder when the profile asked for
+// one; called after planning so the recorder never outlives a rejection.
+func (m *AdjustedMap[K, V]) initRecording(dt string, p *profile) error {
+	if !p.record {
+		return nil
+	}
+	hash, err := recordHash[K](dt, p)
+	if err != nil {
+		return err
+	}
+	m.rec = usage.NewRecorderKeys(p.reg(), usageKeyCells(p.capacityOr(1024)))
+	m.recHash = hash
+	return nil
 }
 
 // Map builds a hash map from a declared usage profile.
@@ -305,6 +384,9 @@ func Map[K comparable, V any](opts ...Option) (*AdjustedMap[K, V], error) {
 			}
 		}
 		if err := m.plan.validate(); err != nil {
+			return nil, err
+		}
+		if err := m.initRecording(dt, p); err != nil {
 			return nil, err
 		}
 		return m, nil
@@ -354,6 +436,9 @@ func Map[K comparable, V any](opts ...Option) (*AdjustedMap[K, V], error) {
 	if err := m.plan.validate(); err != nil {
 		return nil, err
 	}
+	if err := m.initRecording(dt, p); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -379,27 +464,54 @@ func (r stripedSetRep[K]) Range(f func(K) bool)       { r.s.Range(f) }
 
 // AdjustedSet is a membership set built from a declared profile.
 type AdjustedSet[K comparable] struct {
-	plan  Plan
-	rep   setRep[K]
-	raw   any
-	ad    *AdaptiveSet[K]
-	probe *Probe
+	plan    Plan
+	rep     setRep[K]
+	raw     any
+	ad      *AdaptiveSet[K]
+	probe   *Probe
+	rec     *usage.Recorder
+	recHash func(K) uint64
 }
 
 // Add inserts x.
-func (s *AdjustedSet[K]) Add(h *Handle, x K) { s.rep.Add(h, x) }
+func (s *AdjustedSet[K]) Add(h *Handle, x K) {
+	if s.rec != nil {
+		s.rec.RecordWrite(usage.MethodAdd, usage.SlotOf(h), s.recHash(x))
+	}
+	s.rep.Add(h, x)
+}
 
 // Remove deletes x, reporting whether it was present.
-func (s *AdjustedSet[K]) Remove(h *Handle, x K) bool { return s.rep.Remove(h, x) }
+func (s *AdjustedSet[K]) Remove(h *Handle, x K) bool {
+	if s.rec != nil {
+		s.rec.RecordWrite(usage.MethodRemove, usage.SlotOf(h), s.recHash(x))
+	}
+	return s.rep.Remove(h, x)
+}
 
 // Contains reports membership.
-func (s *AdjustedSet[K]) Contains(x K) bool { return s.rep.Contains(x) }
+func (s *AdjustedSet[K]) Contains(x K) bool {
+	if s.rec != nil {
+		s.rec.RecordRead(usage.MethodContains, usage.AnonSlot)
+	}
+	return s.rep.Contains(x)
+}
 
 // Len returns the element count.
-func (s *AdjustedSet[K]) Len() int { return s.rep.Len() }
+func (s *AdjustedSet[K]) Len() int {
+	if s.rec != nil {
+		s.rec.RecordRead(usage.MethodLen, usage.AnonSlot)
+	}
+	return s.rep.Len()
+}
 
 // Range iterates elements until f returns false.
-func (s *AdjustedSet[K]) Range(f func(x K) bool) { s.rep.Range(f) }
+func (s *AdjustedSet[K]) Range(f func(x K) bool) {
+	if s.rec != nil {
+		s.rec.RecordRead(usage.MethodRange, usage.AnonSlot)
+	}
+	s.rep.Range(f)
+}
 
 // Plan returns the planner's decision for this object.
 func (s *AdjustedSet[K]) Plan() Plan { return s.plan }
@@ -417,6 +529,25 @@ func (s *AdjustedSet[K]) Probe() *Probe {
 		return s.ad.Probe()
 	}
 	return s.probe
+}
+
+// Advise infers the most adjusted set profile the recorded usage permits,
+// certified against Definition 1. ok is false when the object was
+// constructed without WithUsageRecording.
+func (s *AdjustedSet[K]) Advise() (Advice, bool) { return adviseObject(s.plan, s.rec) }
+
+// initRecording attaches the usage recorder when the profile asked for one.
+func (s *AdjustedSet[K]) initRecording(dt string, p *profile) error {
+	if !p.record {
+		return nil
+	}
+	hash, err := recordHash[K](dt, p)
+	if err != nil {
+		return err
+	}
+	s.rec = usage.NewRecorderKeys(p.reg(), usageKeyCells(p.capacityOr(1024)))
+	s.recHash = hash
+	return nil
 }
 
 // Set builds a membership set from a declared usage profile. Planning
@@ -457,6 +588,9 @@ func Set[K comparable](opts ...Option) (*AdjustedSet[K], error) {
 			}
 		}
 		if err := s.plan.validate(); err != nil {
+			return nil, err
+		}
+		if err := s.initRecording(dt, p); err != nil {
 			return nil, err
 		}
 		return s, nil
@@ -506,6 +640,9 @@ func Set[K comparable](opts ...Option) (*AdjustedSet[K], error) {
 	if err := s.plan.validate(); err != nil {
 		return nil, err
 	}
+	if err := s.initRecording(dt, p); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -550,38 +687,76 @@ func (r swmrListRep[K, V]) RangeFrom(from K, f func(K, V) bool) {
 // AdjustedOrdered is an ordered map built from a declared profile. Ordered
 // iteration is strictly ascending in every representation and state.
 type AdjustedOrdered[K cmp.Ordered, V any] struct {
-	plan  Plan
-	rep   orderedRep[K, V]
-	raw   any
-	ad    *AdaptiveSkipList[K, V]
-	probe *Probe
+	plan    Plan
+	rep     orderedRep[K, V]
+	raw     any
+	ad      *AdaptiveSkipList[K, V]
+	probe   *Probe
+	rec     *usage.Recorder
+	recHash func(K) uint64
 }
 
 // Put stores key → val.
-func (m *AdjustedOrdered[K, V]) Put(h *Handle, key K, val V) { m.rep.Put(h, key, val) }
+func (m *AdjustedOrdered[K, V]) Put(h *Handle, key K, val V) {
+	if m.rec != nil {
+		m.rec.RecordWrite(usage.MethodPut, usage.SlotOf(h), m.recHash(key))
+	}
+	m.rep.Put(h, key, val)
+}
 
 // Get returns the value for key.
-func (m *AdjustedOrdered[K, V]) Get(key K) (V, bool) { return m.rep.Get(key) }
+func (m *AdjustedOrdered[K, V]) Get(key K) (V, bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodGet, usage.AnonSlot)
+	}
+	return m.rep.Get(key)
+}
 
 // Remove deletes key, reporting whether it was present.
-func (m *AdjustedOrdered[K, V]) Remove(h *Handle, key K) bool { return m.rep.Remove(h, key) }
+func (m *AdjustedOrdered[K, V]) Remove(h *Handle, key K) bool {
+	if m.rec != nil {
+		m.rec.RecordWrite(usage.MethodRemove, usage.SlotOf(h), m.recHash(key))
+	}
+	return m.rep.Remove(h, key)
+}
 
 // Contains reports whether key is present.
-func (m *AdjustedOrdered[K, V]) Contains(key K) bool { return m.rep.Contains(key) }
+func (m *AdjustedOrdered[K, V]) Contains(key K) bool {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodContains, usage.AnonSlot)
+	}
+	return m.rep.Contains(key)
+}
 
 // Len returns the entry count.
-func (m *AdjustedOrdered[K, V]) Len() int { return m.rep.Len() }
+func (m *AdjustedOrdered[K, V]) Len() int {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodLen, usage.AnonSlot)
+	}
+	return m.rep.Len()
+}
 
 // Range iterates all entries in ascending key order until f returns false.
-func (m *AdjustedOrdered[K, V]) Range(f func(key K, val V) bool) { m.rep.Range(f) }
+func (m *AdjustedOrdered[K, V]) Range(f func(key K, val V) bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodRange, usage.AnonSlot)
+	}
+	m.rep.Range(f)
+}
 
 // RangeFrom iterates entries with key ≥ from in ascending order.
 func (m *AdjustedOrdered[K, V]) RangeFrom(from K, f func(key K, val V) bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodRangeFrom, usage.AnonSlot)
+	}
 	m.rep.RangeFrom(from, f)
 }
 
 // RangeBetween iterates entries with from ≤ key < to in ascending order.
 func (m *AdjustedOrdered[K, V]) RangeBetween(from, to K, f func(key K, val V) bool) {
+	if m.rec != nil {
+		m.rec.RecordRead(usage.MethodRangeFrom, usage.AnonSlot)
+	}
 	if m.ad != nil {
 		m.ad.RangeBetween(from, to, f)
 		return
@@ -610,6 +785,25 @@ func (m *AdjustedOrdered[K, V]) Probe() *Probe {
 		return m.ad.Probe()
 	}
 	return m.probe
+}
+
+// Advise infers the most adjusted ordered-map profile the recorded usage
+// permits, certified against Definition 1. ok is false when the object
+// was constructed without WithUsageRecording.
+func (m *AdjustedOrdered[K, V]) Advise() (Advice, bool) { return adviseObject(m.plan, m.rec) }
+
+// initRecording attaches the usage recorder when the profile asked for one.
+func (m *AdjustedOrdered[K, V]) initRecording(dt string, p *profile) error {
+	if !p.record {
+		return nil
+	}
+	hash, err := recordHash[K](dt, p)
+	if err != nil {
+		return err
+	}
+	m.rec = usage.NewRecorderKeys(p.reg(), usageKeyCells(p.capacityOr(1024)))
+	m.recHash = hash
+	return nil
 }
 
 // Ordered builds an ordered map (skip list) from a declared usage profile.
@@ -700,6 +894,9 @@ func Ordered[K cmp.Ordered, V any](opts ...Option) (*AdjustedOrdered[K, V], erro
 	if err := m.plan.validate(); err != nil {
 		return nil, err
 	}
+	if err := m.initRecording(dt, p); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -741,23 +938,49 @@ type AdjustedQueue[T any] struct {
 	rep   queueRep[T]
 	raw   any
 	probe *Probe
+	rec   *usage.Recorder
 }
 
 // Offer enqueues v.
-func (q *AdjustedQueue[T]) Offer(h *Handle, v T) { q.rep.Offer(h, v) }
+func (q *AdjustedQueue[T]) Offer(h *Handle, v T) {
+	if q.rec != nil {
+		q.rec.RecordWrite(usage.MethodOffer, usage.SlotOf(h), usage.UnkeyedKey)
+	}
+	q.rep.Offer(h, v)
+}
 
 // Poll dequeues the head. Under SingleReader only the declared consumer may
-// call it.
-func (q *AdjustedQueue[T]) Poll(h *Handle) (T, bool) { return q.rep.Poll(h) }
+// call it. (The recorder counts Poll on the consumer side — a "read" for
+// cardinality purposes — because the MWSR adjustment is about who drains
+// the queue, not about FIFO mutation.)
+func (q *AdjustedQueue[T]) Poll(h *Handle) (T, bool) {
+	if q.rec != nil {
+		q.rec.RecordRead(usage.MethodPoll, usage.SlotOf(h))
+	}
+	return q.rep.Poll(h)
+}
 
 // Peek returns the head without removing it.
-func (q *AdjustedQueue[T]) Peek(h *Handle) (T, bool) { return q.rep.Peek(h) }
+func (q *AdjustedQueue[T]) Peek(h *Handle) (T, bool) {
+	if q.rec != nil {
+		q.rec.RecordRead(usage.MethodPeek, usage.SlotOf(h))
+	}
+	return q.rep.Peek(h)
+}
 
 // IsEmpty reports emptiness.
-func (q *AdjustedQueue[T]) IsEmpty(h *Handle) bool { return q.rep.IsEmpty(h) }
+func (q *AdjustedQueue[T]) IsEmpty(h *Handle) bool {
+	if q.rec != nil {
+		q.rec.RecordRead(usage.MethodIsEmpty, usage.SlotOf(h))
+	}
+	return q.rep.IsEmpty(h)
+}
 
 // Drain dequeues up to max elements into out, returning the count.
 func (q *AdjustedQueue[T]) Drain(h *Handle, out []T, max int) int {
+	if q.rec != nil {
+		q.rec.RecordRead(usage.MethodDrain, usage.SlotOf(h))
+	}
 	return q.rep.Drain(h, out, max)
 }
 
@@ -769,6 +992,11 @@ func (q *AdjustedQueue[T]) Representation() any { return q.raw }
 
 // Probe returns the contention probe observing this object (possibly nil).
 func (q *AdjustedQueue[T]) Probe() *Probe { return q.probe }
+
+// Advise infers the most adjusted queue profile the recorded usage
+// permits, certified against Definition 1. ok is false when the object
+// was constructed without WithUsageRecording.
+func (q *AdjustedQueue[T]) Advise() (Advice, bool) { return adviseObject(q.plan, q.rec) }
 
 // Queue builds a FIFO queue from a declared usage profile: unrestricted →
 // the Michael–Scott baseline (Q1, ALL); SingleReader → the multi-producer
@@ -823,6 +1051,9 @@ func Queue[T any](opts ...Option) (*AdjustedQueue[T], error) {
 	if err := q.plan.validate(); err != nil {
 		return nil, err
 	}
+	if p.record {
+		q.rec = usage.NewRecorderKeys(p.reg(), 4)
+	}
 	return q, nil
 }
 
@@ -874,14 +1105,25 @@ type AdjustedRef[T any] struct {
 	plan Plan
 	rep  refRep[T]
 	raw  any
+	rec  *usage.Recorder
 }
 
 // Get returns the current referent (nil while unset).
-func (r *AdjustedRef[T]) Get(h *Handle) *T { return r.rep.Get(h) }
+func (r *AdjustedRef[T]) Get(h *Handle) *T {
+	if r.rec != nil {
+		r.rec.RecordRead(usage.MethodGet, usage.SlotOf(h))
+	}
+	return r.rep.Get(h)
+}
 
 // Set replaces the referent. Under WriteOnce a second Set returns
 // ErrAlreadySet; under SingleWriter only the declared writer may call it.
-func (r *AdjustedRef[T]) Set(h *Handle, v *T) error { return r.rep.Set(h, v) }
+func (r *AdjustedRef[T]) Set(h *Handle, v *T) error {
+	if r.rec != nil {
+		r.rec.RecordWrite(usage.MethodSet, usage.SlotOf(h), usage.UnkeyedKey)
+	}
+	return r.rep.Set(h, v)
+}
 
 // Update replaces the referent with f(old). Under WriteOnce it succeeds
 // only as the initializing write. f must be pure: the unrestricted plan
@@ -889,6 +1131,9 @@ func (r *AdjustedRef[T]) Set(h *Handle, v *T) error { return r.rep.Set(h, v) }
 // contention (the single-writer and write-once plans invoke it exactly
 // once).
 func (r *AdjustedRef[T]) Update(h *Handle, f func(old *T) *T) error {
+	if r.rec != nil {
+		r.rec.RecordWrite(usage.MethodUpdate, usage.SlotOf(h), usage.UnkeyedKey)
+	}
 	return r.rep.Update(h, f)
 }
 
@@ -897,6 +1142,11 @@ func (r *AdjustedRef[T]) Plan() Plan { return r.plan }
 
 // Representation returns the underlying representation.
 func (r *AdjustedRef[T]) Representation() any { return r.raw }
+
+// Advise infers the most adjusted reference profile the recorded usage
+// permits, certified against Definition 1. ok is false when the object
+// was constructed without WithUsageRecording.
+func (r *AdjustedRef[T]) Advise() (Advice, bool) { return adviseObject(r.plan, r.rec) }
 
 // Ref builds a shared reference holding v (nil allowed) from a declared
 // usage profile: unrestricted → the atomic reference (R1); SingleWriter →
@@ -962,6 +1212,9 @@ func Ref[T any](v *T, opts ...Option) (*AdjustedRef[T], error) {
 	}
 	if err := r.plan.validate(); err != nil {
 		return nil, err
+	}
+	if p.record {
+		r.rec = usage.NewRecorderKeys(p.reg(), 4)
 	}
 	return r, nil
 }

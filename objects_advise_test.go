@@ -1,0 +1,174 @@
+package dego
+
+// Public-API round trips for the tuning advisor: construct an object
+// *unadjusted* but with WithUsageRecording, replay a workload shaped like
+// a known adjustment, and check that Advise() hands back exactly that
+// adjustment — then feed the recommended options into a fresh constructor
+// and verify the planner certifies them. This is the tuning loop the
+// option documents, end to end through the exported surface.
+
+import (
+	"strings"
+	"testing"
+)
+
+// adviseReg builds a small registry with n handles for an advise replay.
+func adviseReg(t *testing.T, n int) (*Registry, []*Handle) {
+	t.Helper()
+	reg := NewRegistry(n)
+	hs := make([]*Handle, n)
+	for i := range hs {
+		hs[i] = reg.MustRegister()
+	}
+	return reg, hs
+}
+
+func TestAdviseRoundTripMapSingleWriter(t *testing.T) {
+	reg, hs := adviseReg(t, 3)
+	m, err := Map[string, int](On(reg), WithUsageRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, r1, r2 := hs[0], hs[1], hs[2]
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 64; i++ {
+		m.Put(w, keys[i%len(keys)], i)
+	}
+	_, _ = r1, r2 // keyed reads are handle-free in the public API
+	for i := 0; i < 32; i++ {
+		m.Get(keys[i%len(keys)])
+	}
+
+	a, ok := m.Advise()
+	if !ok {
+		t.Fatal("Advise: recorder missing despite WithUsageRecording")
+	}
+	if !a.SingleWriter || a.CommutingWriters {
+		t.Fatalf("want SingleWriter recommendation, got %+v", a)
+	}
+	if !a.Certified {
+		t.Fatalf("advice not certified: %s", a.CertError)
+	}
+	if a.Mode != "SWMR" {
+		t.Fatalf("mode = %s, want SWMR", a.Mode)
+	}
+
+	// Close the loop: the recommended options must construct and certify.
+	m2, err := Map[string, int](On(reg), SingleWriter(), Capacity(a.Capacity))
+	if err != nil {
+		t.Fatalf("recommended options rejected: %v", err)
+	}
+	if got := m2.Plan().Mode.String(); got != a.Mode {
+		t.Fatalf("reconstructed mode = %s, want %s", got, a.Mode)
+	}
+}
+
+func TestAdviseRoundTripCounterCommuting(t *testing.T) {
+	reg, hs := adviseReg(t, 4)
+	c, err := Counter(On(reg), WithUsageRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Inc(hs[i%3]) // three writers, never reading the result
+	}
+	for i := 0; i < 10; i++ {
+		c.Get(hs[3]) // one reader
+	}
+
+	a, ok := c.Advise()
+	if !ok {
+		t.Fatal("Advise: recorder missing")
+	}
+	if !a.Blind || !a.SingleReader {
+		t.Fatalf("want Blind+SingleReader for a blind multi-writer single-reader counter, got %+v", a)
+	}
+	if !a.Certified || a.Mode != "CWSR" {
+		t.Fatalf("want certified CWSR, got mode=%s certified=%v (%s)", a.Mode, a.Certified, a.CertError)
+	}
+	for _, opt := range []string{"dego.Blind()", "dego.SingleReader()"} {
+		if !strings.Contains(strings.Join(a.Options, ", "), opt) {
+			t.Fatalf("Options %v missing %s", a.Options, opt)
+		}
+	}
+
+	c2, err := Counter(On(reg), Blind(), SingleReader())
+	if err != nil {
+		t.Fatalf("recommended options rejected: %v", err)
+	}
+	if got := c2.Plan().Mode.String(); got != "CWSR" {
+		t.Fatalf("reconstructed mode = %s, want CWSR", got)
+	}
+}
+
+func TestAdviseRoundTripRefWriteOnce(t *testing.T) {
+	reg, hs := adviseReg(t, 2)
+	r, err := Ref[string](nil, On(reg), WithUsageRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := "config"
+	if err := r.Set(hs[0], &v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.Get(hs[1])
+	}
+
+	a, ok := r.Advise()
+	if !ok {
+		t.Fatal("Advise: recorder missing")
+	}
+	if !a.WriteOnce || !a.SingleWriter {
+		t.Fatalf("want WriteOnce+SingleWriter for a set-once ref, got %+v", a)
+	}
+	if !a.Certified || a.Variant != "R2" {
+		t.Fatalf("want certified R2, got variant=%s certified=%v", a.Variant, a.Certified)
+	}
+
+	r2, err := Ref[string](nil, On(reg), WriteOnce(), SingleWriter())
+	if err != nil {
+		t.Fatalf("recommended options rejected: %v", err)
+	}
+	if got := r2.Plan().Declared(); got != a.Declared() {
+		t.Fatalf("reconstructed %s, advisor recommended %s", got, a.Declared())
+	}
+}
+
+func TestAdviseWithoutRecordingReportsNotEnabled(t *testing.T) {
+	m, err := Map[string, int]()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Advise(); ok {
+		t.Fatal("Advise ok=true on an object built without WithUsageRecording")
+	}
+}
+
+func TestAdviseOnFlatEligiblePlan(t *testing.T) {
+	// WithUsageRecording must not break flat-family eligibility: a named
+	// integer key with a declared capacity still plans flat, and the
+	// recorder hashes through the integer codec without a WithHash.
+	type UserID uint64
+	reg, hs := adviseReg(t, 2)
+	m, err := Map[UserID, string](On(reg), SingleWriter(), Capacity(64), WithUsageRecording())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := m.Plan().Rep; !strings.Contains(rep, "Flat") {
+		t.Fatalf("recording broke flat planning: rep=%s", rep)
+	}
+	for i := 0; i < 16; i++ {
+		m.Put(hs[0], UserID(i), "x")
+	}
+	a, ok := m.Advise()
+	if !ok {
+		t.Fatal("Advise: recorder missing")
+	}
+	if !a.SingleWriter || !a.Certified {
+		t.Fatalf("want certified SingleWriter on flat map, got %+v", a)
+	}
+	if !a.MatchesCurrent() {
+		t.Fatalf("declared profile already optimal; MatchesCurrent should be true: %+v", a)
+	}
+}

@@ -136,6 +136,23 @@ func Stripes(n int) Option { return func(p *profile) { p.stripes = n } }
 // on plans without a segment directory.
 func Buckets(n int) Option { return func(p *profile) { p.buckets = n } }
 
+// WithUsageRecording attaches a usage recorder to the constructed object:
+// every wrapper operation is counted — per method, per thread slot (via
+// handle IDs), per key — so Advise can later infer the most adjusted
+// profile the observed usage would have permitted, certified against
+// Definition 1. The intended use is the tuning loop: construct the object
+// with no adjustment declared but recording on, replay a representative
+// workload, and move what Advise recommends into the declaration.
+//
+// Recording is allocation-free per operation but not free (a few atomic
+// adds per call, and keyed objects hash every written key a second time),
+// so it is a replay/profiling mode, not a steady-state default. Objects
+// built without this option carry no recorder and pay one nil check per
+// operation. Keyed objects whose key type has no default hasher need
+// WithHash for recording too (named integer key types hash through the
+// flat family's codec automatically).
+func WithUsageRecording() Option { return func(p *profile) { p.record = true } }
+
 // Must unwraps a profile-constructor result, panicking on error. For
 // program-shaped profiles that cannot be invalid — typically package-level
 // construction where the profile is a literal.

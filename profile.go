@@ -68,6 +68,9 @@ type profile struct {
 	buckets  int
 	checked  bool
 
+	// Observation: attach a usage recorder for the tuning advisor.
+	record bool
+
 	// Key typing (carried as any because options are not generic over the
 	// object's key type; the constructor re-types them).
 	hash   any // func(K) uint64
